@@ -1,0 +1,114 @@
+// Wall-clock component microbenchmarks (google-benchmark): the in-memory
+// hot paths of the library — cache hits, directory record codec, seek-curve
+// evaluation, allocator scans, whole-FS operation cost. These measure the
+// implementation itself, not the simulated disk.
+#include <benchmark/benchmark.h>
+
+#include "src/disk/seek_curve.h"
+#include "src/fs/common/dir_block.h"
+#include "src/sim/sim_env.h"
+#include "src/util/rng.h"
+
+using namespace cffs;
+
+namespace {
+
+void BM_SeekCurveEval(benchmark::State& state) {
+  disk::SeekCurve curve(SimTime::Millis(1.7), SimTime::Millis(10.0),
+                        SimTime::Millis(22.0), 2699);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        curve.SeekTime(static_cast<uint32_t>(rng.Below(2700))));
+  }
+}
+BENCHMARK(BM_SeekCurveEval);
+
+void BM_DirBlockAddFind(benchmark::State& state) {
+  std::vector<uint8_t> block(fs::kBlockSize);
+  for (auto _ : state) {
+    fs::InitDirBlock(block);
+    for (int i = 0; i < 20; ++i) {
+      auto r = fs::AddDirEntry(block, "file" + std::to_string(i),
+                               fs::kExternalRecord, 100 + i, nullptr);
+      benchmark::DoNotOptimize(r.ok());
+    }
+    auto f = fs::FindDirEntry(block, "file19");
+    benchmark::DoNotOptimize(f.ok());
+  }
+}
+BENCHMARK(BM_DirBlockAddFind);
+
+void BM_CacheHit(benchmark::State& state) {
+  SimClock clock;
+  disk::DiskModel disk(disk::TestDisk(), &clock);
+  blk::BlockDevice dev(&disk, disk::SchedulerPolicy::kCLook);
+  cache::BufferCache cache(&dev, 1024);
+  for (uint64_t b = 100; b < 200; ++b) {
+    auto ref = cache.GetZero(b);
+    benchmark::DoNotOptimize(ref.ok());
+  }
+  uint64_t b = 100;
+  for (auto _ : state) {
+    auto ref = cache.Get(100 + (b++ % 100));
+    benchmark::DoNotOptimize(ref.ok());
+  }
+}
+BENCHMARK(BM_CacheHit);
+
+void BM_InodeCodec(benchmark::State& state) {
+  fs::InodeData ino;
+  ino.type = fs::FileType::kRegular;
+  ino.size = 123456;
+  for (uint32_t i = 0; i < fs::kDirectBlocks; ++i) ino.direct[i] = 1000 + i;
+  std::vector<uint8_t> buf(fs::kInodeSize);
+  for (auto _ : state) {
+    ino.Encode(buf, 0);
+    auto out = fs::InodeData::Decode(buf, 0);
+    benchmark::DoNotOptimize(out.size);
+  }
+}
+BENCHMARK(BM_InodeCodec);
+
+void BM_CffsCreateWriteDelete(benchmark::State& state) {
+  sim::SimConfig config;
+  config.disk_spec = disk::TestDisk(512, 4, 64);
+  config.blocks_per_cg = 1024;
+  auto env = sim::SimEnv::Create(sim::FsKind::kCffs, config);
+  if (!env.ok()) {
+    state.SkipWithError("env creation failed");
+    return;
+  }
+  auto& p = (*env)->path();
+  (void)p.MkdirAll("/bm");
+  std::vector<uint8_t> data(1024, 0x11);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    const std::string path = "/bm/f" + std::to_string(i++ % 64);
+    benchmark::DoNotOptimize(p.WriteFile(path, data).ok());
+    if (i % 64 == 0) {
+      state.PauseTiming();
+      for (int k = 0; k < 64; ++k) {
+        (void)p.Unlink("/bm/f" + std::to_string(k));
+      }
+      state.ResumeTiming();
+    }
+  }
+}
+BENCHMARK(BM_CffsCreateWriteDelete);
+
+void BM_DiskModelAccess(benchmark::State& state) {
+  SimClock clock;
+  disk::DiskModel disk(disk::SeagateSt31200(), &clock);
+  std::vector<uint8_t> buf(8 * disk::kSectorSize);
+  Rng rng(2);
+  const uint64_t total = disk.total_sectors() - 8;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(disk.Read(rng.Below(total), 8, buf).ok());
+  }
+}
+BENCHMARK(BM_DiskModelAccess);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+// Interference ablation (paper §2): locality-based placement helps "only
+// when no other activity moves the disk arm between related requests";
+// grouping fetches a whole unit per command and keeps its benefit when a
+// competing stream drags the arm away between foreground reads.
+#include <cstdio>
+#include <cstring>
+
+#include "src/workload/interference.h"
+
+using namespace cffs;
+
+int main(int argc, char** argv) {
+  workload::InterferenceParams params;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) params.foreground_files = 300;
+  }
+  std::printf("Interference: foreground small-file reads with a competing "
+              "stream (%u files)\n",
+              params.foreground_files);
+  std::printf("%-14s %12s %12s  %s\n", "config", "disturb", "files/s",
+              "per-read latency");
+
+  for (sim::FsKind kind : {sim::FsKind::kConventional, sim::FsKind::kCffs}) {
+    for (uint32_t disturb : {0u, 4u, 1u}) {
+      sim::SimConfig config;
+      auto env = sim::SimEnv::Create(kind, config);
+      if (!env.ok()) return 1;
+      workload::InterferenceParams run = params;
+      run.disturb_every = disturb;
+      auto result = workload::RunInterference(env->get(), run);
+      if (!result.ok()) {
+        std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+        return 1;
+      }
+      char label[32];
+      if (disturb == 0) {
+        std::snprintf(label, sizeof label, "none");
+      } else {
+        std::snprintf(label, sizeof label, "every %u", disturb);
+      }
+      std::printf("%-14s %12s %12.1f  %s\n", sim::FsKindName(kind).c_str(),
+                  label, result->foreground_files_per_sec,
+                  result->foreground_read.Summary().c_str());
+    }
+  }
+  std::printf("\nThe conventional system's (already modest) locality gains "
+              "evaporate under\ninterference; grouped reads amortize the "
+              "repositioning over 16 files either way.\n");
+  return 0;
+}

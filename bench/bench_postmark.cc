@@ -1,0 +1,46 @@
+// PostMark-style trace benchmark: the classic "internet service provider"
+// small-file mix (mail, netnews, web commerce) replayed on every
+// configuration. Not a figure from the paper, but exactly the class of
+// workload its introduction motivates.
+#include <cstdio>
+#include <cstring>
+
+#include "src/workload/trace.h"
+
+using namespace cffs;
+
+int main(int argc, char** argv) {
+  workload::PostmarkParams params;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      params.initial_files = 200;
+      params.transactions = 600;
+    }
+  }
+  const workload::Trace trace = workload::GeneratePostmark(params);
+  std::printf("PostMark-style trace: %u initial files, %u transactions "
+              "(%zu ops)\n",
+              params.initial_files, params.transactions, trace.size());
+  std::printf("%-14s %10s %10s %12s %12s\n", "config", "seconds", "ops/s",
+              "disk reqs", "failed ops");
+
+  const sim::FsKind kinds[] = {
+      sim::FsKind::kFfs, sim::FsKind::kConventional, sim::FsKind::kEmbedOnly,
+      sim::FsKind::kGroupOnly, sim::FsKind::kCffs};
+  for (sim::FsKind kind : kinds) {
+    sim::SimConfig config;
+    auto env = sim::SimEnv::Create(kind, config);
+    if (!env.ok()) return 1;
+    auto stats = workload::ReplayTrace(env->get(), trace);
+    if (!stats.ok()) {
+      std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-14s %10.2f %10.1f %12llu %12llu\n",
+                sim::FsKindName(kind).c_str(), stats->seconds,
+                stats->ops_applied / stats->seconds,
+                static_cast<unsigned long long>(stats->disk_requests),
+                static_cast<unsigned long long>(stats->ops_failed));
+  }
+  return 0;
+}

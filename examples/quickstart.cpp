@@ -1,0 +1,70 @@
+// Quickstart: build a simulated machine, format C-FFS, do file I/O, and
+// look at what the disk had to do.
+//
+//   $ ./examples/quickstart
+//
+// The SimEnv bundles the pieces: a mechanically modelled disk (Seagate
+// ST31200 by default), a block device with a C-LOOK scheduler, a
+// dual-indexed buffer cache, and the file system. All timing below is
+// simulated time, driven by the disk model.
+#include <cstdio>
+#include <string>
+
+#include "src/sim/sim_env.h"
+
+using namespace cffs;
+
+int main() {
+  // 1. Create the machine with a full C-FFS (embedded inodes + grouping).
+  sim::SimConfig config;
+  config.disk_spec = disk::SeagateSt31200();
+  auto env_or = sim::SimEnv::Create(sim::FsKind::kCffs, config);
+  if (!env_or.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n",
+                 env_or.status().ToString().c_str());
+    return 1;
+  }
+  sim::SimEnv* env = env_or->get();
+  fs::PathOps& fs = env->path();
+
+  // 2. Make a directory tree and write some small files.
+  if (auto s = fs.MkdirAll("/projects/demo"); !s.ok()) return 1;
+  for (int i = 0; i < 32; ++i) {
+    const std::string path = "/projects/demo/note" + std::to_string(i);
+    const std::string text = "note #" + std::to_string(i) +
+                             ": embedded inodes put me next to my name.";
+    std::vector<uint8_t> data(text.begin(), text.end());
+    if (auto s = fs.WriteFile(path, data); !s.ok()) {
+      std::fprintf(stderr, "write %s: %s\n", path.c_str(),
+                   s.ToString().c_str());
+      return 1;
+    }
+  }
+  if (auto s = env->fs()->Sync(); !s.ok()) return 1;
+
+  // 3. Drop the file cache and read everything back cold.
+  if (auto s = env->ColdCache(); !s.ok()) return 1;
+  env->ResetStats();
+  const SimTime t0 = env->clock().now();
+  for (int i = 0; i < 32; ++i) {
+    auto data = fs.ReadFile("/projects/demo/note" + std::to_string(i));
+    if (!data.ok()) return 1;
+  }
+  const double ms = (env->clock().now() - t0).millis();
+
+  // 4. Report: with explicit grouping, 32 cold small-file reads should cost
+  // only a handful of disk requests.
+  const auto& d = env->disk().stats();
+  std::printf("read 32 small files cold in %.1f simulated ms\n", ms);
+  std::printf("disk requests: %llu reads, %llu writes (%llu group fetches)\n",
+              static_cast<unsigned long long>(d.read_requests),
+              static_cast<unsigned long long>(d.write_requests),
+              static_cast<unsigned long long>(env->fs()->op_stats().group_reads));
+  std::printf("directory entries carry their inodes: ");
+  auto entries = env->fs()->ReadDir(env->path().Resolve("/projects/demo").value());
+  if (!entries.ok()) return 1;
+  int embedded = 0;
+  for (const auto& e : *entries) embedded += e.embedded ? 1 : 0;
+  std::printf("%d/%zu embedded\n", embedded, entries->size());
+  return 0;
+}

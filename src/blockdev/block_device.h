@@ -1,0 +1,79 @@
+// Block device: the file systems' view of the disk.
+//
+// Exposes the disk as an array of 4 KB blocks and provides the driver
+// services the paper's platform had (§4.1): scatter/gather-style batched
+// I/O ordered by a C-LOOK scheduler, and contiguous multi-block transfers
+// issued as a single disk command (the primitive explicit grouping relies
+// on).
+#ifndef CFFS_BLOCKDEV_BLOCK_DEVICE_H_
+#define CFFS_BLOCKDEV_BLOCK_DEVICE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/disk/disk_model.h"
+#include "src/disk/scheduler.h"
+#include "src/util/status.h"
+
+namespace cffs::blk {
+
+inline constexpr uint32_t kBlockSize = 4096;
+inline constexpr uint32_t kSectorsPerBlock = kBlockSize / disk::kSectorSize;
+
+struct BlockIoStats {
+  uint64_t reads = 0;        // disk read commands issued
+  uint64_t writes = 0;       // disk write commands issued
+  uint64_t blocks_read = 0;
+  uint64_t blocks_written = 0;
+  void Reset() { *this = BlockIoStats{}; }
+};
+
+// One element of a batched write: block number plus the data to write.
+// Adjacent ops coalesce into one disk command only when they share a
+// non-sentinel `unit` (write-clustering unit — a file for FFS, a group
+// extent for C-FFS). UINT64_MAX never coalesces.
+struct WriteOp {
+  uint64_t bno = 0;
+  const uint8_t* data = nullptr;  // kBlockSize bytes, owned by caller
+  uint64_t unit = UINT64_MAX;
+};
+
+class BlockDevice {
+ public:
+  BlockDevice(disk::DiskModel* disk,
+              disk::SchedulerPolicy policy = disk::SchedulerPolicy::kCLook);
+
+  uint64_t block_count() const { return block_count_; }
+  disk::DiskModel* disk() { return disk_; }
+  disk::SchedulerPolicy policy() const { return policy_; }
+  void set_policy(disk::SchedulerPolicy p) { policy_ = p; }
+
+  // Single-block transfers.
+  Status ReadBlock(uint64_t bno, std::span<uint8_t> out);
+  Status WriteBlock(uint64_t bno, std::span<const uint8_t> in);
+
+  // Contiguous run issued as one disk command (scatter/gather read of a
+  // group). out must hold count * kBlockSize bytes.
+  Status ReadRun(uint64_t bno, uint32_t count, std::span<uint8_t> out);
+  Status WriteRun(uint64_t bno, uint32_t count, std::span<const uint8_t> in);
+
+  // Batched write-back: orders ops with the scheduler, coalesces adjacent
+  // block numbers into single disk commands, and issues them. This is how
+  // delayed writes (and group writes) reach the disk.
+  Status WriteBatch(const std::vector<WriteOp>& ops);
+
+  BlockIoStats& stats() { return stats_; }
+  const BlockIoStats& stats() const { return stats_; }
+
+ private:
+  disk::DiskModel* disk_;
+  disk::SchedulerPolicy policy_;
+  uint64_t block_count_;
+  uint64_t head_lba_ = 0;  // scheduler's notion of the head position
+  BlockIoStats stats_;
+};
+
+}  // namespace cffs::blk
+
+#endif  // CFFS_BLOCKDEV_BLOCK_DEVICE_H_

@@ -1,0 +1,315 @@
+#include "src/cache/buffer_cache.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace cffs::cache {
+
+BufferRef& BufferRef::operator=(BufferRef&& other) noexcept {
+  if (this != &other) {
+    Release();
+    cache_ = other.cache_;
+    buf_ = other.buf_;
+    other.cache_ = nullptr;
+    other.buf_ = nullptr;
+  }
+  return *this;
+}
+
+BufferRef::~BufferRef() { Release(); }
+
+void BufferRef::Release() {
+  if (buf_ != nullptr) {
+    cache_->Unpin(buf_);
+    buf_ = nullptr;
+    cache_ = nullptr;
+  }
+}
+
+BufferCache::BufferCache(blk::BlockDevice* dev, size_t capacity_blocks)
+    : dev_(dev), capacity_(capacity_blocks) {
+  assert(capacity_ >= 8);
+}
+
+Buffer* BufferCache::FindResident(uint64_t bno) {
+  auto it = buffers_.find(bno);
+  return it == buffers_.end() ? nullptr : it->second.get();
+}
+
+void BufferCache::Touch(Buffer* buf) {
+  if (buf->in_lru_) lru_.erase(buf->lru_pos_);
+  lru_.push_front(buf->bno_);
+  buf->lru_pos_ = lru_.begin();
+  buf->in_lru_ = true;
+}
+
+BufferRef BufferCache::Pin(Buffer* buf) {
+  ++buf->pins_;
+  Touch(buf);
+  return BufferRef(this, buf);
+}
+
+void BufferCache::Unpin(Buffer* buf) {
+  assert(buf->pins_ > 0);
+  --buf->pins_;
+}
+
+void BufferCache::SetDirty(Buffer* buf, bool dirty) {
+  if (buf->dirty_ == dirty) return;
+  buf->dirty_ = dirty;
+  if (dirty) {
+    ++dirty_count_;
+  } else {
+    assert(dirty_count_ > 0);
+    --dirty_count_;
+  }
+}
+
+Status BufferCache::EvictIfNeeded() {
+  // High-watermark write-back (the role of the update daemon): when a
+  // quarter of the cache is dirty and we need space, flush everything in
+  // one scheduled, clustered batch instead of dribbling single-block
+  // eviction writes.
+  if (buffers_.size() >= capacity_ && dirty_count_ >= capacity_ / 4) {
+    RETURN_IF_ERROR(SyncAll());
+  }
+  while (buffers_.size() >= capacity_) {
+    // Walk from the LRU end for an unpinned victim.
+    Buffer* victim = nullptr;
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+      Buffer* b = FindResident(*it);
+      assert(b != nullptr);
+      if (b->pins_ == 0) {
+        victim = b;
+        break;
+      }
+    }
+    if (victim == nullptr) {
+      // Everything pinned: allow temporary over-capacity rather than fail.
+      return OkStatus();
+    }
+    if (victim->dirty_) {
+      RETURN_IF_ERROR(dev_->WriteBlock(victim->bno_, victim->data()));
+      ++stats_.writebacks;
+      SetDirty(victim, false);
+    }
+    ++stats_.evictions;
+    if (victim->has_lid_) logical_index_.erase(victim->lid_);
+    lru_.erase(victim->lru_pos_);
+    buffers_.erase(victim->bno_);
+  }
+  return OkStatus();
+}
+
+Buffer* BufferCache::InsertNew(uint64_t bno) {
+  auto buf = std::unique_ptr<Buffer>(new Buffer(bno));
+  Buffer* raw = buf.get();
+  buffers_.emplace(bno, std::move(buf));
+  Touch(raw);
+  return raw;
+}
+
+Result<BufferRef> BufferCache::Get(uint64_t bno) {
+  if (bno >= dev_->block_count()) {
+    return OutOfRange("cache get past device end: block " +
+                      std::to_string(bno));
+  }
+  ++stats_.lookups;
+  if (Buffer* buf = FindResident(bno)) {
+    ++stats_.hits;
+    return Pin(buf);
+  }
+  ++stats_.misses;
+  RETURN_IF_ERROR(EvictIfNeeded());
+  Buffer* buf = InsertNew(bno);
+  Status s = dev_->ReadBlock(bno, buf->data());
+  if (!s.ok()) {
+    lru_.erase(buf->lru_pos_);
+    buffers_.erase(bno);
+    return s;
+  }
+  return Pin(buf);
+}
+
+Result<BufferRef> BufferCache::GetZero(uint64_t bno) {
+  if (bno >= dev_->block_count()) {
+    return OutOfRange("cache getzero past device end: block " +
+                      std::to_string(bno));
+  }
+  ++stats_.lookups;
+  if (Buffer* buf = FindResident(bno)) {
+    ++stats_.hits;
+    // The caller is (re)initializing this block: any resident contents are
+    // stale (e.g. inserted by a group read while the block was still
+    // free) and must not leak into the fresh block — zero unconditionally.
+    std::memset(buf->data().data(), 0, blk::kBlockSize);
+    return Pin(buf);
+  }
+  RETURN_IF_ERROR(EvictIfNeeded());
+  Buffer* buf = InsertNew(bno);
+  std::memset(buf->data().data(), 0, blk::kBlockSize);
+  return Pin(buf);
+}
+
+Result<BufferRef> BufferCache::Lookup(uint64_t bno) {
+  ++stats_.lookups;
+  if (Buffer* buf = FindResident(bno)) {
+    ++stats_.hits;
+    return Pin(buf);
+  }
+  return NotFound("block not resident");
+}
+
+Result<BufferRef> BufferCache::LookupLogical(LogicalId id) {
+  auto it = logical_index_.find(id);
+  if (it == logical_index_.end()) return NotFound("logical id not resident");
+  Buffer* buf = FindResident(it->second);
+  assert(buf != nullptr);
+  ++stats_.logical_hits;
+  return Pin(buf);
+}
+
+void BufferCache::Bind(BufferRef& ref, LogicalId id) {
+  Buffer* buf = ref.buf_;
+  assert(buf != nullptr);
+  if (buf->has_lid_) {
+    if (buf->lid_ == id) return;
+    logical_index_.erase(buf->lid_);
+  }
+  buf->lid_ = id;
+  buf->has_lid_ = true;
+  logical_index_[id] = buf->bno_;
+}
+
+Status BufferCache::ReadGroup(uint64_t start_bno, uint32_t count) {
+  if (count == 0) return InvalidArgument("empty group read");
+  std::vector<uint8_t> raw(static_cast<size_t>(count) * blk::kBlockSize);
+  RETURN_IF_ERROR(dev_->ReadRun(start_bno, count, raw));
+  ++stats_.group_reads;
+  for (uint32_t i = 0; i < count; ++i) {
+    const uint64_t bno = start_bno + i;
+    if (FindResident(bno) != nullptr) {
+      continue;  // resident copy is as new or newer (possibly dirty)
+    }
+    RETURN_IF_ERROR(EvictIfNeeded());
+    Buffer* buf = InsertNew(bno);
+    std::memcpy(buf->data().data(),
+                raw.data() + static_cast<size_t>(i) * blk::kBlockSize,
+                blk::kBlockSize);
+    // Blocks fetched as a group also flush as that group.
+    buf->flush_unit_ = start_bno;
+    ++stats_.group_blocks;
+  }
+  return OkStatus();
+}
+
+void BufferCache::MarkDirty(BufferRef& ref) {
+  assert(ref.buf_ != nullptr);
+  SetDirty(ref.buf_, true);
+}
+
+void BufferCache::SetFlushUnit(BufferRef& ref, uint64_t unit) {
+  assert(ref.buf_ != nullptr);
+  ref.buf_->flush_unit_ = unit;
+}
+
+Status BufferCache::SyncBlock(uint64_t bno) {
+  Buffer* buf = FindResident(bno);
+  if (buf == nullptr || !buf->dirty_) return OkStatus();
+  RETURN_IF_ERROR(dev_->WriteBlock(bno, buf->data()));
+  ++stats_.writebacks;
+  SetDirty(buf, false);
+  return OkStatus();
+}
+
+Status BufferCache::SyncAll() {
+  std::vector<blk::WriteOp> ops;
+  std::vector<Buffer*> dirty;
+  ops.reserve(dirty_count_);
+  for (auto& [bno, buf] : buffers_) {
+    if (buf->dirty_) {
+      ops.push_back({bno, buf->data().data(), buf->flush_unit_});
+      dirty.push_back(buf.get());
+    }
+  }
+  if (ops.empty()) return OkStatus();
+
+  // Group write units go to disk whole: when two dirty blocks of the same
+  // unit have a small gap between them and every gap block is resident
+  // (clean), rewrite the gap blocks too so the unit stays one command.
+  std::sort(ops.begin(), ops.end(),
+            [](const blk::WriteOp& a, const blk::WriteOp& b) {
+              return a.bno < b.bno;
+            });
+  const size_t dirty_end = ops.size();
+  std::vector<blk::WriteOp> fills;
+  for (size_t i = 0; i + 1 < dirty_end; ++i) {
+    if (ops[i].unit == kNoFlushUnit || ops[i].unit != ops[i + 1].unit ||
+        ops[i + 1].bno - ops[i].bno > 64) {
+      continue;
+    }
+    bool all_resident = true;
+    for (uint64_t b = ops[i].bno + 1; b < ops[i + 1].bno; ++b) {
+      Buffer* gap = FindResident(b);
+      if (gap == nullptr) {
+        all_resident = false;
+        break;
+      }
+    }
+    if (!all_resident) continue;
+    for (uint64_t b = ops[i].bno + 1; b < ops[i + 1].bno; ++b) {
+      Buffer* gap = FindResident(b);
+      if (!gap->dirty_) {
+        fills.push_back({b, gap->data().data(), ops[i].unit});
+      }
+    }
+  }
+  ops.insert(ops.end(), fills.begin(), fills.end());
+  std::sort(ops.begin(), ops.end(),
+            [](const blk::WriteOp& a, const blk::WriteOp& b) {
+              return a.bno < b.bno;
+            });
+
+  RETURN_IF_ERROR(dev_->WriteBatch(ops));
+  for (Buffer* buf : dirty) {
+    ++stats_.writebacks;
+    SetDirty(buf, false);
+  }
+  return OkStatus();
+}
+
+void BufferCache::Invalidate(uint64_t bno) {
+  Buffer* buf = FindResident(bno);
+  if (buf == nullptr) return;
+  assert(buf->pins_ == 0 && "cannot invalidate a pinned buffer");
+  if (buf->dirty_) SetDirty(buf, false);
+  if (buf->has_lid_) logical_index_.erase(buf->lid_);
+  lru_.erase(buf->lru_pos_);
+  buffers_.erase(bno);
+}
+
+size_t BufferCache::CrashDropAll() {
+  const size_t lost = dirty_count_;
+  for (auto& [bno, buf] : buffers_) {
+    assert(buf->pins_ == 0);
+    (void)bno;
+  }
+  buffers_.clear();
+  logical_index_.clear();
+  lru_.clear();
+  dirty_count_ = 0;
+  return lost;
+}
+
+void BufferCache::InvalidateAll() {
+  assert(dirty_count_ == 0 && "sync before invalidating the whole cache");
+  for (auto& [bno, buf] : buffers_) {
+    assert(buf->pins_ == 0);
+    (void)bno;
+  }
+  buffers_.clear();
+  logical_index_.clear();
+  lru_.clear();
+}
+
+}  // namespace cffs::cache

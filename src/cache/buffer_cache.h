@@ -1,0 +1,204 @@
+// Buffer cache, dual-indexed by physical and logical identity.
+//
+// Paper §3: "our file cache is indexed by both disk address, like the
+// original UNIX buffer cache, and higher-level identities, like the SunOS
+// integrated caching and virtual memory system [Gingell87, Moran87]. C-FFS
+// uses physical identities to insert newly-read blocks of a group into the
+// cache without back-translating to discover their file/offset identities."
+//
+// ReadGroup() implements exactly that: one scatter/gather disk command for a
+// whole group, with every sibling block inserted under its physical address
+// and "an invalid file/offset identity"; the logical identity is bound later
+// when some file lookup touches the block.
+//
+// Buffers are pinned through the RAII BufferRef handle; unpinned buffers are
+// evicted in LRU order, writing dirty victims back first.
+#ifndef CFFS_CACHE_BUFFER_CACHE_H_
+#define CFFS_CACHE_BUFFER_CACHE_H_
+
+#include <cassert>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/blockdev/block_device.h"
+#include "src/util/status.h"
+
+namespace cffs::cache {
+
+// Logical identity: which file (by file-system-assigned id) and which
+// block-sized piece of it this buffer holds.
+struct LogicalId {
+  uint64_t file = 0;
+  uint64_t block_index = 0;
+
+  bool operator==(const LogicalId&) const = default;
+};
+
+struct LogicalIdHash {
+  size_t operator()(const LogicalId& id) const {
+    return std::hash<uint64_t>()(id.file * 0x9e3779b97f4a7c15ULL ^
+                                 id.block_index);
+  }
+};
+
+struct CacheStats {
+  uint64_t lookups = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t logical_hits = 0;
+  uint64_t group_reads = 0;       // ReadGroup disk commands
+  uint64_t group_blocks = 0;      // blocks inserted by group reads
+  uint64_t writebacks = 0;        // blocks written by Sync*/eviction
+  uint64_t evictions = 0;
+  void Reset() { *this = CacheStats{}; }
+};
+
+class BufferCache;
+
+// Buffers with the same flush unit that are physically adjacent may be
+// written with one disk command at flush time. The file systems tag data
+// blocks with their write-clustering unit: FFS uses the owning file (within-
+// file clustering only, as 4.4BSD did); C-FFS uses the group extent, which
+// is what lets a whole group of small files go to disk as a single command.
+inline constexpr uint64_t kNoFlushUnit = UINT64_MAX;
+
+class Buffer {
+ public:
+  uint64_t bno() const { return bno_; }
+  uint64_t flush_unit() const { return flush_unit_; }
+  std::span<uint8_t> data() { return {data_.get(), blk::kBlockSize}; }
+  std::span<const uint8_t> data() const { return {data_.get(), blk::kBlockSize}; }
+  bool dirty() const { return dirty_; }
+  bool has_logical_id() const { return has_lid_; }
+  LogicalId logical_id() const { return lid_; }
+
+ private:
+  friend class BufferCache;
+  explicit Buffer(uint64_t bno)
+      : bno_(bno), data_(new uint8_t[blk::kBlockSize]) {}
+
+  uint64_t bno_;
+  std::unique_ptr<uint8_t[]> data_;
+  LogicalId lid_;
+  uint64_t flush_unit_ = kNoFlushUnit;
+  bool has_lid_ = false;
+  bool dirty_ = false;
+  int pins_ = 0;
+  std::list<uint64_t>::iterator lru_pos_;
+  bool in_lru_ = false;
+};
+
+// RAII pin on a cached buffer. While a BufferRef is live the buffer cannot
+// be evicted. Move-only.
+class BufferRef {
+ public:
+  BufferRef() = default;
+  BufferRef(BufferRef&& other) noexcept { *this = std::move(other); }
+  BufferRef& operator=(BufferRef&& other) noexcept;
+  BufferRef(const BufferRef&) = delete;
+  BufferRef& operator=(const BufferRef&) = delete;
+  ~BufferRef();
+
+  Buffer* operator->() { return buf_; }
+  const Buffer* operator->() const { return buf_; }
+  Buffer& operator*() { return *buf_; }
+  bool valid() const { return buf_ != nullptr; }
+  std::span<uint8_t> data() { return buf_->data(); }
+  std::span<const uint8_t> data() const {
+    return static_cast<const Buffer*>(buf_)->data();
+  }
+  void Release();
+
+ private:
+  friend class BufferCache;
+  BufferRef(BufferCache* cache, Buffer* buf) : cache_(cache), buf_(buf) {}
+  BufferCache* cache_ = nullptr;
+  Buffer* buf_ = nullptr;
+};
+
+class BufferCache {
+ public:
+  BufferCache(blk::BlockDevice* dev, size_t capacity_blocks);
+
+  blk::BlockDevice* device() { return dev_; }
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return buffers_.size(); }
+  size_t dirty_count() const { return dirty_count_; }
+  CacheStats& stats() { return stats_; }
+
+  // Fetch by physical address, reading from disk on a miss.
+  Result<BufferRef> Get(uint64_t bno);
+
+  // Fetch by physical address without any disk read: on a miss the buffer
+  // is created zero-filled (for freshly allocated blocks that will be fully
+  // overwritten).
+  Result<BufferRef> GetZero(uint64_t bno);
+
+  // Lookup by physical address; kNotFound if not resident (no I/O).
+  Result<BufferRef> Lookup(uint64_t bno);
+
+  // Lookup by logical identity; kNotFound if not resident (no I/O).
+  Result<BufferRef> LookupLogical(LogicalId id);
+
+  // Attach a logical identity to a resident buffer (see file comment).
+  void Bind(BufferRef& ref, LogicalId id);
+
+  // Read `count` blocks starting at start_bno with ONE disk command and
+  // insert every block by physical identity. Blocks already resident keep
+  // their cached (possibly dirty, newer) contents.
+  Status ReadGroup(uint64_t start_bno, uint32_t count);
+
+  void MarkDirty(BufferRef& ref);
+
+  // Tags the buffer's write-clustering unit (see kNoFlushUnit above).
+  void SetFlushUnit(BufferRef& ref, uint64_t unit);
+
+  // Write one dirty block through to disk immediately (synchronous
+  // metadata update). No-op if the block is clean or not resident.
+  Status SyncBlock(uint64_t bno);
+
+  // Flush every dirty block, scheduler-ordered and run-coalesced.
+  Status SyncAll();
+
+  // Drop a resident block (when its disk space is freed). Dirty contents
+  // are discarded. The block must not be pinned.
+  void Invalidate(uint64_t bno);
+
+  // Drop everything resident. All dirty data must have been synced first
+  // (asserts). Used to make benchmark phases cold-cache.
+  void InvalidateAll();
+
+  // Simulates power loss: every buffer (dirty or clean) vanishes without
+  // reaching the disk. Nothing may be pinned. Returns how many dirty
+  // blocks were lost. Used by the crash-consistency harness.
+  size_t CrashDropAll();
+
+ private:
+  Buffer* FindResident(uint64_t bno);
+  // Ensures capacity for one more buffer; evicts LRU unpinned buffers.
+  Status EvictIfNeeded();
+  Buffer* InsertNew(uint64_t bno);
+  void Touch(Buffer* buf);
+  void Unpin(Buffer* buf);
+  BufferRef Pin(Buffer* buf);
+  void SetDirty(Buffer* buf, bool dirty);
+
+  friend class BufferRef;
+
+  blk::BlockDevice* dev_;
+  size_t capacity_;
+  size_t dirty_count_ = 0;
+  CacheStats stats_;
+
+  std::unordered_map<uint64_t, std::unique_ptr<Buffer>> buffers_;
+  std::unordered_map<LogicalId, uint64_t, LogicalIdHash> logical_index_;
+  std::list<uint64_t> lru_;  // front = most recent
+};
+
+}  // namespace cffs::cache
+
+#endif  // CFFS_CACHE_BUFFER_CACHE_H_

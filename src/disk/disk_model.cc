@@ -1,0 +1,311 @@
+#include "src/disk/disk_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+
+namespace cffs::disk {
+
+DiskModel::DiskModel(DiskSpec spec, SimClock* clock)
+    : spec_(std::move(spec)),
+      geometry_(spec_.MakeGeometry()),
+      seek_curve_(spec_.seek_single, spec_.seek_avg, spec_.seek_max,
+                  geometry_.total_cylinders() > 1 ? geometry_.total_cylinders() - 1 : 3),
+      clock_(clock) {
+  assert(clock_ != nullptr);
+  cache_.resize(std::max<uint32_t>(1, spec_.cache_segments));
+}
+
+double DiskModel::AngleAt(SimTime t) const {
+  const double period = spec_.RotationPeriod().seconds();
+  const double s = t.seconds();
+  const double frac = s / period - std::floor(s / period);
+  return frac;
+}
+
+SimTime DiskModel::MechanicalAccess(SimTime start, uint64_t lba,
+                                    uint32_t nsectors, DiskStats* stats,
+                                    uint32_t* end_cylinder) const {
+  assert(nsectors > 0);
+  assert(lba + nsectors <= geometry_.total_sectors());
+  const SimTime period = spec_.RotationPeriod();
+
+  SimTime t = start;
+  Location loc = geometry_.Locate(lba);
+
+  // Seek.
+  const uint32_t from = current_cylinder_;
+  const uint32_t dist = loc.cylinder > from ? loc.cylinder - from : from - loc.cylinder;
+  const SimTime seek = seek_curve_.SeekTime(dist);
+  t += seek;
+  if (stats) {
+    stats->seek_time += seek;
+    stats->seek_cylinders += dist;
+  }
+
+  // Rotational latency: wait for the target sector's leading edge.
+  {
+    const double target = static_cast<double>(loc.sector) /
+                          static_cast<double>(loc.sectors_per_track);
+    const double angle = AngleAt(t);
+    double wait_frac = target - angle;
+    if (wait_frac < 0) wait_frac += 1.0;
+    const SimTime wait = SimTime::Nanos(
+        static_cast<int64_t>(wait_frac * static_cast<double>(period.nanos())));
+    t += wait;
+    if (stats) stats->rotation_time += wait;
+  }
+
+  // Media transfer, track by track. Track/cylinder skew is assumed optimal,
+  // so a boundary crossing costs exactly the switch time with no extra
+  // rotational wait.
+  uint32_t remaining = nsectors;
+  uint32_t sector = loc.sector;
+  uint32_t head = loc.head;
+  uint32_t cylinder = loc.cylinder;
+  uint32_t spt = loc.sectors_per_track;
+  while (remaining > 0) {
+    const uint32_t on_track = std::min(remaining, spt - sector);
+    const SimTime xfer = SimTime::Nanos(
+        period.nanos() * on_track / spt);
+    t += xfer;
+    if (stats) stats->transfer_time += xfer;
+    remaining -= on_track;
+    if (remaining == 0) break;
+    sector = 0;
+    ++head;
+    if (head == geometry_.heads()) {
+      head = 0;
+      ++cylinder;
+      assert(cylinder < geometry_.total_cylinders());
+      spt = geometry_.SectorsPerTrackAt(cylinder);
+      const SimTime sw = seek_curve_.SeekTime(1);
+      t += sw;
+      if (stats) stats->seek_time += sw;
+    } else {
+      t += spec_.head_switch;
+      if (stats) stats->transfer_time += spec_.head_switch;
+    }
+  }
+  if (end_cylinder) *end_cylinder = cylinder;
+  return t;
+}
+
+SimTime DiskModel::EstimateAccess(uint64_t lba, uint32_t nsectors) const {
+  DiskStats scratch;
+  const SimTime start = clock_->now() + spec_.command_overhead;
+  const SimTime done = MechanicalAccess(start, lba, nsectors, &scratch, nullptr);
+  return done - clock_->now();
+}
+
+SimTime DiskModel::AverageAccessTime(uint64_t bytes) const {
+  const uint64_t nsectors = std::max<uint64_t>(1, (bytes + kSectorSize - 1) / kSectorSize);
+  // Transfer on the middle zone.
+  const Zone& mid = spec_.zones[spec_.zones.size() / 2];
+  const SimTime period = spec_.RotationPeriod();
+  const double per_sector_ns = static_cast<double>(period.nanos()) / mid.sectors_per_track;
+  // Average number of track boundaries crossed.
+  const double tracks_crossed =
+      static_cast<double>(nsectors) / mid.sectors_per_track;
+  const SimTime transfer = SimTime::Nanos(static_cast<int64_t>(
+      per_sector_ns * static_cast<double>(nsectors) +
+      tracks_crossed * static_cast<double>(spec_.head_switch.nanos())));
+  const SimTime half_rotation = SimTime::Nanos(period.nanos() / 2);
+  return spec_.command_overhead + seek_curve_.MeanOverUniformPairs() +
+         half_rotation + transfer;
+}
+
+bool DiskModel::CacheHit(uint64_t lba, uint32_t nsectors) {
+  // Extend the prefetching segment by the media read-ahead the drive could
+  // do in the idle gap since the last read completed. The drive stops
+  // prefetching as soon as this command arrives.
+  if (last_read_segment_ >= 0) {
+    CacheSegment& seg = cache_[static_cast<size_t>(last_read_segment_)];
+    if (seg.valid) {
+      const SimTime idle = clock_->now() - last_read_complete_;
+      if (idle > SimTime::Zero() && seg.end < geometry_.total_sectors()) {
+        const Location at = geometry_.Locate(seg.end == 0 ? 0 : seg.end - 1);
+        const double rate_sectors_per_s =
+            static_cast<double>(at.sectors_per_track) /
+            spec_.RotationPeriod().seconds();
+        const uint64_t ahead = static_cast<uint64_t>(
+            idle.seconds() * rate_sectors_per_s);
+        seg.end = std::min({seg.end + ahead, seg.max_end,
+                            geometry_.total_sectors()});
+      }
+    }
+    last_read_segment_ = -1;
+  }
+  for (auto& seg : cache_) {
+    if (seg.valid && lba >= seg.begin && lba + nsectors <= seg.end) {
+      seg.last_use = ++cache_clock_;
+      return true;
+    }
+  }
+  return false;
+}
+
+void DiskModel::CacheInsert(uint64_t lba, uint32_t nsectors) {
+  // The segment initially holds exactly what was read; it grows only with
+  // idle-time read-ahead (see CacheHit). prefetch_sectors bounds the growth.
+  const uint64_t end = std::min<uint64_t>(lba + nsectors, geometry_.total_sectors());
+  // Replace the least recently used segment.
+  CacheSegment* victim = &cache_[0];
+  for (auto& seg : cache_) {
+    if (!seg.valid) {
+      victim = &seg;
+      break;
+    }
+    if (seg.last_use < victim->last_use) victim = &seg;
+  }
+  victim->begin = lba;
+  victim->end = end;
+  victim->max_end = end + spec_.prefetch_sectors;
+  victim->valid = true;
+  victim->last_use = ++cache_clock_;
+  last_read_segment_ = static_cast<int>(victim - cache_.data());
+  last_read_complete_ = clock_->now();
+}
+
+void DiskModel::CacheInvalidate(uint64_t lba, uint32_t nsectors) {
+  for (auto& seg : cache_) {
+    if (!seg.valid) continue;
+    if (lba < seg.end && lba + nsectors > seg.begin) seg.valid = false;
+  }
+}
+
+uint8_t* DiskModel::SectorPtr(uint64_t lba, bool create) {
+  const uint64_t chunk = lba / kChunkSectors;
+  auto it = chunks_.find(chunk);
+  if (it == chunks_.end()) {
+    if (!create) return nullptr;
+    auto buf = std::make_unique<uint8_t[]>(kChunkSectors * kSectorSize);
+    std::memset(buf.get(), 0, kChunkSectors * kSectorSize);
+    it = chunks_.emplace(chunk, std::move(buf)).first;
+  }
+  return it->second.get() + (lba % kChunkSectors) * kSectorSize;
+}
+
+Status DiskModel::Read(uint64_t lba, uint32_t nsectors, std::span<uint8_t> out) {
+  if (nsectors == 0 || lba + nsectors > geometry_.total_sectors()) {
+    return OutOfRange("disk read past end");
+  }
+  if (out.size() < static_cast<size_t>(nsectors) * kSectorSize) {
+    return InvalidArgument("read buffer too small");
+  }
+  for (uint64_t s = lba; s < lba + nsectors; ++s) {
+    if (bad_sectors_.count(s)) return IoError("unreadable sector");
+  }
+
+  const SimTime start = clock_->now();
+  SimTime done;
+  if (CacheHit(lba, nsectors)) {
+    const double bytes = static_cast<double>(nsectors) * kSectorSize;
+    const SimTime bus = SimTime::Seconds(bytes / (spec_.bus_mb_per_s * 1e6));
+    done = start + spec_.command_overhead + bus;
+    ++stats_.cache_hit_requests;
+    stats_.overhead_time += spec_.command_overhead;
+    stats_.transfer_time += bus;
+  } else {
+    stats_.overhead_time += spec_.command_overhead;
+    uint32_t end_cyl = current_cylinder_;
+    done = MechanicalAccess(start + spec_.command_overhead, lba, nsectors,
+                            &stats_, &end_cyl);
+    current_cylinder_ = end_cyl;
+    clock_->AdvanceTo(done);
+    CacheInsert(lba, nsectors);  // records completion time for prefetch
+  }
+  ++stats_.read_requests;
+  stats_.sectors_read += nsectors;
+  stats_.busy_time += done - start;
+  clock_->AdvanceTo(done);
+
+  for (uint32_t i = 0; i < nsectors; ++i) {
+    const uint8_t* src = SectorPtr(lba + i, /*create=*/false);
+    uint8_t* dst = out.data() + static_cast<size_t>(i) * kSectorSize;
+    if (src) {
+      std::memcpy(dst, src, kSectorSize);
+    } else {
+      std::memset(dst, 0, kSectorSize);
+    }
+  }
+  return OkStatus();
+}
+
+Status DiskModel::Write(uint64_t lba, uint32_t nsectors,
+                        std::span<const uint8_t> in) {
+  if (nsectors == 0 || lba + nsectors > geometry_.total_sectors()) {
+    return OutOfRange("disk write past end");
+  }
+  if (in.size() < static_cast<size_t>(nsectors) * kSectorSize) {
+    return InvalidArgument("write buffer too small");
+  }
+
+  const SimTime start = clock_->now();
+  SimTime done;
+  if (spec_.write_cache_enabled) {
+    const double bytes = static_cast<double>(nsectors) * kSectorSize;
+    const SimTime bus = SimTime::Seconds(bytes / (spec_.bus_mb_per_s * 1e6));
+    done = start + spec_.command_overhead + bus;
+    stats_.overhead_time += spec_.command_overhead;
+    stats_.transfer_time += bus;
+  } else {
+    stats_.overhead_time += spec_.command_overhead;
+    uint32_t end_cyl = current_cylinder_;
+    done = MechanicalAccess(start + spec_.command_overhead, lba, nsectors,
+                            &stats_, &end_cyl);
+    current_cylinder_ = end_cyl;
+  }
+  CacheInvalidate(lba, nsectors);
+  ++stats_.write_requests;
+  stats_.sectors_written += nsectors;
+  stats_.busy_time += done - start;
+  clock_->AdvanceTo(done);
+
+  for (uint32_t i = 0; i < nsectors; ++i) {
+    uint8_t* dst = SectorPtr(lba + i, /*create=*/true);
+    std::memcpy(dst, in.data() + static_cast<size_t>(i) * kSectorSize, kSectorSize);
+  }
+  return OkStatus();
+}
+
+void DiskModel::CorruptSector(uint64_t lba) {
+  uint8_t* p = SectorPtr(lba, /*create=*/true);
+  for (uint32_t i = 0; i < kSectorSize; i += 16) p[i] ^= 0xa5;
+}
+
+void DiskModel::PeekSector(uint64_t lba, std::span<uint8_t> out) const {
+  assert(out.size() >= kSectorSize);
+  const uint64_t chunk = lba / kChunkSectors;
+  auto it = chunks_.find(chunk);
+  if (it == chunks_.end()) {
+    std::memset(out.data(), 0, kSectorSize);
+    return;
+  }
+  std::memcpy(out.data(), it->second.get() + (lba % kChunkSectors) * kSectorSize,
+              kSectorSize);
+}
+
+void DiskModel::PokeSector(uint64_t lba, std::span<const uint8_t> in) {
+  assert(in.size() >= kSectorSize);
+  std::memcpy(SectorPtr(lba, /*create=*/true), in.data(), kSectorSize);
+}
+
+void DiskModel::ForEachChunk(
+    const std::function<void(uint64_t, std::span<const uint8_t>)>& fn) const {
+  static_assert(kImageChunkSectors == kChunkSectors);
+  for (const auto& [idx, data] : chunks_) {
+    fn(idx, std::span<const uint8_t>(data.get(),
+                                     kChunkSectors * kSectorSize));
+  }
+}
+
+void DiskModel::RestoreChunk(uint64_t chunk_index,
+                             std::span<const uint8_t> data) {
+  assert(data.size() == kChunkSectors * kSectorSize);
+  uint8_t* dst = SectorPtr(chunk_index * kChunkSectors, /*create=*/true);
+  std::memcpy(dst, data.data(), kChunkSectors * kSectorSize);
+}
+
+}  // namespace cffs::disk

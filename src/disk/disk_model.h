@@ -1,0 +1,151 @@
+// Mechanical disk model with on-board segment cache.
+//
+// The model tracks arm position (cylinder) and rotational position (derived
+// from the simulation clock — the platter spins continuously in simulated
+// time). A media access costs:
+//
+//   command overhead + seek(cylinder distance) + rotational latency to the
+//   target sector + media transfer, with head-switch / cylinder-switch
+//   costs when a transfer crosses track or cylinder boundaries (track and
+//   cylinder skew are assumed to be optimally set, as on real drives, so
+//   sequential transfer continues after exactly the switch cost).
+//
+// Reads that hit the on-board read-ahead segment cache cost only command
+// overhead plus bus transfer, modelling the drive's sequential prefetch
+// ("The disk prefetches sequential disk data into its on-board cache",
+// paper §4.1). Prefetch is time-limited, as on real drives: after a read
+// completes, the drive keeps reading ahead at media rate only until the
+// next command arrives, so a closed-loop host issuing back-to-back
+// single-block sequential reads gains only a fraction of a block of
+// read-ahead per request. A request that is only partially covered by the
+// prefetched segment restarts as a normal mechanical access (1994-era
+// firmware behaviour) and therefore pays nearly a full rotation — the
+// precise penalty that made FFS-style one-block-per-file access slow and
+// that explicit grouping eliminates by moving whole groups per command.
+//
+// The backing store is sparse (chunked), so multi-gigabyte drives cost only
+// as much memory as the sectors actually written.
+#ifndef CFFS_DISK_DISK_MODEL_H_
+#define CFFS_DISK_DISK_MODEL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/disk/disk_spec.h"
+#include "src/disk/geometry.h"
+#include "src/disk/seek_curve.h"
+#include "src/util/sim_time.h"
+#include "src/util/status.h"
+
+namespace cffs::disk {
+
+struct DiskStats {
+  uint64_t read_requests = 0;
+  uint64_t write_requests = 0;
+  uint64_t sectors_read = 0;
+  uint64_t sectors_written = 0;
+  uint64_t cache_hit_requests = 0;   // served from the on-board cache
+  uint64_t seek_cylinders = 0;       // total cylinders travelled
+
+  SimTime seek_time;
+  SimTime rotation_time;
+  SimTime transfer_time;
+  SimTime overhead_time;
+  SimTime busy_time;  // total time the drive spent on requests
+
+  uint64_t total_requests() const { return read_requests + write_requests; }
+  void Reset() { *this = DiskStats{}; }
+};
+
+class DiskModel {
+ public:
+  DiskModel(DiskSpec spec, SimClock* clock);
+
+  const DiskSpec& spec() const { return spec_; }
+  const Geometry& geometry() const { return geometry_; }
+  const SeekCurve& seek_curve() const { return seek_curve_; }
+  uint64_t total_sectors() const { return geometry_.total_sectors(); }
+
+  // Reads/writes advance the simulation clock by the access time.
+  Status Read(uint64_t lba, uint32_t nsectors, std::span<uint8_t> out);
+  Status Write(uint64_t lba, uint32_t nsectors, std::span<const uint8_t> in);
+
+  // Pure timing query: cost of the access if issued now, without moving
+  // data or state. Used by the Figure 2 model bench.
+  SimTime EstimateAccess(uint64_t lba, uint32_t nsectors) const;
+
+  // Average access time for a random request of `bytes` bytes: average
+  // seek + half-rotation + transfer on a middle-zone track + overhead.
+  // This is the quantity plotted in Figure 2 of the paper.
+  SimTime AverageAccessTime(uint64_t bytes) const;
+
+  DiskStats& stats() { return stats_; }
+  const DiskStats& stats() const { return stats_; }
+
+  // --- fault injection (tests / fsck experiments) ---
+  // Future reads of this LBA fail with kIoError until cleared.
+  void InjectReadError(uint64_t lba) { bad_sectors_.insert(lba); }
+  void ClearReadError(uint64_t lba) { bad_sectors_.erase(lba); }
+  // Silently flips bits in a stored sector (media corruption).
+  void CorruptSector(uint64_t lba);
+
+  // Direct, time-free access for tools (mkfs image inspection, fsck tests).
+  void PeekSector(uint64_t lba, std::span<uint8_t> out) const;
+  void PokeSector(uint64_t lba, std::span<const uint8_t> in);
+
+  // Image (de)serialization support — see src/disk/image.h.
+  static constexpr uint32_t kImageChunkSectors = 256;  // == kChunkSectors
+  void ForEachChunk(
+      const std::function<void(uint64_t chunk_index,
+                               std::span<const uint8_t> data)>& fn) const;
+  void RestoreChunk(uint64_t chunk_index, std::span<const uint8_t> data);
+
+ private:
+  static constexpr uint32_t kChunkSectors = 256;  // 128 KB sparse chunks
+
+  struct CacheSegment {
+    uint64_t begin = 0;    // first cached LBA
+    uint64_t end = 0;      // one past last cached LBA
+    uint64_t max_end = 0;  // read-ahead limit (end-at-insert + prefetch)
+    uint64_t last_use = 0;
+    bool valid = false;
+  };
+
+  // Mechanical access; returns completion time starting from `start`.
+  SimTime MechanicalAccess(SimTime start, uint64_t lba, uint32_t nsectors,
+                           DiskStats* stats, uint32_t* end_cylinder) const;
+
+  // Rotational angle in [0,1) at absolute simulated time t.
+  double AngleAt(SimTime t) const;
+
+  bool CacheHit(uint64_t lba, uint32_t nsectors);
+  void CacheInsert(uint64_t lba, uint32_t nsectors);
+  void CacheInvalidate(uint64_t lba, uint32_t nsectors);
+
+  uint8_t* SectorPtr(uint64_t lba, bool create);
+
+  DiskSpec spec_;
+  Geometry geometry_;
+  SeekCurve seek_curve_;
+  SimClock* clock_;
+
+  uint32_t current_cylinder_ = 0;
+  DiskStats stats_;
+
+  std::vector<CacheSegment> cache_;
+  uint64_t cache_clock_ = 0;
+  SimTime last_read_complete_;       // when the most recent media read ended
+  int last_read_segment_ = -1;       // segment still being extended, or -1
+
+  std::unordered_map<uint64_t, std::unique_ptr<uint8_t[]>> chunks_;
+  std::unordered_set<uint64_t> bad_sectors_;
+};
+
+}  // namespace cffs::disk
+
+#endif  // CFFS_DISK_DISK_MODEL_H_

@@ -1,0 +1,80 @@
+#include "src/disk/disk_spec.h"
+
+namespace cffs::disk {
+
+DiskSpec HpC3653() {
+  DiskSpec s;
+  s.name = "HP C3653";
+  s.rpm = 7200;
+  s.heads = 8;
+  // ~4 GB across 6 zones, ~210-140 sectors/track (inferred; the paper notes
+  // the older HP C2247 had half as many sectors per track).
+  s.zones = {{400, 210}, {450, 195}, {500, 180}, {500, 165}, {450, 152}, {400, 140}};
+  s.seek_single = SimTime::Millis(0.9);  // "< 1 ms" in Table 1
+  s.seek_avg = SimTime::Millis(8.7);
+  s.seek_max = SimTime::Millis(16.5);
+  s.head_switch = SimTime::Millis(0.8);
+  s.command_overhead = SimTime::Millis(0.5);
+  s.bus_mb_per_s = 20.0;  // fast-wide SCSI-2
+  return s;
+}
+
+DiskSpec SeagateBarracuda() {
+  DiskSpec s;
+  s.name = "Seagate Barracuda";
+  s.rpm = 7200;
+  s.heads = 20;
+  s.zones = {{500, 190}, {600, 175}, {700, 160}, {700, 145}, {600, 130}, {500, 119}};
+  s.seek_single = SimTime::Millis(0.6);
+  s.seek_avg = SimTime::Millis(8.0);
+  s.seek_max = SimTime::Millis(19.0);
+  s.head_switch = SimTime::Millis(0.9);
+  s.command_overhead = SimTime::Millis(0.5);
+  s.bus_mb_per_s = 20.0;
+  return s;
+}
+
+DiskSpec QuantumAtlasII() {
+  DiskSpec s;
+  s.name = "Quantum Atlas II";
+  s.rpm = 7200;
+  s.heads = 10;
+  s.zones = {{600, 200}, {700, 184}, {800, 168}, {800, 152}, {700, 138}, {600, 127}};
+  s.seek_single = SimTime::Millis(1.0);
+  s.seek_avg = SimTime::Millis(7.9);
+  s.seek_max = SimTime::Millis(18.0);
+  s.head_switch = SimTime::Millis(1.0);
+  s.command_overhead = SimTime::Millis(0.5);
+  s.bus_mb_per_s = 20.0;
+  return s;
+}
+
+DiskSpec SeagateSt31200() {
+  DiskSpec s;
+  s.name = "Seagate ST31200";
+  s.rpm = 5411;
+  s.heads = 9;
+  // 1.05 GB across inferred zones averaging ~84 sectors/track.
+  s.zones = {{500, 106}, {550, 98}, {600, 88}, {600, 78}, {450, 68}};
+  s.seek_single = SimTime::Millis(1.7);
+  s.seek_avg = SimTime::Millis(10.0);
+  s.seek_max = SimTime::Millis(22.0);
+  s.head_switch = SimTime::Millis(1.1);
+  s.command_overhead = SimTime::Millis(0.7);
+  s.bus_mb_per_s = 10.0;  // fast SCSI-2, matches the paper's > 10 MB/s remark
+  return s;
+}
+
+DiskSpec TestDisk(uint32_t cylinders, uint32_t heads, uint32_t sectors_per_track) {
+  DiskSpec s = SeagateSt31200();
+  s.name = "TestDisk";
+  s.heads = heads;
+  s.zones = {{cylinders, sectors_per_track}};
+  return s;
+}
+
+std::vector<DiskSpec> Table1Disks() {
+  return {HpC3653(), SeagateBarracuda(), QuantumAtlasII()};
+}
+
+}  // namespace cffs::disk

@@ -1,0 +1,30 @@
+// On-line extraction of disk parameters, after [Worthington95]: treat the
+// drive as a black box and recover its rotation period, command overhead
+// and seek curve purely from timed probe requests. We use it to validate
+// the simulator (the extracted parameters must match the spec the model
+// was built from) — the same methodology the paper's authors used on real
+// SCSI drives.
+#ifndef CFFS_DISK_EXTRACT_H_
+#define CFFS_DISK_EXTRACT_H_
+
+#include <vector>
+
+#include "src/disk/disk_model.h"
+
+namespace cffs::disk {
+
+struct ExtractedParams {
+  SimTime rotation_period;
+  SimTime single_cylinder_seek;
+  SimTime full_stroke_seek;
+  // Sampled (distance, time) points along the seek curve.
+  std::vector<std::pair<uint32_t, SimTime>> seek_samples;
+};
+
+// Runs timed probes against the model. The model's prefetch is exercised
+// too, so probes are crafted to defeat it (writes, distant jumps).
+Result<ExtractedParams> ExtractDiskParams(DiskModel* disk);
+
+}  // namespace cffs::disk
+
+#endif  // CFFS_DISK_EXTRACT_H_

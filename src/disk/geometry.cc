@@ -1,0 +1,72 @@
+#include "src/disk/geometry.h"
+
+#include <cassert>
+
+namespace cffs::disk {
+
+Geometry::Geometry(uint32_t heads, std::vector<Zone> zones)
+    : heads_(heads), zones_(std::move(zones)) {
+  assert(heads_ > 0 && !zones_.empty());
+  uint64_t lba = 0;
+  uint32_t cyl = 0;
+  for (const Zone& z : zones_) {
+    assert(z.cylinders > 0 && z.sectors_per_track > 0);
+    zone_start_lba_.push_back(lba);
+    zone_start_cyl_.push_back(cyl);
+    lba += static_cast<uint64_t>(z.cylinders) * heads_ * z.sectors_per_track;
+    cyl += z.cylinders;
+  }
+  total_sectors_ = lba;
+  total_cylinders_ = cyl;
+}
+
+Location Geometry::Locate(uint64_t lba) const {
+  assert(lba < total_sectors_);
+  // Zones are few (<= ~16); linear scan is fine and branch-predictable.
+  size_t zi = zones_.size() - 1;
+  for (size_t i = 0; i + 1 < zones_.size(); ++i) {
+    if (lba < zone_start_lba_[i + 1]) {
+      zi = i;
+      break;
+    }
+  }
+  const Zone& z = zones_[zi];
+  const uint64_t rel = lba - zone_start_lba_[zi];
+  const uint64_t per_cyl = static_cast<uint64_t>(heads_) * z.sectors_per_track;
+  Location loc;
+  loc.zone = static_cast<uint32_t>(zi);
+  loc.cylinder = zone_start_cyl_[zi] + static_cast<uint32_t>(rel / per_cyl);
+  const uint64_t in_cyl = rel % per_cyl;
+  loc.head = static_cast<uint32_t>(in_cyl / z.sectors_per_track);
+  loc.sector = static_cast<uint32_t>(in_cyl % z.sectors_per_track);
+  loc.sectors_per_track = z.sectors_per_track;
+  return loc;
+}
+
+uint64_t Geometry::CylinderStartLba(uint32_t cylinder) const {
+  assert(cylinder < total_cylinders_);
+  size_t zi = zones_.size() - 1;
+  for (size_t i = 0; i + 1 < zones_.size(); ++i) {
+    if (cylinder < zone_start_cyl_[i + 1]) {
+      zi = i;
+      break;
+    }
+  }
+  const Zone& z = zones_[zi];
+  const uint64_t per_cyl = static_cast<uint64_t>(heads_) * z.sectors_per_track;
+  return zone_start_lba_[zi] + (cylinder - zone_start_cyl_[zi]) * per_cyl;
+}
+
+uint32_t Geometry::SectorsPerTrackAt(uint32_t cylinder) const {
+  assert(cylinder < total_cylinders_);
+  size_t zi = zones_.size() - 1;
+  for (size_t i = 0; i + 1 < zones_.size(); ++i) {
+    if (cylinder < zone_start_cyl_[i + 1]) {
+      zi = i;
+      break;
+    }
+  }
+  return zones_[zi].sectors_per_track;
+}
+
+}  // namespace cffs::disk

@@ -1,0 +1,57 @@
+#include "src/disk/scheduler.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace cffs::disk {
+
+std::vector<size_t> ScheduleOrder(const std::vector<PendingRequest>& requests,
+                                  uint64_t head_lba, SchedulerPolicy policy) {
+  std::vector<size_t> order(requests.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  switch (policy) {
+    case SchedulerPolicy::kFcfs:
+      break;
+
+    case SchedulerPolicy::kCLook: {
+      // Ascending LBA; requests at or beyond the head go first, then wrap.
+      std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return requests[a].lba < requests[b].lba;
+      });
+      auto first_ahead = std::stable_partition(
+          order.begin(), order.end(),
+          [&](size_t i) { return requests[i].lba >= head_lba; });
+      (void)first_ahead;  // partition already places ahead-of-head first
+      break;
+    }
+
+    case SchedulerPolicy::kSstf: {
+      // Greedy nearest-first walk. O(n^2) but batches are small.
+      std::vector<size_t> out;
+      out.reserve(order.size());
+      std::vector<bool> used(requests.size(), false);
+      uint64_t pos = head_lba;
+      for (size_t n = 0; n < requests.size(); ++n) {
+        size_t best = static_cast<size_t>(-1);
+        uint64_t best_dist = ~0ULL;
+        for (size_t i = 0; i < requests.size(); ++i) {
+          if (used[i]) continue;
+          const uint64_t d = requests[i].lba > pos ? requests[i].lba - pos
+                                                   : pos - requests[i].lba;
+          if (d < best_dist) {
+            best_dist = d;
+            best = i;
+          }
+        }
+        used[best] = true;
+        out.push_back(best);
+        pos = requests[best].lba + requests[best].nsectors;
+      }
+      return out;
+    }
+  }
+  return order;
+}
+
+}  // namespace cffs::disk

@@ -1,0 +1,37 @@
+// Disk request scheduling.
+//
+// The paper's disk driver "supports scatter/gather I/O and uses a C-LOOK
+// scheduling algorithm [Worthington94]". Our block layer batches queued
+// requests (notably cache flushes) and asks the scheduler for a service
+// order. C-LOOK services requests in ascending start-address order from the
+// current head position, then wraps to the lowest-addressed request — one
+// sweep direction, which avoids the starvation and the doubled inner-track
+// service rate of SCAN.
+#ifndef CFFS_DISK_SCHEDULER_H_
+#define CFFS_DISK_SCHEDULER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cffs::disk {
+
+enum class SchedulerPolicy {
+  kFcfs,   // service in arrival order
+  kCLook,  // one-directional elevator
+  kSstf,   // shortest seek (start-address distance) first — greedy
+};
+
+struct PendingRequest {
+  uint64_t lba = 0;
+  uint32_t nsectors = 0;
+};
+
+// Returns the order (indices into `requests`) in which to service them,
+// given the head's current LBA position.
+std::vector<size_t> ScheduleOrder(const std::vector<PendingRequest>& requests,
+                                  uint64_t head_lba, SchedulerPolicy policy);
+
+}  // namespace cffs::disk
+
+#endif  // CFFS_DISK_SCHEDULER_H_

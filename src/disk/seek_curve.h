@@ -1,0 +1,57 @@
+// Seek-time model.
+//
+// Seek time is a concave function of seek distance: short seeks are
+// dominated by head settling (roughly constant + sqrt term from the
+// acceleration phase), long seeks by the constant-velocity coast (linear).
+// We use the classic three-coefficient model
+//
+//     seek(d) = a + b * sqrt(d - 1) + c * (d - 1)     for d >= 1
+//     seek(0) = 0
+//
+// calibrated from the three numbers a spec sheet gives: single-cylinder
+// (track-to-track) time, average seek time, and full-stroke (maximum) time.
+// For a uniform random pair of cylinders the mean seek distance is one third
+// of the stroke, so we solve the 3x3 linear system
+//
+//     seek(1)         = t_single
+//     seek(max/3)     = t_avg
+//     seek(max)       = t_max
+//
+// This reproduces the paper's §2 observation that "seek times do not drop
+// linearly with seek distance for small distances. Seeking a single cylinder
+// generally costs a full millisecond, and this cost rises quickly for
+// slightly longer seek distances" [Worthington95].
+#ifndef CFFS_DISK_SEEK_CURVE_H_
+#define CFFS_DISK_SEEK_CURVE_H_
+
+#include <cstdint>
+
+#include "src/util/sim_time.h"
+
+namespace cffs::disk {
+
+class SeekCurve {
+ public:
+  // max_distance: full stroke in cylinders (total_cylinders - 1).
+  SeekCurve(SimTime single_cylinder, SimTime average, SimTime full_stroke,
+            uint32_t max_distance);
+
+  // Seek time for a move of `distance` cylinders. Monotone non-decreasing.
+  SimTime SeekTime(uint32_t distance) const;
+
+  SimTime single_cylinder() const { return SeekTime(1); }
+  SimTime full_stroke() const { return SeekTime(max_distance_); }
+  uint32_t max_distance() const { return max_distance_; }
+
+  // Mean of SeekTime over all (src, dst) cylinder pairs drawn uniformly —
+  // used by tests to confirm calibration against the spec's average seek.
+  SimTime MeanOverUniformPairs() const;
+
+ private:
+  double a_ = 0, b_ = 0, c_ = 0;  // model coefficients, milliseconds
+  uint32_t max_distance_;
+};
+
+}  // namespace cffs::disk
+
+#endif  // CFFS_DISK_SEEK_CURVE_H_

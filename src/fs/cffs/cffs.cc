@@ -1,0 +1,735 @@
+#include "src/fs/cffs/cffs.h"
+
+#include <cstring>
+
+#include "src/fs/common/bitmap.h"
+#include "src/util/bytes.h"
+
+namespace cffs::fs {
+
+namespace {
+constexpr uint32_t kCffsMagic = 0x43464653;  // "CFFS"
+constexpr size_t kSbIfileOffset = 64;        // IFILE inode image in the superblock
+}  // namespace
+
+CffsFileSystem::CffsFileSystem(cache::BufferCache* cache, SimClock* clock,
+                               MetadataPolicy policy, CffsOptions options,
+                               uint32_t ncg)
+    : FsBase(cache, clock, policy), options_(options), ncg_(ncg) {
+  alloc_ = std::make_unique<CgAllocator>(cache, MakeLayouts());
+}
+
+std::string CffsFileSystem::name() const {
+  if (options_.embed_inodes && options_.grouping) return "cffs";
+  if (options_.embed_inodes) return "cffs-embed";
+  if (options_.grouping) return "cffs-group";
+  return "cffs-neither";
+}
+
+std::vector<CgLayout> CffsFileSystem::MakeLayouts() const {
+  std::vector<CgLayout> layouts;
+  for (uint32_t cg = 0; cg < ncg_; ++cg) {
+    CgLayout g;
+    g.first_block = CgBase(cg);
+    g.blocks = options_.blocks_per_cg;
+    g.bitmap_block = g.first_block;      // [0] block bitmap
+    g.resv_block = g.first_block + 1;    // [1] group reservation bitmap
+    g.data_start = g.first_block + 2;
+    g.resv_align = options_.group_blocks;
+    layouts.push_back(g);
+  }
+  return layouts;
+}
+
+Result<std::unique_ptr<CffsFileSystem>> CffsFileSystem::Format(
+    cache::BufferCache* cache, SimClock* clock, const CffsOptions& options,
+    MetadataPolicy policy) {
+  const uint64_t total = cache->device()->block_count();
+  if (options.blocks_per_cg > kBlockSize * 8 || options.group_blocks == 0 ||
+      options.group_blocks > 64 ||
+      options.small_file_max_blocks > kDirectBlocks) {
+    return InvalidArgument("bad C-FFS parameters");
+  }
+  const uint32_t ncg =
+      static_cast<uint32_t>((total - 1) / options.blocks_per_cg);
+  if (ncg == 0) return InvalidArgument("device too small");
+
+  auto fs = std::unique_ptr<CffsFileSystem>(
+      new CffsFileSystem(cache, clock, policy, options, ncg));
+  RETURN_IF_ERROR(fs->alloc_->FormatBitmaps());
+
+  // IFILE starts empty; slot 0 is reserved as invalid, the root directory
+  // takes slot 1.
+  fs->ifile_ = InodeData{};
+  fs->ifile_.type = FileType::kRegular;
+  fs->ifile_.nlink = 1;
+
+  ASSIGN_OR_RETURN(uint64_t slot0, fs->AllocExternalSlot());
+  (void)slot0;  // reserved slot 0
+  ASSIGN_OR_RETURN(uint64_t root_slot, fs->AllocExternalSlot());
+  if (root_slot != kRootSlot) return Corrupt("unexpected root slot");
+  InodeData root;
+  root.type = FileType::kDirectory;
+  root.nlink = 1;
+  root.self = kRootSlot;
+  root.parent = kRootSlot;
+  root.mtime_ns = clock->now().nanos();
+  RETURN_IF_ERROR(fs->StoreInode(kRootSlot, root, /*order_critical=*/false));
+
+  RETURN_IF_ERROR(fs->WriteSuperblock());
+  RETURN_IF_ERROR(fs->Sync());
+  return fs;
+}
+
+Result<std::unique_ptr<CffsFileSystem>> CffsFileSystem::Mount(
+    cache::BufferCache* cache, SimClock* clock, MetadataPolicy policy) {
+  ASSIGN_OR_RETURN(cache::BufferRef sb, cache->Get(0));
+  if (GetU32(sb.data(), 0) != kCffsMagic) return Corrupt("bad C-FFS magic");
+  CffsOptions options;
+  options.blocks_per_cg = GetU32(sb.data(), 4);
+  const uint32_t ncg = GetU32(sb.data(), 8);
+  options.embed_inodes = sb.data()[12] != 0;
+  options.grouping = sb.data()[13] != 0;
+  options.group_blocks = GetU16(sb.data(), 14);
+  options.small_file_max_blocks = GetU16(sb.data(), 16);
+  InodeData ifile = InodeData::Decode(sb.data(), kSbIfileOffset);
+  sb.Release();
+
+  auto fs = std::unique_ptr<CffsFileSystem>(
+      new CffsFileSystem(cache, clock, policy, options, ncg));
+  fs->ifile_ = ifile;
+  RETURN_IF_ERROR(fs->alloc_->RecountFree());
+  RETURN_IF_ERROR(fs->ScanExternalFreeSlots());
+  return fs;
+}
+
+Status CffsFileSystem::WriteSuperblock() {
+  ASSIGN_OR_RETURN(cache::BufferRef sb, cache_->GetZero(0));
+  std::memset(sb.data().data(), 0, kBlockSize);
+  PutU32(sb.data(), 0, kCffsMagic);
+  PutU32(sb.data(), 4, options_.blocks_per_cg);
+  PutU32(sb.data(), 8, ncg_);
+  sb.data()[12] = options_.embed_inodes ? 1 : 0;
+  sb.data()[13] = options_.grouping ? 1 : 0;
+  PutU16(sb.data(), 14, options_.group_blocks);
+  PutU16(sb.data(), 16, options_.small_file_max_blocks);
+  ifile_.Encode(sb.data(), kSbIfileOffset);
+  cache_->MarkDirty(sb);
+  return OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// IFILE: externalized inodes.
+// ---------------------------------------------------------------------------
+
+Result<uint32_t> CffsFileSystem::IfileBlockFor(uint64_t slot, bool allocate) {
+  const uint64_t idx = slot * kInodeSize / kBlockSize;
+  BmapOps ops;
+  ops.cache = cache_;
+  ops.alloc = [this](uint64_t, bool) -> Result<uint32_t> {
+    // IFILE blocks cluster near the first IFILE block (they never move).
+    const uint32_t goal = ifile_.direct[0] != 0 ? ifile_.direct[0]
+                                                : alloc_->layout(0).data_start;
+    return alloc_->AllocNear(goal);
+  };
+  ops.free_block = [](uint32_t) -> Status {
+    return Corrupt("IFILE never shrinks");
+  };
+  ops.meta_dirty = [this](cache::BufferRef& ref) -> Status {
+    return MetaDirty(ref, /*order_critical=*/false);
+  };
+  if (!allocate) {
+    ASSIGN_OR_RETURN(uint32_t bno, BmapRead(ops, ifile_, idx));
+    if (bno == 0) return Corrupt("IFILE hole");
+    return bno;
+  }
+  bool dirtied = false;
+  const bool was_mapped = [&]() {
+    Result<uint32_t> b = BmapRead(ops, ifile_, idx);
+    return b.ok() && *b != 0;
+  }();
+  ASSIGN_OR_RETURN(uint32_t bno, BmapAlloc(ops, &ifile_, idx, &dirtied));
+  if (!was_mapped) {
+    ASSIGN_OR_RETURN(cache::BufferRef buf, cache_->GetZero(bno));
+    std::memset(buf.data().data(), 0, kBlockSize);
+    cache_->MarkDirty(buf);
+  }
+  return bno;
+}
+
+Result<uint64_t> CffsFileSystem::AllocExternalSlot() {
+  if (!free_slots_.empty()) {
+    const uint64_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  // Grow by a whole block of slots at once so the superblock update (the
+  // IFILE's inode lives there and must be ordered before any entry can
+  // reference the new slots) amortizes over kBlockSize/kInodeSize creates.
+  const uint64_t slot = ifile_.size / kInodeSize;
+  RETURN_IF_ERROR(IfileBlockFor(slot, /*allocate=*/true).status());
+  const uint64_t slots_per_block = kBlockSize / kInodeSize;
+  const uint64_t block_end = (slot / slots_per_block + 1) * slots_per_block;
+  ifile_.size = block_end * kInodeSize;
+  for (uint64_t s = block_end - 1; s > slot; --s) free_slots_.push_back(s);
+  RETURN_IF_ERROR(WriteSuperblock());
+  RETURN_IF_ERROR(SyncMetaBlock(0, /*order_critical=*/true));
+  return slot;
+}
+
+Status CffsFileSystem::ScanExternalFreeSlots() {
+  free_slots_.clear();
+  const uint64_t count = ifile_.size / kInodeSize;
+  for (uint64_t slot = 1; slot < count; ++slot) {
+    ASSIGN_OR_RETURN(uint32_t bno, IfileBlockFor(slot, /*allocate=*/false));
+    ASSIGN_OR_RETURN(cache::BufferRef buf, cache_->Get(bno));
+    const InodeData ino = InodeData::Decode(
+        buf.data(), (slot * kInodeSize) % kBlockSize);
+    if (ino.is_free()) free_slots_.push_back(slot);
+  }
+  return OkStatus();
+}
+
+Result<InodeData> CffsFileSystem::LoadExternalInode(uint64_t slot) {
+  if (slot == 0 || slot >= ifile_.size / kInodeSize) {
+    return BadHandle("external inode slot out of range");
+  }
+  ASSIGN_OR_RETURN(uint32_t bno, IfileBlockFor(slot, /*allocate=*/false));
+  ASSIGN_OR_RETURN(cache::BufferRef buf, cache_->Get(bno));
+  return InodeData::Decode(buf.data(), (slot * kInodeSize) % kBlockSize);
+}
+
+Result<InodeData> CffsFileSystem::LoadInode(InodeNum num) {
+  if (IsEmbedded(num)) {
+    const uint32_t bno = EmbeddedBlock(num);
+    const uint32_t off = EmbeddedOffset(num);
+    if (off + kInodeSize > kBlockSize ||
+        bno >= cache_->device()->block_count()) {
+      return BadHandle("embedded inode location out of range");
+    }
+    ASSIGN_OR_RETURN(cache::BufferRef buf, cache_->Get(bno));
+    InodeData ino = InodeData::Decode(buf.data(), off);
+    if (ino.self != num || ino.is_free()) {
+      return BadHandle("stale embedded inode number");
+    }
+    return ino;
+  }
+  ASSIGN_OR_RETURN(InodeData ino, LoadExternalInode(num));
+  if (ino.is_free()) return BadHandle("inode not allocated");
+  return ino;
+}
+
+Status CffsFileSystem::StoreInode(InodeNum num, const InodeData& ino,
+                                  bool order_critical) {
+  if (IsEmbedded(num)) {
+    const uint32_t bno = EmbeddedBlock(num);
+    const uint32_t off = EmbeddedOffset(num);
+    ASSIGN_OR_RETURN(cache::BufferRef buf, cache_->Get(bno));
+    const InodeData existing = InodeData::Decode(buf.data(), off);
+    if (!existing.is_free() && existing.self != num) {
+      return BadHandle("stale embedded inode number on store");
+    }
+    ino.Encode(buf.data(), off);
+    return MetaDirty(buf, order_critical);
+  }
+  if (num == 0 || num >= ifile_.size / kInodeSize) {
+    return BadHandle("external inode slot out of range");
+  }
+  ASSIGN_OR_RETURN(uint32_t bno, IfileBlockFor(num, /*allocate=*/false));
+  ASSIGN_OR_RETURN(cache::BufferRef buf, cache_->Get(bno));
+  ino.Encode(buf.data(), (num * kInodeSize) % kBlockSize);
+  return MetaDirty(buf, order_critical);
+}
+
+// ---------------------------------------------------------------------------
+// Allocation.
+// ---------------------------------------------------------------------------
+
+Result<uint32_t> CffsFileSystem::AllocDataBlock(InodeNum num, InodeData* ino,
+                                                uint64_t idx,
+                                                uint64_t size_hint_blocks) {
+  if (options_.grouping) {
+    if (ino->is_dir()) {
+      // Directory blocks (which carry the embedded inodes) are allocated
+      // inside the directory's group extents too — one group read then
+      // delivers names, inodes and small-file data together.
+      return AllocGroupedBlock(num, ino);
+    }
+    // A file already known to end up large never enters a group (saves the
+    // later migration); otherwise small prefixes are grouped.
+    const bool known_large = size_hint_blocks > options_.small_file_max_blocks;
+    if (idx < options_.small_file_max_blocks && !known_large &&
+        !(ino->group_start == 0 && ino->BlockCount() > options_.small_file_max_blocks)) {
+      return AllocGroupedBlock(num, ino);
+    }
+    if (ino->group_start != 0) {
+      // The file has outgrown its group: move the grouped prefix out so the
+      // group keeps holding only small files.
+      RETURN_IF_ERROR(MigrateOutOfGroup(num, ino));
+    }
+  }
+  // Conventional placement: right after the previous block, else near the
+  // directory's data (or the start of data for the first cylinder group).
+  uint32_t goal = alloc_->layout(0).data_start;
+  if (idx > 0) {
+    const BmapOps ops = MakeReadOnlyBmapOps();
+    Result<uint32_t> prev = BmapRead(ops, *ino, idx - 1);
+    if (prev.ok() && *prev != 0) goal = *prev + 1;
+  } else if (ino->is_dir() && ino->active_group != 0) {
+    goal = ino->active_group;  // keep directory blocks near their groups
+  }
+  return alloc_->AllocNear(goal);
+}
+
+Result<uint32_t> CffsFileSystem::AllocGroupedBlock(InodeNum num,
+                                                   InodeData* ino) {
+  // Try the file's existing group first.
+  if (ino->group_start != 0 && !ino->is_dir()) {
+    Result<uint32_t> r = AllocInExtentChecked(ino->group_start, ino->group_len);
+    if (r.ok()) return r;
+    if (r.status().code() != ErrorCode::kNoSpace) return r;
+  }
+
+  // Allocation comes from the owning directory's active group — for a
+  // directory's own blocks, that is the directory itself.
+  const bool self_dir = ino->is_dir();
+  InodeData dir_local;
+  InodeData* dir = ino;
+  InodeNum dir_num = num;
+  if (!self_dir) {
+    dir_num = ino->parent;
+    Result<InodeData> dir_or = LoadInode(dir_num);
+    if (!dir_or.ok()) {
+      // No usable parent (e.g. special files); fall back to ungrouped.
+      return alloc_->AllocNear(alloc_->layout(0).data_start);
+    }
+    dir_local = *dir_or;
+    dir = &dir_local;
+  }
+
+  if (dir->active_group != 0) {
+    ASSIGN_OR_RETURN(bool reserved,
+                     alloc_->ExtentReserved(dir->active_group,
+                                            options_.group_blocks));
+    if (reserved) {
+      Result<uint32_t> r =
+          alloc_->AllocInExtent(dir->active_group, options_.group_blocks);
+      if (r.ok()) {
+        if (!self_dir) {
+          ino->group_start = dir->active_group;
+          ino->group_len = options_.group_blocks;
+        }
+        return r;
+      }
+      if (r.status().code() != ErrorCode::kNoSpace) return r;
+    }
+  }
+
+  // Allocate a fresh group extent for this directory, preferring the
+  // cylinder group that holds the directory's data.
+  uint32_t cg = 0;
+  if (dir->active_group != 0) {
+    cg = alloc_->CgOf(dir->active_group);
+  } else if (dir->direct[0] != 0) {
+    cg = alloc_->CgOf(dir->direct[0]);
+  } else {
+    cg = dir_rotor_++ % ncg_;
+  }
+  Result<uint32_t> ext =
+      alloc_->AllocExtent(cg, options_.group_blocks, options_.group_blocks);
+  if (!ext.ok()) {
+    if (ext.status().code() == ErrorCode::kNoSpace) {
+      // Disk too fragmented for a fresh extent — fall back to ungrouped.
+      return alloc_->AllocNear(alloc_->layout(cg).data_start);
+    }
+    return ext.status();
+  }
+  dir->active_group = *ext;
+  if (!self_dir) {
+    RETURN_IF_ERROR(StoreInode(dir_num, *dir, /*order_critical=*/false));
+  }
+
+  ASSIGN_OR_RETURN(uint32_t bno,
+                   alloc_->AllocInExtent(*ext, options_.group_blocks));
+  if (!self_dir) {
+    ino->group_start = *ext;
+    ino->group_len = options_.group_blocks;
+  }
+  return bno;
+}
+
+Result<uint32_t> CffsFileSystem::AllocInExtentChecked(uint32_t start,
+                                                      uint16_t len) {
+  ASSIGN_OR_RETURN(bool reserved, alloc_->ExtentReserved(start, len));
+  if (!reserved) return NoSpace("group extent no longer reserved");
+  return alloc_->AllocInExtent(start, len);
+}
+
+Status CffsFileSystem::MigrateOutOfGroup(InodeNum num, InodeData* ino) {
+  (void)num;
+  const uint32_t gs = ino->group_start;
+  const uint32_t ge = gs + ino->group_len;
+  uint32_t prev_new = 0;
+  for (uint32_t i = 0; i < kDirectBlocks; ++i) {
+    const uint32_t old = ino->direct[i];
+    if (old == 0 || old < gs || old >= ge) {
+      if (old != 0) prev_new = old;
+      continue;
+    }
+    const uint32_t goal = prev_new != 0 ? prev_new + 1 : ge;
+    ASSIGN_OR_RETURN(uint32_t fresh, alloc_->AllocNear(goal));
+    {
+      ASSIGN_OR_RETURN(cache::BufferRef src, cache_->Get(old));
+      ASSIGN_OR_RETURN(cache::BufferRef dst, cache_->GetZero(fresh));
+      std::memcpy(dst.data().data(), src.data().data(), kBlockSize);
+      cache_->MarkDirty(dst);
+    }
+    cache_->Invalidate(old);
+    RETURN_IF_ERROR(alloc_->Free(old));
+    ino->direct[i] = fresh;
+    prev_new = fresh;
+  }
+  RETURN_IF_ERROR(ReleaseGroupIfIdle(gs, ino->group_len));
+  ino->group_start = 0;
+  ino->group_len = 0;
+  return OkStatus();
+}
+
+Status CffsFileSystem::ReleaseGroupIfIdle(uint32_t group_start,
+                                          uint16_t group_len) {
+  if (group_start == 0) return OkStatus();
+  ASSIGN_OR_RETURN(bool reserved,
+                   alloc_->ExtentReserved(group_start, group_len));
+  if (!reserved) return OkStatus();
+  ASSIGN_OR_RETURN(bool idle, alloc_->ExtentIdle(group_start, group_len));
+  if (idle) {
+    RETURN_IF_ERROR(alloc_->ReleaseExtent(group_start, group_len));
+  }
+  return OkStatus();
+}
+
+Result<uint32_t> CffsFileSystem::AllocMetaBlock(InodeNum num,
+                                                const InodeData& ino) {
+  (void)num;
+  const uint32_t goal = ino.direct[0] != 0 ? ino.direct[0]
+                                           : alloc_->layout(0).data_start;
+  return alloc_->AllocNear(goal);
+}
+
+Status CffsFileSystem::FreeBlock(uint32_t bno) {
+  RETURN_IF_ERROR(alloc_->Free(bno));
+  if (options_.grouping) {
+    // Precise reservation reclamation: if this free made the containing
+    // group window idle, release it (a file's group fields may point at a
+    // newer extent, so AfterBlocksFreed alone would leak this one).
+    const uint32_t w = AlignedWindowOf(bno);
+    RETURN_IF_ERROR(ReleaseGroupIfIdle(w, options_.group_blocks));
+  }
+  return OkStatus();
+}
+
+uint32_t CffsFileSystem::AlignedWindowOf(uint32_t bno) const {
+  const uint32_t cg = alloc_->CgOf(bno);
+  const CgLayout& g = alloc_->layout(cg);
+  const uint32_t rel = bno - g.first_block;
+  return g.first_block + (rel / options_.group_blocks) * options_.group_blocks;
+}
+
+Result<uint32_t> CffsFileSystem::GroupExtentOf(const InodeData& ino,
+                                               uint32_t bno) {
+  if (!options_.grouping) return uint32_t{0};
+  if (ino.group_start != 0 && bno >= ino.group_start &&
+      bno < ino.group_start + ino.group_len) {
+    return ino.group_start;
+  }
+  // Group extents are aligned, so a block's potential extent is its aligned
+  // window; the reservation bitmap says whether that window is a live group.
+  const uint32_t w = AlignedWindowOf(bno);
+  ASSIGN_OR_RETURN(bool reserved,
+                   alloc_->ExtentReserved(w, options_.group_blocks));
+  return reserved ? w : uint32_t{0};
+}
+
+Status CffsFileSystem::PrepareDataRead(const InodeData& ino, uint32_t bno) {
+  ASSIGN_OR_RETURN(uint32_t extent, GroupExtentOf(ino, bno));
+  if (extent == 0) return OkStatus();
+  // Fetch the whole group with one disk command unless already resident.
+  Result<cache::BufferRef> resident = cache_->Lookup(bno);
+  if (resident.ok()) return OkStatus();
+  ++op_stats_.group_reads;
+  return cache_->ReadGroup(extent, options_.group_blocks);
+}
+
+uint64_t CffsFileSystem::FlushUnitFor(InodeNum num, const InodeData& ino,
+                                      uint32_t bno) {
+  Result<uint32_t> extent = GroupExtentOf(ino, bno);
+  if (extent.ok() && *extent != 0) {
+    return *extent;  // whole group flushes as one command
+  }
+  return num;
+}
+
+Status CffsFileSystem::AfterBlocksFreed(InodeNum num, InodeData* ino) {
+  (void)num;
+  if (ino->group_start == 0) return OkStatus();
+  ASSIGN_OR_RETURN(bool idle,
+                   alloc_->ExtentIdle(ino->group_start, ino->group_len));
+  if (idle) {
+    RETURN_IF_ERROR(ReleaseGroupIfIdle(ino->group_start, ino->group_len));
+    ino->group_start = 0;
+    ino->group_len = 0;
+  }
+  return OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// Name-space operations.
+// ---------------------------------------------------------------------------
+
+Result<InodeNum> CffsFileSystem::CreateCommon(InodeNum dir,
+                                              std::string_view name,
+                                              FileType type) {
+  ASSIGN_OR_RETURN(InodeData d, LoadInode(dir));
+  if (!d.is_dir()) return NotDirectory("create in non-directory");
+  if (DirFind(d, name).ok()) return Exists(std::string(name));
+
+  InodeData ino;
+  ino.type = type;
+  ino.nlink = 1;
+  ino.parent = dir;
+  ino.mtime_ns = NowNs();
+
+  const bool embed = options_.embed_inodes && type == FileType::kRegular;
+  bool dir_dirty = false;
+  InodeNum inum = kInvalidInode;
+
+  if (embed) {
+    // The name and the inode are created together in one directory block:
+    // a single ordered metadata write replaces FFS's two.
+    ASSIGN_OR_RETURN(DirSlot slot, DirAdd(dir, &d, name, kEmbeddedRecord,
+                                          kInvalidInode, &ino, &dir_dirty));
+    inum = MakeEmbedded(slot.bno, slot.rec.inode_off);
+    {
+      ASSIGN_OR_RETURN(cache::BufferRef buf, cache_->Get(slot.bno));
+      ino.self = inum;
+      ino.Encode(buf.data(), slot.rec.inode_off);
+      SetDirEntryInum(buf.data(), slot.rec.offset, inum);
+      cache_->MarkDirty(buf);
+    }
+    RETURN_IF_ERROR(SyncMetaBlock(slot.bno, /*order_critical=*/true));
+  } else {
+    ASSIGN_OR_RETURN(uint64_t slot_idx, AllocExternalSlot());
+    inum = slot_idx;
+    ino.self = inum;
+    // Ordered update #1: inode before name.
+    RETURN_IF_ERROR(StoreInode(inum, ino, /*order_critical=*/true));
+    ASSIGN_OR_RETURN(DirSlot slot, DirAdd(dir, &d, name, kExternalRecord,
+                                          inum, nullptr, &dir_dirty));
+    // Ordered update #2: the name.
+    RETURN_IF_ERROR(SyncMetaBlock(slot.bno, /*order_critical=*/true));
+  }
+
+  if (dir_dirty) {
+    // The directory grew: its inode (new block pointer, size) must reach
+    // the disk before the operation is durable.
+    RETURN_IF_ERROR(StoreInode(dir, d, /*order_critical=*/true));
+  }
+  return inum;
+}
+
+Result<InodeNum> CffsFileSystem::Create(InodeNum dir, std::string_view name) {
+  ++op_stats_.creates;
+  return CreateCommon(dir, name, FileType::kRegular);
+}
+
+Result<InodeNum> CffsFileSystem::Mkdir(InodeNum dir, std::string_view name) {
+  ++op_stats_.mkdirs;
+  // Directory inodes are externalized (see class comment).
+  return CreateCommon(dir, name, FileType::kDirectory);
+}
+
+Status CffsFileSystem::Unlink(InodeNum dir, std::string_view name) {
+  ++op_stats_.unlinks;
+  ASSIGN_OR_RETURN(InodeData d, LoadInode(dir));
+  if (!d.is_dir()) return NotDirectory("unlink in non-directory");
+  ASSIGN_OR_RETURN(DirSlot slot, DirFind(d, name));
+  const InodeNum inum = slot.rec.inum;
+  ASSIGN_OR_RETURN(InodeData ino, LoadInode(inum));
+  if (ino.is_dir()) return IsDirectory(std::string(name));
+
+  if (IsEmbedded(inum)) {
+    // Name and inode vanish in one atomic sector update — the single
+    // ordered write.
+    RETURN_IF_ERROR(DirRemove(slot.bno, slot.rec.offset));
+    RETURN_IF_ERROR(SyncMetaBlock(slot.bno, /*order_critical=*/true));
+    BmapOps ops = MakeBmapOps(inum, &ino);
+    RETURN_IF_ERROR(BmapTruncate(ops, &ino, 0));
+    return AfterBlocksFreed(inum, &ino);
+  }
+
+  // Externalized: the conventional ordered writes (name removal, truncate-
+  // time inode update, inode deallocation — as in 4.4BSD).
+  RETURN_IF_ERROR(DirRemove(slot.bno, slot.rec.offset));
+  RETURN_IF_ERROR(SyncMetaBlock(slot.bno, /*order_critical=*/true));
+  if (ino.nlink > 1) {
+    --ino.nlink;
+    return StoreInode(inum, ino, /*order_critical=*/true);
+  }
+  BmapOps ops = MakeBmapOps(inum, &ino);
+  RETURN_IF_ERROR(BmapTruncate(ops, &ino, 0));
+  RETURN_IF_ERROR(AfterBlocksFreed(inum, &ino));
+  ino.size = 0;
+  RETURN_IF_ERROR(StoreInode(inum, ino, /*order_critical=*/true));
+  InodeData cleared;
+  RETURN_IF_ERROR(StoreInode(inum, cleared, /*order_critical=*/true));
+  free_slots_.push_back(inum);
+  return OkStatus();
+}
+
+Status CffsFileSystem::Rmdir(InodeNum dir, std::string_view name) {
+  ASSIGN_OR_RETURN(InodeData d, LoadInode(dir));
+  if (!d.is_dir()) return NotDirectory("rmdir in non-directory");
+  ASSIGN_OR_RETURN(DirSlot slot, DirFind(d, name));
+  const InodeNum inum = slot.rec.inum;
+  ASSIGN_OR_RETURN(InodeData ino, LoadInode(inum));
+  if (!ino.is_dir()) return NotDirectory(std::string(name));
+  ASSIGN_OR_RETURN(bool empty, DirIsEmpty(ino));
+  if (!empty) return NotEmpty(std::string(name));
+
+  RETURN_IF_ERROR(DirRemove(slot.bno, slot.rec.offset));
+  RETURN_IF_ERROR(SyncMetaBlock(slot.bno, /*order_critical=*/true));
+
+  BmapOps ops = MakeBmapOps(inum, &ino);
+  RETURN_IF_ERROR(BmapTruncate(ops, &ino, 0));
+  if (ino.active_group != 0) {
+    RETURN_IF_ERROR(ReleaseGroupIfIdle(ino.active_group, options_.group_blocks));
+  }
+  InodeData cleared;
+  RETURN_IF_ERROR(StoreInode(inum, cleared, /*order_critical=*/true));
+  free_slots_.push_back(inum);
+  return OkStatus();
+}
+
+Status CffsFileSystem::Link(InodeNum dir, std::string_view name,
+                            InodeNum target) {
+  ASSIGN_OR_RETURN(InodeData d, LoadInode(dir));
+  if (!d.is_dir()) return NotDirectory("link in non-directory");
+  if (DirFind(d, name).ok()) return Exists(std::string(name));
+  ASSIGN_OR_RETURN(InodeData tino, LoadInode(target));
+  if (tino.is_dir()) return IsDirectory("hard link to directory");
+
+  InodeNum final_target = target;
+  if (IsEmbedded(target)) {
+    // Multi-link files cannot stay embedded (they would need two homes):
+    // externalize the inode, rewriting the original entry to reference it.
+    ASSIGN_OR_RETURN(uint64_t slot_idx, AllocExternalSlot());
+    final_target = slot_idx;
+    tino.self = final_target;
+    tino.nlink = 2;
+    RETURN_IF_ERROR(StoreInode(final_target, tino, /*order_critical=*/true));
+
+    const uint32_t bno = EmbeddedBlock(target);
+    ASSIGN_OR_RETURN(cache::BufferRef buf, cache_->Get(bno));
+    // Find the record owning this embedded inode and flip it to external.
+    bool rewritten = false;
+    RETURN_IF_ERROR(ForEachDirRecord(buf.data(), [&](const DirRecord& r) {
+      if (r.kind == kEmbeddedRecord && r.inum == target) {
+        buf.data()[r.offset + 2] = kExternalRecord;
+        SetDirEntryInum(buf.data(), r.offset, final_target);
+        // Clear the now-slack inode image so stale ids cannot validate.
+        std::memset(buf.data().data() + r.inode_off, 0, kInodeSize);
+        rewritten = true;
+        return false;
+      }
+      return true;
+    }));
+    if (!rewritten) return Corrupt("embedded inode record not found");
+    cache_->MarkDirty(buf);
+    buf.Release();
+    RETURN_IF_ERROR(SyncMetaBlock(bno, /*order_critical=*/true));
+  } else {
+    ++tino.nlink;
+    RETURN_IF_ERROR(StoreInode(final_target, tino, /*order_critical=*/true));
+  }
+
+  bool dir_dirty = false;
+  ASSIGN_OR_RETURN(DirSlot slot, DirAdd(dir, &d, name, kExternalRecord,
+                                        final_target, nullptr, &dir_dirty));
+  RETURN_IF_ERROR(SyncMetaBlock(slot.bno, /*order_critical=*/true));
+  if (dir_dirty) {
+    // The directory grew: its inode (new block pointer, size) must reach
+    // the disk before the operation is durable.
+    RETURN_IF_ERROR(StoreInode(dir, d, /*order_critical=*/true));
+  }
+  return OkStatus();
+}
+
+Status CffsFileSystem::Rename(InodeNum old_dir, std::string_view old_name,
+                              InodeNum new_dir, std::string_view new_name) {
+  ASSIGN_OR_RETURN(InodeData od, LoadInode(old_dir));
+  if (!od.is_dir()) return NotDirectory("rename source dir");
+  ASSIGN_OR_RETURN(InodeData nd, LoadInode(new_dir));
+  if (!nd.is_dir()) return NotDirectory("rename target dir");
+  ASSIGN_OR_RETURN(DirSlot src, DirFind(od, old_name));
+  if (DirFind(nd, new_name).ok()) return Exists(std::string(new_name));
+
+  const InodeNum inum = src.rec.inum;
+  {
+    ASSIGN_OR_RETURN(InodeData moved, LoadInode(inum));
+    if (moved.is_dir()) RETURN_IF_ERROR(CheckRenameLoop(inum, new_dir));
+  }
+  InodeData* nd_ptr = (new_dir == old_dir) ? &od : &nd;
+  bool dir_dirty = false;
+
+  if (IsEmbedded(inum)) {
+    // The inode image moves with the name; it gets a new number.
+    ASSIGN_OR_RETURN(InodeData ino, LoadInode(inum));
+    ino.parent = new_dir;
+    ASSIGN_OR_RETURN(DirSlot dst, DirAdd(new_dir, nd_ptr, new_name,
+                                         kEmbeddedRecord, kInvalidInode,
+                                         &ino, &dir_dirty));
+    const InodeNum new_inum = MakeEmbedded(dst.bno, dst.rec.inode_off);
+    {
+      ASSIGN_OR_RETURN(cache::BufferRef buf, cache_->Get(dst.bno));
+      ino.self = new_inum;
+      ino.Encode(buf.data(), dst.rec.inode_off);
+      SetDirEntryInum(buf.data(), dst.rec.offset, new_inum);
+      cache_->MarkDirty(buf);
+    }
+    RETURN_IF_ERROR(SyncMetaBlock(dst.bno, /*order_critical=*/true));
+  } else {
+    ASSIGN_OR_RETURN(DirSlot dst, DirAdd(new_dir, nd_ptr, new_name,
+                                         kExternalRecord, inum, nullptr,
+                                         &dir_dirty));
+    RETURN_IF_ERROR(SyncMetaBlock(dst.bno, /*order_critical=*/true));
+    ASSIGN_OR_RETURN(InodeData moved, LoadInode(inum));
+    if (moved.parent != new_dir) {
+      moved.parent = new_dir;
+      RETURN_IF_ERROR(StoreInode(inum, moved, /*order_critical=*/false));
+    }
+  }
+  if (dir_dirty) {
+    RETURN_IF_ERROR(StoreInode(new_dir, *nd_ptr, /*order_critical=*/true));
+  }
+
+  // Remove the old name (re-find: the add may have reshaped blocks).
+  ASSIGN_OR_RETURN(InodeData od2, LoadInode(old_dir));
+  ASSIGN_OR_RETURN(DirSlot src2, DirFind(od2, old_name));
+  RETURN_IF_ERROR(DirRemove(src2.bno, src2.rec.offset));
+  return SyncMetaBlock(src2.bno, /*order_critical=*/true);
+}
+
+Status CffsFileSystem::Sync() {
+  RETURN_IF_ERROR(WriteSuperblock());
+  return cache_->SyncAll();
+}
+
+Result<FsSpaceInfo> CffsFileSystem::SpaceInfo() {
+  FsSpaceInfo info;
+  info.total_blocks = cache_->device()->block_count();
+  info.free_blocks = alloc_->free_blocks();
+  info.metadata_blocks = 1 + static_cast<uint64_t>(ncg_) * 2;
+  return info;
+}
+
+}  // namespace cffs::fs

@@ -1,0 +1,55 @@
+// Logical-to-physical block mapping (12 direct pointers, one single- and
+// one double-indirect block), shared by both file systems.
+//
+// The owning file system supplies allocation, freeing and metadata-dirtying
+// behaviour through BmapOps, so the same mapping code serves FFS (cylinder-
+// group allocation) and C-FFS (group-slot allocation for small files).
+#ifndef CFFS_FS_COMMON_BLOCK_MAP_H_
+#define CFFS_FS_COMMON_BLOCK_MAP_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/cache/buffer_cache.h"
+#include "src/fs/common/inode.h"
+
+namespace cffs::fs {
+
+// Largest mappable file block index + 1.
+inline constexpr uint64_t kMaxFileBlocks =
+    kDirectBlocks + kPtrsPerBlock +
+    static_cast<uint64_t>(kPtrsPerBlock) * kPtrsPerBlock;
+
+struct BmapOps {
+  cache::BufferCache* cache = nullptr;
+  // Allocate a block for file block `idx` (or for an indirect block when
+  // `metadata` is true). Returns the physical block number.
+  std::function<Result<uint32_t>(uint64_t idx, bool metadata)> alloc;
+  std::function<Status(uint32_t bno)> free_block;
+  // Mark an indirect block dirty under the fs's metadata policy.
+  std::function<Status(cache::BufferRef& ref)> meta_dirty;
+};
+
+// Physical block holding file block `idx`, or 0 for a hole.
+Result<uint32_t> BmapRead(const BmapOps& ops, const InodeData& ino,
+                          uint64_t idx);
+
+// Like BmapRead but allocates missing blocks (and indirect blocks) on the
+// way. Sets *inode_dirtied when the inode's pointers changed.
+Result<uint32_t> BmapAlloc(const BmapOps& ops, InodeData* ino, uint64_t idx,
+                           bool* inode_dirtied);
+
+// Frees every mapped block with index >= first_kept... i.e. keeps blocks
+// [0, keep_blocks) and frees the rest, including indirect blocks that
+// become empty. Updates the inode's pointers.
+Status BmapTruncate(const BmapOps& ops, InodeData* ino, uint64_t keep_blocks);
+
+// Enumerates all mapped blocks: fn(file_block_idx, bno). Indirect blocks
+// themselves are reported with idx == UINT64_MAX. Used by fsck.
+Status BmapForEach(
+    const BmapOps& ops, const InodeData& ino,
+    const std::function<Status(uint64_t idx, uint32_t bno)>& fn);
+
+}  // namespace cffs::fs
+
+#endif  // CFFS_FS_COMMON_BLOCK_MAP_H_

@@ -1,0 +1,181 @@
+#include "src/fs/common/dir_block.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "src/util/bytes.h"
+
+namespace cffs::fs {
+
+namespace {
+
+DirRecord ParseRecord(std::span<const uint8_t> block, uint16_t off) {
+  DirRecord r;
+  r.offset = off;
+  r.rec_len = GetU16(block, off);
+  r.kind = block[off + 2];
+  const uint8_t name_len = block[off + 3];
+  r.inum = GetU64(block, off + 8);
+  if (r.kind != kFreeRecord) {
+    r.name = std::string_view(
+        reinterpret_cast<const char*>(block.data() + off + kDirRecordHeader),
+        name_len);
+    if (r.kind == kEmbeddedRecord) {
+      r.inode_off = static_cast<uint16_t>(off + kDirRecordHeader + Pad8(name_len));
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+void InitDirBlock(std::span<uint8_t> block) {
+  assert(block.size() == kBlockSize);
+  std::memset(block.data(), 0, kBlockSize);
+  PutU16(block, 0, static_cast<uint16_t>(kBlockSize));  // one big free record
+  block[2] = kFreeRecord;
+}
+
+Status ForEachDirRecord(std::span<const uint8_t> block,
+                        const std::function<bool(const DirRecord&)>& cb) {
+  assert(block.size() == kBlockSize);
+  size_t off = 0;
+  while (off < kBlockSize) {
+    if (off + kDirRecordHeader > kBlockSize) return Corrupt("record overruns block");
+    const uint16_t rec_len = GetU16(block, off);
+    if (rec_len < kDirRecordHeader || rec_len % 8 != 0 ||
+        off + rec_len > kBlockSize) {
+      return Corrupt("bad directory record length");
+    }
+    const uint8_t kind = block[off + 2];
+    const uint8_t name_len = block[off + 3];
+    if (kind != kFreeRecord) {
+      const uint16_t need = DirRecordSpace(name_len, kind == kEmbeddedRecord);
+      if (kind > kEmbeddedRecord || name_len == 0 || need > rec_len) {
+        return Corrupt("bad directory record");
+      }
+    }
+    if (!cb(ParseRecord(block, static_cast<uint16_t>(off)))) return OkStatus();
+    off += rec_len;
+  }
+  if (off != kBlockSize) return Corrupt("records do not tile block");
+  return OkStatus();
+}
+
+Result<DirRecord> FindDirEntry(std::span<const uint8_t> block,
+                               std::string_view name) {
+  DirRecord found;
+  bool hit = false;
+  RETURN_IF_ERROR(ForEachDirRecord(block, [&](const DirRecord& r) {
+    if (r.kind != kFreeRecord && r.name == name) {
+      found = r;
+      hit = true;
+      return false;
+    }
+    return true;
+  }));
+  if (!hit) return NotFound("no such directory entry");
+  return found;
+}
+
+Result<DirRecord> AddDirEntry(std::span<uint8_t> block, std::string_view name,
+                              uint8_t kind, InodeNum inum,
+                              const InodeData* embedded) {
+  assert(kind == kExternalRecord || kind == kEmbeddedRecord);
+  assert((kind == kEmbeddedRecord) == (embedded != nullptr));
+  if (name.empty() || name.size() > kMaxNameLen) {
+    return NameTooLong("directory entry name");
+  }
+  const uint16_t need = DirRecordSpace(name.size(), kind == kEmbeddedRecord);
+
+  // First-fit over free records.
+  uint16_t place = 0, place_len = 0;
+  bool found = false;
+  RETURN_IF_ERROR(ForEachDirRecord(block, [&](const DirRecord& r) {
+    if (r.kind == kFreeRecord && r.rec_len >= need) {
+      place = r.offset;
+      place_len = r.rec_len;
+      found = true;
+      return false;
+    }
+    return true;
+  }));
+  if (!found) return NoSpace("directory block full");
+
+  // Split: the new record takes the front of the free record; the remainder
+  // (if any) stays free. Remainder smaller than a header is absorbed.
+  uint16_t rec_len = need;
+  const uint16_t remainder = static_cast<uint16_t>(place_len - need);
+  if (remainder < kDirRecordHeader) {
+    rec_len = place_len;
+  } else {
+    PutU16(block, place + need, remainder);
+    block[place + need + 2] = kFreeRecord;
+    block[place + need + 3] = 0;
+  }
+
+  std::memset(block.data() + place, 0, rec_len);
+  PutU16(block, place, rec_len);
+  block[place + 2] = kind;
+  block[place + 3] = static_cast<uint8_t>(name.size());
+  PutU64(block, place + 8, inum);
+  PutBytes(block, place + kDirRecordHeader, name);
+  if (embedded != nullptr) {
+    const uint16_t ioff =
+        static_cast<uint16_t>(place + kDirRecordHeader + Pad8(name.size()));
+    embedded->Encode(block, ioff);
+  }
+  return ParseRecord(block, place);
+}
+
+void SetDirEntryInum(std::span<uint8_t> block, uint16_t offset, InodeNum inum) {
+  PutU64(block, offset + 8, inum);
+}
+
+Status RemoveDirEntry(std::span<uint8_t> block, uint16_t offset) {
+  // Walk the block tracking the previous record so we can coalesce.
+  size_t off = 0;
+  size_t prev = kBlockSize;  // sentinel: none
+  while (off < kBlockSize) {
+    const uint16_t rec_len = GetU16(block, off);
+    if (rec_len < kDirRecordHeader || off + rec_len > kBlockSize) {
+      return Corrupt("bad record during remove");
+    }
+    if (off == offset) {
+      if (block[off + 2] == kFreeRecord) return NotFound("record already free");
+      uint16_t new_len = rec_len;
+      size_t new_off = off;
+      // Coalesce with the following free record.
+      const size_t next = off + rec_len;
+      if (next < kBlockSize && block[next + 2] == kFreeRecord) {
+        new_len = static_cast<uint16_t>(new_len + GetU16(block, next));
+      }
+      // Coalesce with a preceding free record.
+      if (prev != kBlockSize && block[prev + 2] == kFreeRecord) {
+        new_len = static_cast<uint16_t>(new_len + GetU16(block, prev));
+        new_off = prev;
+      }
+      std::memset(block.data() + new_off, 0, new_len);
+      PutU16(block, new_off, new_len);
+      block[new_off + 2] = kFreeRecord;
+      return OkStatus();
+    }
+    prev = off;
+    off += rec_len;
+  }
+  return NotFound("no record at offset");
+}
+
+bool DirBlockEmpty(std::span<const uint8_t> block) {
+  bool empty = true;
+  Status s = ForEachDirRecord(block, [&](const DirRecord& r) {
+    if (r.kind != kFreeRecord) {
+      empty = false;
+      return false;
+    }
+    return true;
+  });
+  return s.ok() && empty;
+}
+
+}  // namespace cffs::fs

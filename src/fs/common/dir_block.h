@@ -1,0 +1,91 @@
+// Directory block format, shared by both file systems.
+//
+// A directory is a file of 4 KB blocks; each block is fully tiled by
+// variable-length records (FFS-style). A record is either free space, a
+// conventional entry carrying an inode *number* (external), or a C-FFS
+// entry carrying the 128-byte inode *image* itself (embedded). Records
+// never move once created — C-FFS relies on this so that an embedded
+// inode's identity (directory block + slot) stays stable; deletion merges
+// a record into neighbouring free space instead of compacting.
+//
+// Record layout (8-byte aligned, rec_len multiple of 8, min 16):
+//   +0  u16 rec_len
+//   +2  u8  kind        (0 free, 1 external, 2 embedded)
+//   +3  u8  name_len
+//   +4  u32 reserved
+//   +8  u64 inum        (external: inode number; embedded: self id)
+//   +16 name bytes, zero-padded to 8
+//   +16+pad8(name_len)  [embedded only] 128-byte inode image
+#ifndef CFFS_FS_COMMON_DIR_BLOCK_H_
+#define CFFS_FS_COMMON_DIR_BLOCK_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string_view>
+
+#include "src/fs/common/inode.h"
+#include "src/util/status.h"
+
+namespace cffs::fs {
+
+enum RecordKind : uint8_t {
+  kFreeRecord = 0,
+  kExternalRecord = 1,
+  kEmbeddedRecord = 2,
+};
+
+struct DirRecord {
+  uint16_t offset = 0;     // record start within the block
+  uint16_t rec_len = 0;
+  uint8_t kind = kFreeRecord;
+  std::string_view name;   // view into the block buffer
+  InodeNum inum = kInvalidInode;
+  uint16_t inode_off = 0;  // offset of the embedded inode image; 0 if none
+};
+
+inline constexpr uint16_t kDirRecordHeader = 16;
+
+inline uint16_t Pad8(size_t n) {
+  return static_cast<uint16_t>((n + 7) & ~size_t{7});
+}
+
+// Total record size needed for a name of this length.
+inline uint16_t DirRecordSpace(size_t name_len, bool embedded) {
+  return static_cast<uint16_t>(kDirRecordHeader + Pad8(name_len) +
+                               (embedded ? kInodeSize : 0));
+}
+
+// Formats an empty directory block: one free record spanning the block.
+void InitDirBlock(std::span<uint8_t> block);
+
+// Iterates records (including free ones). The callback returns true to
+// continue, false to stop early. Returns kCorrupt on a malformed block.
+Status ForEachDirRecord(std::span<const uint8_t> block,
+                        const std::function<bool(const DirRecord&)>& cb);
+
+// Finds the used record with the given name. kNotFound if absent.
+Result<DirRecord> FindDirEntry(std::span<const uint8_t> block,
+                               std::string_view name);
+
+// Allocates a record for `name` out of the block's free space and writes
+// header + name. For embedded records, writes the inode image too (with
+// inode.self untouched — the caller re-encodes after computing the id from
+// the final inode_off). Returns the placed record. kNoSpace if it
+// doesn't fit in this block.
+Result<DirRecord> AddDirEntry(std::span<uint8_t> block, std::string_view name,
+                              uint8_t kind, InodeNum inum,
+                              const InodeData* embedded);
+
+// Overwrites the inum field of the record at `offset`.
+void SetDirEntryInum(std::span<uint8_t> block, uint16_t offset, InodeNum inum);
+
+// Frees the record at `offset`, coalescing with adjacent free records.
+Status RemoveDirEntry(std::span<uint8_t> block, uint16_t offset);
+
+// True if the block contains no used records.
+bool DirBlockEmpty(std::span<const uint8_t> block);
+
+}  // namespace cffs::fs
+
+#endif  // CFFS_FS_COMMON_DIR_BLOCK_H_

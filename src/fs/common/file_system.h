@@ -1,0 +1,65 @@
+// Abstract file-system interface implemented by both the conventional FFS
+// (src/fs/ffs) and C-FFS (src/fs/cffs).
+//
+// Operations take inode numbers, like a VFS vnode layer; path-based helpers
+// live in src/fs/common/path.h. Note one C-FFS-specific contract: an
+// embedded inode's number encodes its physical location, so Rename of an
+// embedded-inode file assigns it a NEW inode number (the paper's design has
+// the same property — the name and inode move together). Callers that hold
+// inode numbers across renames must re-Lookup.
+#ifndef CFFS_FS_COMMON_FILE_SYSTEM_H_
+#define CFFS_FS_COMMON_FILE_SYSTEM_H_
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/fs/common/fs_types.h"
+#include "src/util/status.h"
+
+namespace cffs::fs {
+
+struct FsSpaceInfo {
+  uint64_t total_blocks = 0;
+  uint64_t free_blocks = 0;
+  uint64_t metadata_blocks = 0;  // statically reserved for fs structures
+};
+
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  virtual std::string name() const = 0;
+  virtual InodeNum root() const = 0;
+
+  // Name-space operations.
+  virtual Result<InodeNum> Lookup(InodeNum dir, std::string_view name) = 0;
+  virtual Result<InodeNum> Create(InodeNum dir, std::string_view name) = 0;
+  virtual Result<InodeNum> Mkdir(InodeNum dir, std::string_view name) = 0;
+  virtual Status Unlink(InodeNum dir, std::string_view name) = 0;
+  virtual Status Rmdir(InodeNum dir, std::string_view name) = 0;
+  virtual Status Link(InodeNum dir, std::string_view name, InodeNum target) = 0;
+  virtual Status Rename(InodeNum old_dir, std::string_view old_name,
+                        InodeNum new_dir, std::string_view new_name) = 0;
+  virtual Result<std::vector<DirEntryInfo>> ReadDir(InodeNum dir) = 0;
+
+  // File data operations.
+  virtual Result<uint64_t> Read(InodeNum ino, uint64_t off,
+                                std::span<uint8_t> out) = 0;
+  virtual Result<uint64_t> Write(InodeNum ino, uint64_t off,
+                                 std::span<const uint8_t> in) = 0;
+  virtual Status Truncate(InodeNum ino, uint64_t new_size) = 0;
+  virtual Result<Attr> GetAttr(InodeNum ino) = 0;
+
+  // Push all dirty state to disk.
+  virtual Status Sync() = 0;
+
+  virtual Result<FsSpaceInfo> SpaceInfo() = 0;
+
+  virtual FsOpStats& op_stats() = 0;
+};
+
+}  // namespace cffs::fs
+
+#endif  // CFFS_FS_COMMON_FILE_SYSTEM_H_

@@ -1,0 +1,356 @@
+#include "src/fs/common/fs_base.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace cffs::fs {
+
+Status FsBase::MetaDirty(cache::BufferRef& ref, bool order_critical) {
+  cache_->MarkDirty(ref);
+  if (order_critical && policy_ == MetadataPolicy::kSynchronous) {
+    ++op_stats_.sync_metadata_writes;
+    return cache_->SyncBlock(ref->bno());
+  }
+  return OkStatus();
+}
+
+Status FsBase::SyncMetaBlock(uint32_t bno, bool order_critical) {
+  if (order_critical && policy_ == MetadataPolicy::kSynchronous) {
+    ++op_stats_.sync_metadata_writes;
+    return cache_->SyncBlock(bno);
+  }
+  return OkStatus();
+}
+
+BmapOps FsBase::MakeBmapOps(InodeNum num, InodeData* ino,
+                            uint64_t size_hint_blocks) {
+  BmapOps ops;
+  ops.cache = cache_;
+  ops.alloc = [this, num, ino, size_hint_blocks](
+                  uint64_t idx, bool metadata) -> Result<uint32_t> {
+    if (metadata) return AllocMetaBlock(num, *ino);
+    return AllocDataBlock(num, ino, idx, size_hint_blocks);
+  };
+  ops.free_block = [this](uint32_t bno) -> Status {
+    cache_->Invalidate(bno);
+    return FreeBlock(bno);
+  };
+  ops.meta_dirty = [this](cache::BufferRef& ref) -> Status {
+    // Indirect-block updates are delayed writes in FFS.
+    return MetaDirty(ref, /*order_critical=*/false);
+  };
+  return ops;
+}
+
+BmapOps FsBase::MakeReadOnlyBmapOps() const {
+  BmapOps ops;
+  ops.cache = cache_;
+  ops.alloc = [](uint64_t, bool) -> Result<uint32_t> {
+    return InvalidArgument("allocation not permitted on read path");
+  };
+  ops.free_block = [](uint32_t) -> Status {
+    return InvalidArgument("free not permitted on read path");
+  };
+  ops.meta_dirty = [](cache::BufferRef&) -> Status { return OkStatus(); };
+  return ops;
+}
+
+Result<InodeNum> FsBase::Lookup(InodeNum dir, std::string_view name) {
+  ++op_stats_.lookups;
+  ASSIGN_OR_RETURN(InodeData d, LoadInode(dir));
+  if (!d.is_dir()) return NotDirectory("lookup in non-directory");
+  if (name == ".") return dir;
+  if (name == "..") return d.parent == kInvalidInode ? dir : d.parent;
+  ASSIGN_OR_RETURN(DirSlot slot, DirFind(d, name));
+  return slot.rec.inum;
+}
+
+Result<std::vector<DirEntryInfo>> FsBase::ReadDir(InodeNum dir) {
+  ASSIGN_OR_RETURN(InodeData d, LoadInode(dir));
+  if (!d.is_dir()) return NotDirectory("readdir of non-directory");
+  std::vector<DirEntryInfo> out;
+  const BmapOps ops = MakeReadOnlyBmapOps();
+  const uint64_t nblocks = d.BlockCount();
+  for (uint64_t i = 0; i < nblocks; ++i) {
+    ASSIGN_OR_RETURN(uint32_t bno, BmapRead(ops, d, i));
+    if (bno == 0) continue;
+    RETURN_IF_ERROR(PrepareDataRead(d, bno));
+    ASSIGN_OR_RETURN(cache::BufferRef buf, cache_->Get(bno));
+    RETURN_IF_ERROR(ForEachDirRecord(buf.data(), [&](const DirRecord& r) {
+      if (r.kind != kFreeRecord) {
+        DirEntryInfo e;
+        e.name = std::string(r.name);
+        e.inum = r.inum;
+        e.embedded = r.kind == kEmbeddedRecord;
+        if (r.kind == kEmbeddedRecord) {
+          e.type = InodeData::Decode(buf.data(), r.inode_off).type;
+        }
+        out.push_back(std::move(e));
+      }
+      return true;
+    }));
+  }
+  // Fill types for external entries.
+  for (DirEntryInfo& e : out) {
+    if (!e.embedded) {
+      Result<InodeData> ino = LoadInode(e.inum);
+      if (ino.ok()) e.type = ino->type;
+    }
+  }
+  return out;
+}
+
+Result<uint64_t> FsBase::Read(InodeNum num, uint64_t off,
+                              std::span<uint8_t> out) {
+  ++op_stats_.reads;
+  ASSIGN_OR_RETURN(InodeData ino, LoadInode(num));
+  if (ino.is_dir()) return IsDirectory("read of directory");
+  if (off >= ino.size) return uint64_t{0};
+  const uint64_t want = std::min<uint64_t>(out.size(), ino.size - off);
+  const BmapOps ops = MakeReadOnlyBmapOps();
+
+  uint64_t done = 0;
+  while (done < want) {
+    const uint64_t pos = off + done;
+    const uint64_t idx = pos / kBlockSize;
+    const uint32_t in_block = static_cast<uint32_t>(pos % kBlockSize);
+    const uint64_t n = std::min<uint64_t>(want - done, kBlockSize - in_block);
+    ASSIGN_OR_RETURN(uint32_t bno, BmapRead(ops, ino, idx));
+    if (bno == 0) {
+      std::memset(out.data() + done, 0, n);
+    } else {
+      if (!cache_->Lookup(bno).ok()) {
+        RETURN_IF_ERROR(PrepareDataRead(ino, bno));
+        if (!cache_->Lookup(bno).ok()) {
+          // Cluster read ([Peacock88, McVoy91]): if the file's next blocks
+          // are physically contiguous, fetch up to 64 KB with one command.
+          uint32_t run = 1;
+          const uint64_t nblocks = ino.BlockCount();
+          while (run < 16 && idx + run < nblocks) {
+            Result<uint32_t> next = BmapRead(ops, ino, idx + run);
+            if (!next.ok() || *next != bno + run) break;
+            ++run;
+          }
+          if (run > 1) {
+            RETURN_IF_ERROR(cache_->ReadGroup(bno, run));
+          }
+        }
+      }
+      ASSIGN_OR_RETURN(cache::BufferRef buf, cache_->Get(bno));
+      cache_->Bind(buf, {num, idx});
+      std::memcpy(out.data() + done, buf.data().data() + in_block, n);
+    }
+    done += n;
+  }
+  return done;
+}
+
+Result<uint64_t> FsBase::Write(InodeNum num, uint64_t off,
+                               std::span<const uint8_t> in) {
+  ++op_stats_.writes;
+  ASSIGN_OR_RETURN(InodeData ino, LoadInode(num));
+  if (ino.is_dir()) return IsDirectory("write of directory");
+  const uint64_t want = in.size();
+  const uint64_t reach = std::max<uint64_t>(ino.size, off + want);
+  BmapOps ops = MakeBmapOps(num, &ino, (reach + kBlockSize - 1) / kBlockSize);
+  bool inode_dirty = false;
+
+  uint64_t done = 0;
+  while (done < want) {
+    const uint64_t pos = off + done;
+    const uint64_t idx = pos / kBlockSize;
+    const uint32_t in_block = static_cast<uint32_t>(pos % kBlockSize);
+    const uint64_t n = std::min<uint64_t>(want - done, kBlockSize - in_block);
+
+    const bool was_hole = [&]() {
+      Result<uint32_t> b = BmapRead(ops, ino, idx);
+      return b.ok() && *b == 0;
+    }();
+    Result<uint32_t> bno_or = BmapAlloc(ops, &ino, idx, &inode_dirty);
+    if (!bno_or.ok()) {
+      if (bno_or.status().code() == ErrorCode::kNoSpace && done > 0) {
+        break;  // short write: report what did fit
+      }
+      // Record any blocks this call already attached before surfacing the
+      // error, so they are not stranded outside the on-disk inode.
+      if (done > 0 || inode_dirty) {
+        if (off + done > ino.size) ino.size = off + done;
+        (void)StoreInode(num, ino, /*order_critical=*/false);
+      }
+      return bno_or.status();
+    }
+    const uint32_t bno = *bno_or;
+
+    // Avoid the read-modify-write disk read when the write covers all the
+    // valid bytes of the block.
+    const uint64_t block_start = idx * kBlockSize;
+    const bool covers_valid =
+        was_hole || (n == kBlockSize) || block_start >= ino.size ||
+        (in_block == 0 && pos + n >= std::min<uint64_t>(ino.size, block_start + kBlockSize));
+    cache::BufferRef buf;
+    if (covers_valid) {
+      ASSIGN_OR_RETURN(cache::BufferRef b, cache_->GetZero(bno));
+      buf = std::move(b);
+    } else {
+      RETURN_IF_ERROR(PrepareDataRead(ino, bno));
+      ASSIGN_OR_RETURN(cache::BufferRef b, cache_->Get(bno));
+      buf = std::move(b);
+    }
+    std::memcpy(buf.data().data() + in_block, in.data() + done, n);
+    cache_->MarkDirty(buf);
+    cache_->SetFlushUnit(buf, FlushUnitFor(num, ino, bno));
+    cache_->Bind(buf, {num, idx});
+    done += n;
+  }
+
+  if (off + want > ino.size) {
+    ino.size = off + want;
+    inode_dirty = true;
+  }
+  ino.mtime_ns = NowNs();
+  // File-data inode updates (size/mtime) are delayed writes in FFS.
+  RETURN_IF_ERROR(StoreInode(num, ino, /*order_critical=*/false));
+  (void)inode_dirty;
+  return done;
+}
+
+Status FsBase::Truncate(InodeNum num, uint64_t new_size) {
+  ASSIGN_OR_RETURN(InodeData ino, LoadInode(num));
+  if (ino.is_dir()) return IsDirectory("truncate of directory");
+  if (new_size < ino.size) {
+    BmapOps ops = MakeBmapOps(num, &ino);
+    const uint64_t keep = (new_size + kBlockSize - 1) / kBlockSize;
+    RETURN_IF_ERROR(BmapTruncate(ops, &ino, keep));
+    // Zero the tail of the (kept) partial block so data past the new EOF
+    // cannot reappear if the file is later extended.
+    if (new_size % kBlockSize != 0) {
+      ASSIGN_OR_RETURN(uint32_t bno, BmapRead(ops, ino, new_size / kBlockSize));
+      if (bno != 0) {
+        ASSIGN_OR_RETURN(cache::BufferRef buf, cache_->Get(bno));
+        const uint32_t from = static_cast<uint32_t>(new_size % kBlockSize);
+        std::memset(buf.data().data() + from, 0, kBlockSize - from);
+        cache_->MarkDirty(buf);
+      }
+    }
+    RETURN_IF_ERROR(AfterBlocksFreed(num, &ino));
+  }
+  ino.size = new_size;
+  ino.mtime_ns = NowNs();
+  return StoreInode(num, ino, /*order_critical=*/false);
+}
+
+Result<Attr> FsBase::GetAttr(InodeNum num) {
+  ASSIGN_OR_RETURN(InodeData ino, LoadInode(num));
+  Attr a;
+  a.inum = num;
+  a.type = ino.type;
+  a.nlink = ino.nlink;
+  a.size = ino.size;
+  a.mtime = SimTime::Nanos(ino.mtime_ns);
+  return a;
+}
+
+Result<FsBase::DirSlot> FsBase::DirFind(const InodeData& dir,
+                                        std::string_view name) {
+  const BmapOps ops = MakeReadOnlyBmapOps();
+  const uint64_t nblocks = dir.BlockCount();
+  for (uint64_t i = 0; i < nblocks; ++i) {
+    ASSIGN_OR_RETURN(uint32_t bno, BmapRead(ops, dir, i));
+    if (bno == 0) continue;
+    RETURN_IF_ERROR(PrepareDataRead(dir, bno));
+    ASSIGN_OR_RETURN(cache::BufferRef buf, cache_->Get(bno));
+    Result<DirRecord> rec = FindDirEntry(buf.data(), name);
+    if (rec.ok()) {
+      DirSlot slot;
+      slot.file_idx = i;
+      slot.bno = bno;
+      slot.rec = *rec;
+      slot.rec.name = {};  // buffer pin is about to drop
+      return slot;
+    }
+    if (rec.status().code() != ErrorCode::kNotFound) return rec.status();
+  }
+  return NotFound("no directory entry");
+}
+
+Result<FsBase::DirSlot> FsBase::DirAdd(InodeNum dir_num, InodeData* dir,
+                                       std::string_view name, uint8_t kind,
+                                       InodeNum inum,
+                                       const InodeData* embedded,
+                                       bool* dir_dirtied) {
+  if (name.size() > kMaxNameLen) return NameTooLong(std::string(name));
+  BmapOps ops = MakeBmapOps(dir_num, dir);
+  const uint64_t nblocks = dir->BlockCount();
+
+  for (uint64_t i = 0; i < nblocks; ++i) {
+    ASSIGN_OR_RETURN(uint32_t bno, BmapRead(ops, *dir, i));
+    if (bno == 0) continue;
+    ASSIGN_OR_RETURN(cache::BufferRef buf, cache_->Get(bno));
+    Result<DirRecord> rec = AddDirEntry(buf.data(), name, kind, inum, embedded);
+    if (rec.ok()) {
+      cache_->MarkDirty(buf);
+      cache_->SetFlushUnit(buf, FlushUnitFor(dir_num, *dir, bno));
+      DirSlot slot;
+      slot.file_idx = i;
+      slot.bno = bno;
+      slot.rec = *rec;
+      slot.rec.name = {};
+      return slot;
+    }
+    if (rec.status().code() != ErrorCode::kNoSpace) return rec.status();
+  }
+
+  // Extend the directory with a fresh block.
+  bool inode_dirty = false;
+  ASSIGN_OR_RETURN(uint32_t bno, BmapAlloc(ops, dir, nblocks, &inode_dirty));
+  ASSIGN_OR_RETURN(cache::BufferRef buf, cache_->GetZero(bno));
+  InitDirBlock(buf.data());
+  ASSIGN_OR_RETURN(DirRecord rec,
+                   AddDirEntry(buf.data(), name, kind, inum, embedded));
+  cache_->MarkDirty(buf);
+  cache_->SetFlushUnit(buf, FlushUnitFor(dir_num, *dir, bno));
+  dir->size = (nblocks + 1) * kBlockSize;
+  dir->mtime_ns = NowNs();
+  if (dir_dirtied) *dir_dirtied = true;
+  DirSlot slot;
+  slot.file_idx = nblocks;
+  slot.bno = bno;
+  slot.rec = rec;
+  slot.rec.name = {};
+  return slot;
+}
+
+Status FsBase::DirRemove(uint32_t bno, uint16_t offset) {
+  ASSIGN_OR_RETURN(cache::BufferRef buf, cache_->Get(bno));
+  RETURN_IF_ERROR(RemoveDirEntry(buf.data(), offset));
+  cache_->MarkDirty(buf);
+  return OkStatus();
+}
+
+Status FsBase::CheckRenameLoop(InodeNum moved, InodeNum new_dir) {
+  InodeNum cur = new_dir;
+  for (int depth = 0; depth < 4096; ++depth) {
+    if (cur == moved) {
+      return InvalidArgument("cannot move a directory into itself");
+    }
+    ASSIGN_OR_RETURN(InodeData ino, LoadInode(cur));
+    if (ino.parent == cur || ino.parent == kInvalidInode) return OkStatus();
+    cur = ino.parent;
+  }
+  return Corrupt("parent chain does not terminate");
+}
+
+Result<bool> FsBase::DirIsEmpty(const InodeData& dir) {
+  const BmapOps ops = MakeReadOnlyBmapOps();
+  const uint64_t nblocks = dir.BlockCount();
+  for (uint64_t i = 0; i < nblocks; ++i) {
+    ASSIGN_OR_RETURN(uint32_t bno, BmapRead(ops, dir, i));
+    if (bno == 0) continue;
+    RETURN_IF_ERROR(PrepareDataRead(dir, bno));
+    ASSIGN_OR_RETURN(cache::BufferRef buf, cache_->Get(bno));
+    if (!DirBlockEmpty(buf.data())) return false;
+  }
+  return true;
+}
+
+}  // namespace cffs::fs

@@ -1,0 +1,141 @@
+// FsBase: shared implementation core for the conventional FFS and C-FFS.
+//
+// Both file systems share the directory block format, the block-mapping
+// logic and the read/write data paths; they differ in where inodes live
+// (static tables vs. embedded in directories / IFILE), in allocation policy
+// (plain cylinder-group vs. explicit grouping) and in which metadata writes
+// must be synchronous. Those differences are expressed through the
+// protected virtual hooks below.
+#ifndef CFFS_FS_COMMON_FS_BASE_H_
+#define CFFS_FS_COMMON_FS_BASE_H_
+
+#include <memory>
+
+#include "src/cache/buffer_cache.h"
+#include "src/fs/common/allocator.h"
+#include "src/fs/common/block_map.h"
+#include "src/fs/common/dir_block.h"
+#include "src/fs/common/file_system.h"
+#include "src/util/sim_time.h"
+
+namespace cffs::fs {
+
+class FsBase : public FileSystem {
+ public:
+  // Common FileSystem operations.
+  Result<InodeNum> Lookup(InodeNum dir, std::string_view name) override;
+  Result<std::vector<DirEntryInfo>> ReadDir(InodeNum dir) override;
+  Result<uint64_t> Read(InodeNum ino, uint64_t off,
+                        std::span<uint8_t> out) override;
+  Result<uint64_t> Write(InodeNum ino, uint64_t off,
+                         std::span<const uint8_t> in) override;
+  Status Truncate(InodeNum ino, uint64_t new_size) override;
+  Result<Attr> GetAttr(InodeNum ino) override;
+  FsOpStats& op_stats() override { return op_stats_; }
+
+  MetadataPolicy metadata_policy() const { return policy_; }
+  void set_metadata_policy(MetadataPolicy p) { policy_ = p; }
+  cache::BufferCache* buffer_cache() { return cache_; }
+
+  // Loads an inode image; public for fsck and tests.
+  virtual Result<InodeData> LoadInode(InodeNum num) = 0;
+
+ protected:
+  FsBase(cache::BufferCache* cache, SimClock* clock, MetadataPolicy policy)
+      : cache_(cache), clock_(clock), policy_(policy) {}
+
+  // --- hooks the concrete file systems implement ---
+
+  // Writes an inode image back. `order_critical` marks writes whose
+  // sequencing protects metadata integrity: under kSynchronous policy they
+  // go to disk immediately.
+  virtual Status StoreInode(InodeNum num, const InodeData& ino,
+                            bool order_critical) = 0;
+
+  // Allocates a data block for file block `idx` of `ino` (updating any
+  // grouping state in *ino as a side effect). `size_hint_blocks` is the
+  // file size the current operation is known to reach (0 = unknown) — it
+  // lets C-FFS route files that are already known to be large straight to
+  // ungrouped storage instead of migrating them later.
+  virtual Result<uint32_t> AllocDataBlock(InodeNum num, InodeData* ino,
+                                          uint64_t idx,
+                                          uint64_t size_hint_blocks) = 0;
+  // Allocates an indirect/metadata block near the file's data.
+  virtual Result<uint32_t> AllocMetaBlock(InodeNum num, const InodeData& ino) = 0;
+  virtual Status FreeBlock(uint32_t bno) = 0;
+
+  // Called before reading data block `bno` of `ino`; C-FFS uses this to
+  // fetch the whole group with one disk request.
+  virtual Status PrepareDataRead(const InodeData& ino, uint32_t bno) {
+    (void)ino;
+    (void)bno;
+    return OkStatus();
+  }
+
+  // Called after blocks were freed from `ino` (truncate/unlink) so C-FFS
+  // can release an idle group extent.
+  virtual Status AfterBlocksFreed(InodeNum num, InodeData* ino) {
+    (void)num;
+    (void)ino;
+    return OkStatus();
+  }
+
+  // Write-clustering unit for a dirty data block (see cache::kNoFlushUnit).
+  // Default: the owning file — 4.4BSD-style within-file clustering. C-FFS
+  // returns the group extent for grouped blocks.
+  virtual uint64_t FlushUnitFor(InodeNum num, const InodeData& ino,
+                                uint32_t bno) {
+    (void)ino;
+    (void)bno;
+    return num;
+  }
+
+  // --- shared machinery ---
+
+  // Marks a metadata buffer dirty; under kSynchronous policy, order-critical
+  // buffers are written through immediately.
+  Status MetaDirty(cache::BufferRef& ref, bool order_critical);
+
+  BmapOps MakeBmapOps(InodeNum num, InodeData* ino,
+                      uint64_t size_hint_blocks = 0);
+  BmapOps MakeReadOnlyBmapOps() const;
+
+  struct DirSlot {
+    uint64_t file_idx = 0;  // which block of the directory
+    uint32_t bno = 0;       // physical block
+    DirRecord rec;          // note: name view dangles once the pin drops
+  };
+
+  // Scans the directory for `name`. kNotFound if absent.
+  Result<DirSlot> DirFind(const InodeData& dir, std::string_view name);
+
+  // Adds an entry, extending the directory with a new block if necessary.
+  // Marks the containing block dirty (not synced — the caller decides).
+  // Sets *dir_dirtied if the directory inode changed (size growth).
+  Result<DirSlot> DirAdd(InodeNum dir_num, InodeData* dir,
+                         std::string_view name, uint8_t kind, InodeNum inum,
+                         const InodeData* embedded, bool* dir_dirtied);
+
+  // Removes the record at (bno, offset); marks the block dirty.
+  Status DirRemove(uint32_t bno, uint16_t offset);
+
+  Result<bool> DirIsEmpty(const InodeData& dir);
+
+  // Rejects a rename that would move a directory into itself or one of its
+  // descendants (walks new_dir's parent chain looking for `moved`).
+  Status CheckRenameLoop(InodeNum moved, InodeNum new_dir);
+
+  // Write-through one metadata block if the policy demands it.
+  Status SyncMetaBlock(uint32_t bno, bool order_critical);
+
+  int64_t NowNs() const { return clock_->now().nanos(); }
+
+  cache::BufferCache* cache_;
+  SimClock* clock_;
+  MetadataPolicy policy_;
+  FsOpStats op_stats_;
+};
+
+}  // namespace cffs::fs
+
+#endif  // CFFS_FS_COMMON_FS_BASE_H_

@@ -1,0 +1,71 @@
+// Shared file-system types and constants.
+#ifndef CFFS_FS_COMMON_FS_TYPES_H_
+#define CFFS_FS_COMMON_FS_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/blockdev/block_device.h"
+#include "src/util/sim_time.h"
+
+namespace cffs::fs {
+
+using blk::kBlockSize;
+
+// Inode number. Plain indices for table/IFILE inodes; C-FFS embedded inodes
+// encode their physical location and carry kEmbeddedBit (see cffs.h).
+using InodeNum = uint64_t;
+inline constexpr InodeNum kInvalidInode = 0;
+
+inline constexpr uint32_t kInodeSize = 128;    // on-disk inode image
+inline constexpr uint32_t kMaxNameLen = 255;
+inline constexpr uint32_t kDirectBlocks = 12;
+inline constexpr uint32_t kPtrsPerBlock = kBlockSize / 4;
+
+enum class FileType : uint16_t {
+  kFree = 0,
+  kRegular = 1,
+  kDirectory = 2,
+};
+
+// When must metadata updates reach the disk?
+//   kSynchronous — the classic FFS discipline: ordered synchronous writes
+//     for the updates whose sequencing protects integrity.
+//   kDelayed — the paper's soft-updates emulation: "delayed writes for all
+//     metadata updates" (§4.2, [Ganger94]).
+enum class MetadataPolicy {
+  kSynchronous,
+  kDelayed,
+};
+
+struct Attr {
+  InodeNum inum = kInvalidInode;
+  FileType type = FileType::kFree;
+  uint16_t nlink = 0;
+  uint64_t size = 0;
+  SimTime mtime;
+};
+
+struct DirEntryInfo {
+  std::string name;
+  InodeNum inum = kInvalidInode;
+  FileType type = FileType::kFree;
+  bool embedded = false;  // C-FFS: inode embedded in the directory entry
+};
+
+// Operation counters kept by each file system.
+struct FsOpStats {
+  uint64_t creates = 0;
+  uint64_t unlinks = 0;
+  uint64_t lookups = 0;
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t mkdirs = 0;
+  uint64_t sync_metadata_writes = 0;  // synchronous writes actually issued
+  uint64_t group_reads = 0;           // C-FFS group fetches triggered
+  void Reset() { *this = FsOpStats{}; }
+};
+
+}  // namespace cffs::fs
+
+#endif  // CFFS_FS_COMMON_FS_TYPES_H_

@@ -1,0 +1,57 @@
+#include "src/fs/common/inode.h"
+
+#include <cstring>
+
+#include "src/util/bytes.h"
+
+namespace cffs::fs {
+
+// Layout (offsets within the 128-byte image):
+//   0  u16 type          2  u16 nlink        4  u32 flags
+//   8  u64 size         16  i64 mtime_ns    24  u64 parent
+//  32  u64 self         40  u32 direct[12]  88  u32 indirect
+//  92  u32 dindirect    96  u32 group_start 100 u16 group_len
+// 102  u16 spare        104 u32 active_group
+// 108..127 reserved (zero)
+void InodeData::Encode(std::span<uint8_t> buf, size_t off) const {
+  std::memset(buf.data() + off, 0, kInodeSize);
+  PutU16(buf, off + 0, static_cast<uint16_t>(type));
+  PutU16(buf, off + 2, nlink);
+  PutU32(buf, off + 4, flags);
+  PutU64(buf, off + 8, size);
+  PutU64(buf, off + 16, static_cast<uint64_t>(mtime_ns));
+  PutU64(buf, off + 24, parent);
+  PutU64(buf, off + 32, self);
+  for (uint32_t i = 0; i < kDirectBlocks; ++i) {
+    PutU32(buf, off + 40 + i * 4, direct[i]);
+  }
+  PutU32(buf, off + 88, indirect);
+  PutU32(buf, off + 92, dindirect);
+  PutU32(buf, off + 96, group_start);
+  PutU16(buf, off + 100, group_len);
+  PutU16(buf, off + 102, spare);
+  PutU32(buf, off + 104, active_group);
+}
+
+InodeData InodeData::Decode(std::span<const uint8_t> buf, size_t off) {
+  InodeData d;
+  d.type = static_cast<FileType>(GetU16(buf, off + 0));
+  d.nlink = GetU16(buf, off + 2);
+  d.flags = GetU32(buf, off + 4);
+  d.size = GetU64(buf, off + 8);
+  d.mtime_ns = static_cast<int64_t>(GetU64(buf, off + 16));
+  d.parent = GetU64(buf, off + 24);
+  d.self = GetU64(buf, off + 32);
+  for (uint32_t i = 0; i < kDirectBlocks; ++i) {
+    d.direct[i] = GetU32(buf, off + 40 + i * 4);
+  }
+  d.indirect = GetU32(buf, off + 88);
+  d.dindirect = GetU32(buf, off + 92);
+  d.group_start = GetU32(buf, off + 96);
+  d.group_len = GetU16(buf, off + 100);
+  d.spare = GetU16(buf, off + 102);
+  d.active_group = GetU32(buf, off + 104);
+  return d;
+}
+
+}  // namespace cffs::fs

@@ -1,0 +1,48 @@
+// On-disk inode image, shared by the conventional FFS and by C-FFS
+// (embedded and externalized inodes use the same 128-byte layout).
+#ifndef CFFS_FS_COMMON_INODE_H_
+#define CFFS_FS_COMMON_INODE_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "src/fs/common/fs_types.h"
+#include "src/util/sim_time.h"
+
+namespace cffs::fs {
+
+struct InodeData {
+  FileType type = FileType::kFree;
+  uint16_t nlink = 0;
+  uint32_t flags = 0;
+  uint64_t size = 0;
+  int64_t mtime_ns = 0;
+  InodeNum parent = kInvalidInode;  // directories: the containing directory
+  InodeNum self = kInvalidInode;    // own number; validates embedded lookups
+
+  std::array<uint32_t, kDirectBlocks> direct{};  // 0 = hole
+  uint32_t indirect = 0;
+  uint32_t dindirect = 0;
+
+  // C-FFS explicit grouping: extent of the group that holds this file's
+  // (small) data blocks; 0 = not grouped.
+  uint32_t group_start = 0;
+  uint16_t group_len = 0;
+  uint16_t spare = 0;
+  // Directories: start block of the group currently taking new allocations.
+  uint32_t active_group = 0;
+
+  bool is_dir() const { return type == FileType::kDirectory; }
+  bool is_free() const { return type == FileType::kFree; }
+
+  uint64_t BlockCount() const { return (size + kBlockSize - 1) / kBlockSize; }
+
+  // Serialize into exactly kInodeSize bytes at buf[off..].
+  void Encode(std::span<uint8_t> buf, size_t off) const;
+  static InodeData Decode(std::span<const uint8_t> buf, size_t off);
+};
+
+}  // namespace cffs::fs
+
+#endif  // CFFS_FS_COMMON_INODE_H_

@@ -1,0 +1,120 @@
+#include "src/fs/common/path.h"
+
+namespace cffs::fs {
+
+std::vector<std::string_view> SplitPath(std::string_view path) {
+  std::vector<std::string_view> parts;
+  size_t i = 0;
+  while (i < path.size()) {
+    while (i < path.size() && path[i] == '/') ++i;
+    size_t j = i;
+    while (j < path.size() && path[j] != '/') ++j;
+    if (j > i) parts.push_back(path.substr(i, j - i));
+    i = j;
+  }
+  return parts;
+}
+
+Result<InodeNum> PathOps::Resolve(std::string_view path) {
+  InodeNum cur = fs_->root();
+  for (std::string_view part : SplitPath(path)) {
+    if (part == ".") continue;
+    if (part == "..") {
+      ASSIGN_OR_RETURN(Attr attr, fs_->GetAttr(cur));
+      if (attr.type != FileType::kDirectory) return NotDirectory(std::string(part));
+      ASSIGN_OR_RETURN(InodeNum parent, fs_->Lookup(cur, ".."));
+      cur = parent;
+      continue;
+    }
+    ASSIGN_OR_RETURN(InodeNum next, fs_->Lookup(cur, part));
+    cur = next;
+  }
+  return cur;
+}
+
+Result<std::pair<InodeNum, std::string_view>> PathOps::ResolveParent(
+    std::string_view path) {
+  auto parts = SplitPath(path);
+  if (parts.empty()) return InvalidArgument("path has no leaf");
+  const std::string_view leaf = parts.back();
+  InodeNum cur = fs_->root();
+  for (size_t i = 0; i + 1 < parts.size(); ++i) {
+    if (parts[i] == ".") continue;
+    if (parts[i] == "..") {
+      ASSIGN_OR_RETURN(InodeNum parent, fs_->Lookup(cur, ".."));
+      cur = parent;
+      continue;
+    }
+    ASSIGN_OR_RETURN(InodeNum next, fs_->Lookup(cur, parts[i]));
+    cur = next;
+  }
+  return std::make_pair(cur, leaf);
+}
+
+Result<InodeNum> PathOps::CreateFile(std::string_view path) {
+  ASSIGN_OR_RETURN(auto pl, ResolveParent(path));
+  return fs_->Create(pl.first, pl.second);
+}
+
+Result<InodeNum> PathOps::Mkdir(std::string_view path) {
+  ASSIGN_OR_RETURN(auto pl, ResolveParent(path));
+  return fs_->Mkdir(pl.first, pl.second);
+}
+
+Result<InodeNum> PathOps::MkdirAll(std::string_view path) {
+  InodeNum cur = fs_->root();
+  for (std::string_view part : SplitPath(path)) {
+    if (part == ".") continue;
+    Result<InodeNum> next = fs_->Lookup(cur, part);
+    if (next.ok()) {
+      cur = *next;
+      continue;
+    }
+    if (next.status().code() != ErrorCode::kNotFound) return next.status();
+    ASSIGN_OR_RETURN(InodeNum made, fs_->Mkdir(cur, part));
+    cur = made;
+  }
+  return cur;
+}
+
+Status PathOps::Unlink(std::string_view path) {
+  ASSIGN_OR_RETURN(auto pl, ResolveParent(path));
+  return fs_->Unlink(pl.first, pl.second);
+}
+
+Status PathOps::Rmdir(std::string_view path) {
+  ASSIGN_OR_RETURN(auto pl, ResolveParent(path));
+  return fs_->Rmdir(pl.first, pl.second);
+}
+
+Status PathOps::Rename(std::string_view from, std::string_view to) {
+  ASSIGN_OR_RETURN(auto src, ResolveParent(from));
+  ASSIGN_OR_RETURN(auto dst, ResolveParent(to));
+  return fs_->Rename(src.first, src.second, dst.first, dst.second);
+}
+
+Status PathOps::WriteFile(std::string_view path, std::span<const uint8_t> data) {
+  Result<InodeNum> ino = Resolve(path);
+  if (!ino.ok()) {
+    if (ino.status().code() != ErrorCode::kNotFound) return ino.status();
+    ASSIGN_OR_RETURN(InodeNum made, CreateFile(path));
+    ino = made;
+  }
+  RETURN_IF_ERROR(fs_->Truncate(*ino, 0));
+  ASSIGN_OR_RETURN(uint64_t n, fs_->Write(*ino, 0, data));
+  if (n != data.size()) return IoError("short write");
+  return OkStatus();
+}
+
+Result<std::vector<uint8_t>> PathOps::ReadFile(std::string_view path) {
+  ASSIGN_OR_RETURN(InodeNum ino, Resolve(path));
+  ASSIGN_OR_RETURN(Attr attr, fs_->GetAttr(ino));
+  std::vector<uint8_t> data(attr.size);
+  if (attr.size > 0) {
+    ASSIGN_OR_RETURN(uint64_t n, fs_->Read(ino, 0, data));
+    data.resize(n);
+  }
+  return data;
+}
+
+}  // namespace cffs::fs

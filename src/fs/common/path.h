@@ -1,0 +1,48 @@
+// Path-based convenience layer over the inode-based FileSystem interface.
+//
+// Paths are absolute, '/'-separated; "." and ".." components are resolved
+// (".." via the parent pointer kept in every directory inode).
+#ifndef CFFS_FS_COMMON_PATH_H_
+#define CFFS_FS_COMMON_PATH_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/fs/common/file_system.h"
+
+namespace cffs::fs {
+
+// Splits "/a/b/c" into {"a","b","c"}. Empty components are dropped.
+std::vector<std::string_view> SplitPath(std::string_view path);
+
+class PathOps {
+ public:
+  explicit PathOps(FileSystem* fs) : fs_(fs) {}
+
+  Result<InodeNum> Resolve(std::string_view path);
+  // Resolves all but the last component; returns (dir inode, leaf name).
+  Result<std::pair<InodeNum, std::string_view>> ResolveParent(
+      std::string_view path);
+
+  Result<InodeNum> CreateFile(std::string_view path);
+  Result<InodeNum> Mkdir(std::string_view path);
+  // mkdir -p semantics.
+  Result<InodeNum> MkdirAll(std::string_view path);
+  Status Unlink(std::string_view path);
+  Status Rmdir(std::string_view path);
+  Status Rename(std::string_view from, std::string_view to);
+
+  // Whole-file helpers (create if needed on write).
+  Status WriteFile(std::string_view path, std::span<const uint8_t> data);
+  Result<std::vector<uint8_t>> ReadFile(std::string_view path);
+
+  FileSystem* fs() { return fs_; }
+
+ private:
+  FileSystem* fs_;
+};
+
+}  // namespace cffs::fs
+
+#endif  // CFFS_FS_COMMON_PATH_H_

@@ -1,0 +1,404 @@
+#include "src/fs/ffs/ffs.h"
+
+#include <cstring>
+
+#include "src/fs/common/bitmap.h"
+#include "src/util/bytes.h"
+
+namespace cffs::fs {
+
+namespace {
+constexpr uint32_t kFfsMagic = 0x46465331;  // "FFS1"
+}  // namespace
+
+FfsFileSystem::FfsFileSystem(cache::BufferCache* cache, SimClock* clock,
+                             MetadataPolicy policy, FfsParams params,
+                             uint32_t ncg)
+    : FsBase(cache, clock, policy), params_(params), ncg_(ncg) {
+  alloc_ = std::make_unique<CgAllocator>(cache, MakeLayouts());
+}
+
+std::vector<CgLayout> FfsFileSystem::MakeLayouts() const {
+  std::vector<CgLayout> layouts;
+  const uint32_t itb = InodeTableBlocks();
+  for (uint32_t cg = 0; cg < ncg_; ++cg) {
+    CgLayout g;
+    g.first_block = CgBase(cg);
+    g.blocks = params_.blocks_per_cg;
+    g.bitmap_block = g.first_block;          // [0] block bitmap
+    g.resv_block = 0;                        // FFS has no reservations
+    g.data_start = g.first_block + 2 + itb;  // [1] inode bitmap, then table
+    layouts.push_back(g);
+  }
+  return layouts;
+}
+
+uint32_t FfsFileSystem::InodeBitmapBlock(uint32_t cg) const {
+  return CgBase(cg) + 1;
+}
+
+Result<std::unique_ptr<FfsFileSystem>> FfsFileSystem::Format(
+    cache::BufferCache* cache, SimClock* clock, const FfsParams& params,
+    MetadataPolicy policy) {
+  const uint64_t total = cache->device()->block_count();
+  if (params.inodes_per_cg % 32 != 0 || params.blocks_per_cg > kBlockSize * 8) {
+    return InvalidArgument("bad FFS parameters");
+  }
+  const uint32_t itb = params.inodes_per_cg * kInodeSize / kBlockSize;
+  if (params.blocks_per_cg < itb + 16) {
+    return InvalidArgument("cylinder group too small for inode table");
+  }
+  const uint32_t ncg =
+      static_cast<uint32_t>((total - 1) / params.blocks_per_cg);
+  if (ncg == 0) return InvalidArgument("device too small");
+
+  auto fs = std::unique_ptr<FfsFileSystem>(
+      new FfsFileSystem(cache, clock, policy, params, ncg));
+  RETURN_IF_ERROR(fs->alloc_->FormatBitmaps());
+
+  // Zero the inode bitmaps; inode table blocks are zeroed lazily on first
+  // use (GetZero) — their bitmap bits already say "free".
+  for (uint32_t cg = 0; cg < ncg; ++cg) {
+    ASSIGN_OR_RETURN(cache::BufferRef bm,
+                     cache->GetZero(fs->InodeBitmapBlock(cg)));
+    std::memset(bm.data().data(), 0, kBlockSize);
+    cache->MarkDirty(bm);
+  }
+  // Inode table blocks must be zeroed on disk so LoadInode of a free slot
+  // decodes as kFree; create them as zero dirty blocks.
+  for (uint32_t cg = 0; cg < ncg; ++cg) {
+    for (uint32_t b = 0; b < fs->InodeTableBlocks(); ++b) {
+      ASSIGN_OR_RETURN(cache::BufferRef tb,
+                       cache->GetZero(fs->InodeTableStart(cg) + b));
+      cache->MarkDirty(tb);
+    }
+  }
+
+  // Root directory: inode 1 (cg 0, slot 0).
+  {
+    ASSIGN_OR_RETURN(cache::BufferRef bm,
+                     cache->Get(fs->InodeBitmapBlock(0)));
+    BitSet(bm.data(), 0);
+    cache->MarkDirty(bm);
+  }
+  InodeData root;
+  root.type = FileType::kDirectory;
+  root.nlink = 1;
+  root.self = kRootInum;
+  root.parent = kRootInum;
+  root.mtime_ns = clock->now().nanos();
+  RETURN_IF_ERROR(fs->StoreInode(kRootInum, root, /*order_critical=*/false));
+
+  RETURN_IF_ERROR(fs->WriteSuperblock());
+  RETURN_IF_ERROR(fs->Sync());
+  return fs;
+}
+
+Result<std::unique_ptr<FfsFileSystem>> FfsFileSystem::Mount(
+    cache::BufferCache* cache, SimClock* clock, MetadataPolicy policy) {
+  ASSIGN_OR_RETURN(cache::BufferRef sb, cache->Get(0));
+  if (GetU32(sb.data(), 0) != kFfsMagic) return Corrupt("bad FFS magic");
+  FfsParams params;
+  params.blocks_per_cg = GetU32(sb.data(), 4);
+  params.inodes_per_cg = GetU32(sb.data(), 8);
+  const uint32_t ncg = GetU32(sb.data(), 12);
+  sb.Release();
+  auto fs = std::unique_ptr<FfsFileSystem>(
+      new FfsFileSystem(cache, clock, policy, params, ncg));
+  RETURN_IF_ERROR(fs->alloc_->RecountFree());
+  return fs;
+}
+
+Status FfsFileSystem::WriteSuperblock() {
+  ASSIGN_OR_RETURN(cache::BufferRef sb, cache_->GetZero(0));
+  std::memset(sb.data().data(), 0, kBlockSize);
+  PutU32(sb.data(), 0, kFfsMagic);
+  PutU32(sb.data(), 4, params_.blocks_per_cg);
+  PutU32(sb.data(), 8, params_.inodes_per_cg);
+  PutU32(sb.data(), 12, ncg_);
+  PutU64(sb.data(), 16, cache_->device()->block_count());
+  cache_->MarkDirty(sb);
+  return OkStatus();
+}
+
+Status FfsFileSystem::LocateInode(InodeNum num, uint32_t* bno,
+                                  uint32_t* off) const {
+  if (num == kInvalidInode ||
+      num > static_cast<uint64_t>(ncg_) * params_.inodes_per_cg) {
+    return BadHandle("inode number out of range");
+  }
+  const uint64_t idx0 = num - 1;
+  const uint32_t cg = static_cast<uint32_t>(idx0 / params_.inodes_per_cg);
+  const uint32_t slot = static_cast<uint32_t>(idx0 % params_.inodes_per_cg);
+  *bno = InodeTableStart(cg) + slot / (kBlockSize / kInodeSize);
+  *off = (slot % (kBlockSize / kInodeSize)) * kInodeSize;
+  return OkStatus();
+}
+
+Result<InodeData> FfsFileSystem::LoadInode(InodeNum num) {
+  uint32_t bno = 0, off = 0;
+  RETURN_IF_ERROR(LocateInode(num, &bno, &off));
+  ASSIGN_OR_RETURN(cache::BufferRef buf, cache_->Get(bno));
+  InodeData ino = InodeData::Decode(buf.data(), off);
+  if (ino.is_free()) return BadHandle("inode not allocated");
+  return ino;
+}
+
+Status FfsFileSystem::StoreInode(InodeNum num, const InodeData& ino,
+                                 bool order_critical) {
+  uint32_t bno = 0, off = 0;
+  RETURN_IF_ERROR(LocateInode(num, &bno, &off));
+  ASSIGN_OR_RETURN(cache::BufferRef buf, cache_->Get(bno));
+  ino.Encode(buf.data(), off);
+  return MetaDirty(buf, order_critical);
+}
+
+Result<bool> FfsFileSystem::InodeIsAllocated(InodeNum num) {
+  if (num == kInvalidInode ||
+      num > static_cast<uint64_t>(ncg_) * params_.inodes_per_cg) {
+    return false;
+  }
+  const uint64_t idx0 = num - 1;
+  const uint32_t cg = static_cast<uint32_t>(idx0 / params_.inodes_per_cg);
+  const uint32_t slot = static_cast<uint32_t>(idx0 % params_.inodes_per_cg);
+  ASSIGN_OR_RETURN(cache::BufferRef bm, cache_->Get(InodeBitmapBlock(cg)));
+  return BitGet(bm.data(), slot);
+}
+
+Result<InodeNum> FfsFileSystem::AllocInode(InodeNum dir_num, bool is_dir) {
+  const uint32_t home = is_dir ? (dir_rotor_++ % ncg_) : CgOfInode(dir_num);
+  for (uint32_t n = 0; n < ncg_; ++n) {
+    const uint32_t cg = (home + n) % ncg_;
+    ASSIGN_OR_RETURN(cache::BufferRef bm, cache_->Get(InodeBitmapBlock(cg)));
+    std::optional<uint32_t> slot =
+        FindClearBit(bm.data(), params_.inodes_per_cg, 0);
+    if (!slot) continue;
+    BitSet(bm.data(), *slot);
+    // Inode bitmap updates are delayed, like block bitmaps.
+    cache_->MarkDirty(bm);
+    return 1 + static_cast<uint64_t>(cg) * params_.inodes_per_cg + *slot;
+  }
+  return NoSpace("out of inodes");
+}
+
+Status FfsFileSystem::FreeInode(InodeNum num) {
+  const uint64_t idx0 = num - 1;
+  const uint32_t cg = static_cast<uint32_t>(idx0 / params_.inodes_per_cg);
+  const uint32_t slot = static_cast<uint32_t>(idx0 % params_.inodes_per_cg);
+  ASSIGN_OR_RETURN(cache::BufferRef bm, cache_->Get(InodeBitmapBlock(cg)));
+  if (!BitGet(bm.data(), slot)) return Corrupt("double inode free");
+  BitClear(bm.data(), slot);
+  cache_->MarkDirty(bm);
+  return OkStatus();
+}
+
+Result<uint32_t> FfsFileSystem::AllocDataBlock(InodeNum num, InodeData* ino,
+                                               uint64_t idx,
+                                               uint64_t size_hint_blocks) {
+  (void)size_hint_blocks;  // FFS placement does not depend on file size
+  // Goal: right after the file's previous block; for a file's first block,
+  // the start of the inode's cylinder group data area.
+  uint32_t goal = alloc_->layout(CgOfInode(num) % alloc_->cg_count()).data_start;
+  if (idx > 0) {
+    const BmapOps ops = MakeReadOnlyBmapOps();
+    Result<uint32_t> prev = BmapRead(ops, *ino, idx - 1);
+    if (prev.ok() && *prev != 0) goal = *prev + 1;
+  }
+  return alloc_->AllocNear(goal);
+}
+
+Result<uint32_t> FfsFileSystem::AllocMetaBlock(InodeNum num,
+                                               const InodeData& ino) {
+  uint32_t goal = ino.direct[0] != 0
+                      ? ino.direct[0]
+                      : alloc_->layout(CgOfInode(num) % alloc_->cg_count()).data_start;
+  return alloc_->AllocNear(goal);
+}
+
+Status FfsFileSystem::FreeBlock(uint32_t bno) { return alloc_->Free(bno); }
+
+Result<InodeNum> FfsFileSystem::Create(InodeNum dir, std::string_view name) {
+  ++op_stats_.creates;
+  ASSIGN_OR_RETURN(InodeData d, LoadInode(dir));
+  if (!d.is_dir()) return NotDirectory("create in non-directory");
+  if (DirFind(d, name).ok()) return Exists(std::string(name));
+
+  ASSIGN_OR_RETURN(InodeNum inum, AllocInode(dir, /*is_dir=*/false));
+  InodeData ino;
+  ino.type = FileType::kRegular;
+  ino.nlink = 1;
+  ino.self = inum;
+  ino.parent = dir;
+  ino.mtime_ns = NowNs();
+  // Ordered update #1: the inode must be on disk before the name that
+  // references it.
+  RETURN_IF_ERROR(StoreInode(inum, ino, /*order_critical=*/true));
+
+  bool dir_dirty = false;
+  ASSIGN_OR_RETURN(DirSlot slot, DirAdd(dir, &d, name, kExternalRecord, inum,
+                                        nullptr, &dir_dirty));
+  // Ordered update #2: the directory block.
+  RETURN_IF_ERROR(SyncMetaBlock(slot.bno, /*order_critical=*/true));
+  if (dir_dirty) {
+    // The directory grew: its inode (new block pointer, size) must reach
+    // the disk before the operation is durable.
+    RETURN_IF_ERROR(StoreInode(dir, d, /*order_critical=*/true));
+  }
+  return inum;
+}
+
+Result<InodeNum> FfsFileSystem::Mkdir(InodeNum dir, std::string_view name) {
+  ++op_stats_.mkdirs;
+  ASSIGN_OR_RETURN(InodeData d, LoadInode(dir));
+  if (!d.is_dir()) return NotDirectory("mkdir in non-directory");
+  if (DirFind(d, name).ok()) return Exists(std::string(name));
+
+  ASSIGN_OR_RETURN(InodeNum inum, AllocInode(dir, /*is_dir=*/true));
+  InodeData ino;
+  ino.type = FileType::kDirectory;
+  ino.nlink = 1;
+  ino.self = inum;
+  ino.parent = dir;
+  ino.mtime_ns = NowNs();
+  RETURN_IF_ERROR(StoreInode(inum, ino, /*order_critical=*/true));
+
+  bool dir_dirty = false;
+  ASSIGN_OR_RETURN(DirSlot slot, DirAdd(dir, &d, name, kExternalRecord, inum,
+                                        nullptr, &dir_dirty));
+  RETURN_IF_ERROR(SyncMetaBlock(slot.bno, /*order_critical=*/true));
+  if (dir_dirty) {
+    // The directory grew: its inode (new block pointer, size) must reach
+    // the disk before the operation is durable.
+    RETURN_IF_ERROR(StoreInode(dir, d, /*order_critical=*/true));
+  }
+  return inum;
+}
+
+Status FfsFileSystem::Unlink(InodeNum dir, std::string_view name) {
+  ++op_stats_.unlinks;
+  ASSIGN_OR_RETURN(InodeData d, LoadInode(dir));
+  if (!d.is_dir()) return NotDirectory("unlink in non-directory");
+  ASSIGN_OR_RETURN(DirSlot slot, DirFind(d, name));
+  const InodeNum inum = slot.rec.inum;
+  ASSIGN_OR_RETURN(InodeData ino, LoadInode(inum));
+  if (ino.is_dir()) return IsDirectory(std::string(name));
+
+  // Ordered update #1: remove the name before freeing the inode.
+  RETURN_IF_ERROR(DirRemove(slot.bno, slot.rec.offset));
+  RETURN_IF_ERROR(SyncMetaBlock(slot.bno, /*order_critical=*/true));
+
+  if (ino.nlink > 1) {
+    --ino.nlink;
+    return StoreInode(inum, ino, /*order_critical=*/true);
+  }
+  // Free data; 4.4BSD's ffs_truncate writes the zero-length inode
+  // synchronously before the blocks are freed (ordered update #2)...
+  BmapOps ops = MakeBmapOps(inum, &ino);
+  RETURN_IF_ERROR(BmapTruncate(ops, &ino, 0));
+  ino.size = 0;
+  RETURN_IF_ERROR(StoreInode(inum, ino, /*order_critical=*/true));
+  // ...and inode deallocation rewrites it once more (ordered update #3).
+  InodeData cleared;
+  cleared.self = inum;
+  RETURN_IF_ERROR(StoreInode(inum, cleared, /*order_critical=*/true));
+  return FreeInode(inum);
+}
+
+Status FfsFileSystem::Rmdir(InodeNum dir, std::string_view name) {
+  ASSIGN_OR_RETURN(InodeData d, LoadInode(dir));
+  if (!d.is_dir()) return NotDirectory("rmdir in non-directory");
+  ASSIGN_OR_RETURN(DirSlot slot, DirFind(d, name));
+  const InodeNum inum = slot.rec.inum;
+  ASSIGN_OR_RETURN(InodeData ino, LoadInode(inum));
+  if (!ino.is_dir()) return NotDirectory(std::string(name));
+  ASSIGN_OR_RETURN(bool empty, DirIsEmpty(ino));
+  if (!empty) return NotEmpty(std::string(name));
+
+  RETURN_IF_ERROR(DirRemove(slot.bno, slot.rec.offset));
+  RETURN_IF_ERROR(SyncMetaBlock(slot.bno, /*order_critical=*/true));
+
+  BmapOps ops = MakeBmapOps(inum, &ino);
+  RETURN_IF_ERROR(BmapTruncate(ops, &ino, 0));
+  InodeData cleared;
+  cleared.self = inum;
+  RETURN_IF_ERROR(StoreInode(inum, cleared, /*order_critical=*/true));
+  return FreeInode(inum);
+}
+
+Status FfsFileSystem::Link(InodeNum dir, std::string_view name,
+                           InodeNum target) {
+  ASSIGN_OR_RETURN(InodeData d, LoadInode(dir));
+  if (!d.is_dir()) return NotDirectory("link in non-directory");
+  if (DirFind(d, name).ok()) return Exists(std::string(name));
+  ASSIGN_OR_RETURN(InodeData tino, LoadInode(target));
+  if (tino.is_dir()) return IsDirectory("hard link to directory");
+
+  ++tino.nlink;
+  // Inode (with the higher link count) goes to disk before the new name.
+  RETURN_IF_ERROR(StoreInode(target, tino, /*order_critical=*/true));
+  bool dir_dirty = false;
+  ASSIGN_OR_RETURN(DirSlot slot, DirAdd(dir, &d, name, kExternalRecord,
+                                        target, nullptr, &dir_dirty));
+  RETURN_IF_ERROR(SyncMetaBlock(slot.bno, /*order_critical=*/true));
+  if (dir_dirty) {
+    // The directory grew: its inode (new block pointer, size) must reach
+    // the disk before the operation is durable.
+    RETURN_IF_ERROR(StoreInode(dir, d, /*order_critical=*/true));
+  }
+  return OkStatus();
+}
+
+Status FfsFileSystem::Rename(InodeNum old_dir, std::string_view old_name,
+                             InodeNum new_dir, std::string_view new_name) {
+  ASSIGN_OR_RETURN(InodeData od, LoadInode(old_dir));
+  if (!od.is_dir()) return NotDirectory("rename source dir");
+  ASSIGN_OR_RETURN(InodeData nd, LoadInode(new_dir));
+  if (!nd.is_dir()) return NotDirectory("rename target dir");
+  ASSIGN_OR_RETURN(DirSlot src, DirFind(od, old_name));
+  if (DirFind(nd, new_name).ok()) return Exists(std::string(new_name));
+
+  const InodeNum inum = src.rec.inum;
+  {
+    ASSIGN_OR_RETURN(InodeData moved, LoadInode(inum));
+    if (moved.is_dir()) RETURN_IF_ERROR(CheckRenameLoop(inum, new_dir));
+  }
+  // New name first (sync), then remove the old one — a crash in between
+  // leaves an extra link, never a lost file.
+  InodeData* nd_ptr = (new_dir == old_dir) ? &od : &nd;
+  bool dir_dirty = false;
+  ASSIGN_OR_RETURN(DirSlot dst, DirAdd(new_dir, nd_ptr, new_name,
+                                       kExternalRecord, inum, nullptr,
+                                       &dir_dirty));
+  RETURN_IF_ERROR(SyncMetaBlock(dst.bno, /*order_critical=*/true));
+  if (dir_dirty) {
+    RETURN_IF_ERROR(StoreInode(new_dir, *nd_ptr, /*order_critical=*/true));
+  }
+  // Re-find the source: DirAdd may have changed the source block if the
+  // two directories are the same.
+  ASSIGN_OR_RETURN(InodeData od2, LoadInode(old_dir));
+  ASSIGN_OR_RETURN(DirSlot src2, DirFind(od2, old_name));
+  RETURN_IF_ERROR(DirRemove(src2.bno, src2.rec.offset));
+  RETURN_IF_ERROR(SyncMetaBlock(src2.bno, /*order_critical=*/true));
+
+  ASSIGN_OR_RETURN(InodeData moved, LoadInode(inum));
+  if (moved.is_dir() && moved.parent != new_dir) {
+    moved.parent = new_dir;
+    RETURN_IF_ERROR(StoreInode(inum, moved, /*order_critical=*/false));
+  }
+  return OkStatus();
+}
+
+Status FfsFileSystem::Sync() {
+  RETURN_IF_ERROR(WriteSuperblock());
+  return cache_->SyncAll();
+}
+
+Result<FsSpaceInfo> FfsFileSystem::SpaceInfo() {
+  FsSpaceInfo info;
+  info.total_blocks = cache_->device()->block_count();
+  info.free_blocks = alloc_->free_blocks();
+  info.metadata_blocks = 1 + static_cast<uint64_t>(ncg_) * (2 + InodeTableBlocks());
+  return info;
+}
+
+}  // namespace cffs::fs

@@ -1,0 +1,107 @@
+#include "src/sim/sim_env.h"
+
+namespace cffs::sim {
+
+std::string FsKindName(FsKind kind) {
+  switch (kind) {
+    case FsKind::kFfs: return "ffs";
+    case FsKind::kConventional: return "conventional";
+    case FsKind::kEmbedOnly: return "embedded-only";
+    case FsKind::kGroupOnly: return "grouping-only";
+    case FsKind::kCffs: return "c-ffs";
+  }
+  return "?";
+}
+
+SimEnv::SimEnv(FsKind kind, const SimConfig& config)
+    : kind_(kind), config_(config) {
+  disk_ = std::make_unique<disk::DiskModel>(config.disk_spec, &clock_);
+  device_ = std::make_unique<blk::BlockDevice>(disk_.get(), config.scheduler);
+  cache_ = std::make_unique<cache::BufferCache>(device_.get(),
+                                                config.cache_blocks);
+}
+
+Result<std::unique_ptr<SimEnv>> SimEnv::Create(FsKind kind,
+                                               const SimConfig& config) {
+  auto env = std::unique_ptr<SimEnv>(new SimEnv(kind, config));
+  if (kind == FsKind::kFfs) {
+    fs::FfsParams params;
+    params.blocks_per_cg = config.blocks_per_cg;
+    ASSIGN_OR_RETURN(auto fs, fs::FfsFileSystem::Format(
+                                  env->cache_.get(), &env->clock_, params,
+                                  config.metadata));
+    env->fs_ = std::move(fs);
+  } else {
+    fs::CffsOptions options;
+    options.blocks_per_cg = config.blocks_per_cg;
+    options.group_blocks = config.group_blocks;
+    options.embed_inodes =
+        kind == FsKind::kEmbedOnly || kind == FsKind::kCffs;
+    options.grouping = kind == FsKind::kGroupOnly || kind == FsKind::kCffs;
+    ASSIGN_OR_RETURN(auto fs, fs::CffsFileSystem::Format(
+                                  env->cache_.get(), &env->clock_, options,
+                                  config.metadata));
+    env->fs_ = std::move(fs);
+  }
+  env->path_ = std::make_unique<fs::PathOps>(env->fs_.get());
+  return env;
+}
+
+void SimEnv::ChargeCpu(uint64_t bytes) {
+  SimTime t = config_.cpu_per_op;
+  if (bytes > 0) {
+    t += SimTime::Nanos(config_.cpu_per_kb.nanos() *
+                        static_cast<int64_t>((bytes + 1023) / 1024));
+  }
+  clock_.AdvanceBy(t);
+}
+
+Status SimEnv::ColdCache() {
+  RETURN_IF_ERROR(fs_->Sync());
+  cache_->InvalidateAll();
+  return OkStatus();
+}
+
+void SimEnv::ResetStats() {
+  disk_->stats().Reset();
+  device_->stats().Reset();
+  cache_->stats().Reset();
+  fs_->op_stats().Reset();
+}
+
+Result<size_t> SimEnv::CrashAndRemount() {
+  path_.reset();
+  fs_.reset();
+  const size_t lost = cache_->CrashDropAll();
+  if (kind_ == FsKind::kFfs) {
+    ASSIGN_OR_RETURN(auto fs, fs::FfsFileSystem::Mount(
+                                  cache_.get(), &clock_, config_.metadata));
+    fs_ = std::move(fs);
+  } else {
+    ASSIGN_OR_RETURN(auto fs, fs::CffsFileSystem::Mount(
+                                  cache_.get(), &clock_, config_.metadata));
+    fs_ = std::move(fs);
+  }
+  path_ = std::make_unique<fs::PathOps>(fs_.get());
+  return lost;
+}
+
+Status SimEnv::Remount() {
+  RETURN_IF_ERROR(fs_->Sync());
+  path_.reset();
+  fs_.reset();
+  cache_->InvalidateAll();
+  if (kind_ == FsKind::kFfs) {
+    ASSIGN_OR_RETURN(auto fs, fs::FfsFileSystem::Mount(
+                                  cache_.get(), &clock_, config_.metadata));
+    fs_ = std::move(fs);
+  } else {
+    ASSIGN_OR_RETURN(auto fs, fs::CffsFileSystem::Mount(
+                                  cache_.get(), &clock_, config_.metadata));
+    fs_ = std::move(fs);
+  }
+  path_ = std::make_unique<fs::PathOps>(fs_.get());
+  return OkStatus();
+}
+
+}  // namespace cffs::sim

@@ -1,0 +1,77 @@
+// Little-endian byte (de)serialization helpers for on-disk structures.
+//
+// Every on-disk structure in this repo is written and read through these
+// helpers rather than memcpy of host structs, so images are portable and
+// layouts are explicit.
+#ifndef CFFS_UTIL_BYTES_H_
+#define CFFS_UTIL_BYTES_H_
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cffs {
+
+inline void PutU16(std::span<uint8_t> buf, size_t off, uint16_t v) {
+  assert(off + 2 <= buf.size());
+  buf[off] = static_cast<uint8_t>(v & 0xff);
+  buf[off + 1] = static_cast<uint8_t>(v >> 8);
+}
+
+inline void PutU32(std::span<uint8_t> buf, size_t off, uint32_t v) {
+  assert(off + 4 <= buf.size());
+  for (int i = 0; i < 4; ++i) buf[off + i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+inline void PutU64(std::span<uint8_t> buf, size_t off, uint64_t v) {
+  assert(off + 8 <= buf.size());
+  for (int i = 0; i < 8; ++i) buf[off + i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+inline uint16_t GetU16(std::span<const uint8_t> buf, size_t off) {
+  assert(off + 2 <= buf.size());
+  return static_cast<uint16_t>(buf[off] | (buf[off + 1] << 8));
+}
+
+inline uint32_t GetU32(std::span<const uint8_t> buf, size_t off) {
+  assert(off + 4 <= buf.size());
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(buf[off + i]) << (8 * i);
+  return v;
+}
+
+inline uint64_t GetU64(std::span<const uint8_t> buf, size_t off) {
+  assert(off + 8 <= buf.size());
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(buf[off + i]) << (8 * i);
+  return v;
+}
+
+inline void PutBytes(std::span<uint8_t> buf, size_t off, std::string_view s) {
+  assert(off + s.size() <= buf.size());
+  std::memcpy(buf.data() + off, s.data(), s.size());
+}
+
+inline std::string GetBytes(std::span<const uint8_t> buf, size_t off, size_t len) {
+  assert(off + len <= buf.size());
+  return std::string(reinterpret_cast<const char*>(buf.data() + off), len);
+}
+
+// Fletcher-style 64-bit checksum used by the superblock and fsck to detect
+// media corruption in tests.
+inline uint64_t Checksum64(std::span<const uint8_t> data) {
+  uint64_t a = 1, b = 0;
+  for (uint8_t byte : data) {
+    a = (a + byte) % 0xfffffffbULL;
+    b = (b + a) % 0xfffffffbULL;
+  }
+  return (b << 32) | a;
+}
+
+}  // namespace cffs
+
+#endif  // CFFS_UTIL_BYTES_H_

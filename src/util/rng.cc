@@ -1,0 +1,27 @@
+#include "src/util/rng.h"
+
+namespace cffs {
+
+double Rng::NextNormal(double mean, double stddev) {
+  // Box-Muller. Draw both uniforms every call so the stream advances by a
+  // fixed amount per sample.
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  if (u1 <= 0.0) u1 = 1e-300;
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * 3.14159265358979323846 * u2;
+  return mean + stddev * r * std::cos(theta);
+}
+
+std::string Rng::NextName(int min_len, int max_len) {
+  assert(min_len >= 1 && max_len >= min_len);
+  const int len = static_cast<int>(Range(min_len, max_len));
+  std::string out;
+  out.reserve(static_cast<size_t>(len));
+  for (int i = 0; i < len; ++i) {
+    out.push_back(static_cast<char>('a' + Below(26)));
+  }
+  return out;
+}
+
+}  // namespace cffs

@@ -1,0 +1,96 @@
+// Deterministic PRNG for workload generation and tests.
+//
+// xoshiro256** by Blackman & Vigna (public domain reference implementation,
+// re-derived here). Deterministic across platforms, unlike std::mt19937
+// paired with std:: distributions whose outputs are unspecified.
+#ifndef CFFS_UTIL_RNG_H_
+#define CFFS_UTIL_RNG_H_
+
+#include <array>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+namespace cffs {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) { Seed(seed); }
+
+  // Re-seeds via splitmix64 so that nearby seeds give unrelated streams.
+  void Seed(uint64_t seed) {
+    uint64_t x = seed;
+    for (auto& word : s_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  uint64_t Below(uint64_t bound) {
+    assert(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t threshold = (~bound + 1) % bound;  // == 2^64 % bound
+    for (;;) {
+      uint64_t r = Next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  bool Chance(double p) { return NextDouble() < p; }
+
+  // Exponentially distributed value with the given mean.
+  double NextExponential(double mean) {
+    double u = NextDouble();
+    if (u >= 1.0) u = 0.9999999999999999;
+    return -mean * std::log(1.0 - u);
+  }
+
+  // Standard normal via Box-Muller (one value per call; second discarded to
+  // keep the stream position deterministic regardless of call pattern).
+  double NextNormal(double mean, double stddev);
+
+  // Lognormal sample: exp(N(mu, sigma)).
+  double NextLogNormal(double mu, double sigma) {
+    return std::exp(NextNormal(mu, sigma));
+  }
+
+  // Random lowercase name of length [min_len, max_len].
+  std::string NextName(int min_len, int max_len);
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  std::array<uint64_t, 4> s_{};
+};
+
+}  // namespace cffs
+
+#endif  // CFFS_UTIL_RNG_H_

@@ -1,0 +1,68 @@
+// Simulated time.
+//
+// All disk-model and file-system timing in this repository is expressed in
+// SimTime: a 64-bit count of nanoseconds of simulated time. Using an integer
+// tick keeps the simulation deterministic and exactly reproducible; helper
+// constructors/readers convert to the units the paper reports (ms, seconds).
+#ifndef CFFS_UTIL_SIM_TIME_H_
+#define CFFS_UTIL_SIM_TIME_H_
+
+#include <compare>
+#include <cstdint>
+
+namespace cffs {
+
+class SimTime {
+ public:
+  constexpr SimTime() : ns_(0) {}
+
+  static constexpr SimTime Nanos(int64_t ns) { return SimTime(ns); }
+  static constexpr SimTime Micros(int64_t us) { return SimTime(us * 1000); }
+  static constexpr SimTime Millis(double ms) {
+    return SimTime(static_cast<int64_t>(ms * 1e6));
+  }
+  static constexpr SimTime Seconds(double s) {
+    return SimTime(static_cast<int64_t>(s * 1e9));
+  }
+  static constexpr SimTime Zero() { return SimTime(0); }
+  static constexpr SimTime Max() { return SimTime(INT64_MAX); }
+
+  constexpr int64_t nanos() const { return ns_; }
+  constexpr double micros() const { return static_cast<double>(ns_) / 1e3; }
+  constexpr double millis() const { return static_cast<double>(ns_) / 1e6; }
+  constexpr double seconds() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr SimTime operator+(SimTime other) const { return SimTime(ns_ + other.ns_); }
+  constexpr SimTime operator-(SimTime other) const { return SimTime(ns_ - other.ns_); }
+  constexpr SimTime operator*(int64_t k) const { return SimTime(ns_ * k); }
+  SimTime& operator+=(SimTime other) { ns_ += other.ns_; return *this; }
+  SimTime& operator-=(SimTime other) { ns_ -= other.ns_; return *this; }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+ private:
+  constexpr explicit SimTime(int64_t ns) : ns_(ns) {}
+  int64_t ns_;
+};
+
+// The simulation clock. Owned by the simulation environment; the disk model
+// advances it as requests complete, and workloads read it to compute
+// simulated throughput.
+class SimClock {
+ public:
+  SimTime now() const { return now_; }
+
+  // Advance to an absolute time. Time never moves backwards.
+  void AdvanceTo(SimTime t) {
+    if (t > now_) now_ = t;
+  }
+  void AdvanceBy(SimTime d) { now_ += d; }
+  void Reset() { now_ = SimTime::Zero(); }
+
+ private:
+  SimTime now_;
+};
+
+}  // namespace cffs
+
+#endif  // CFFS_UTIL_SIM_TIME_H_

@@ -1,0 +1,37 @@
+#include "src/util/status.h"
+
+namespace cffs {
+
+std::string_view ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "OK";
+    case ErrorCode::kNotFound: return "not found";
+    case ErrorCode::kExists: return "already exists";
+    case ErrorCode::kNotDirectory: return "not a directory";
+    case ErrorCode::kIsDirectory: return "is a directory";
+    case ErrorCode::kNotEmpty: return "directory not empty";
+    case ErrorCode::kNoSpace: return "no space";
+    case ErrorCode::kInvalidArgument: return "invalid argument";
+    case ErrorCode::kNameTooLong: return "name too long";
+    case ErrorCode::kTooManyLinks: return "too many links";
+    case ErrorCode::kIoError: return "I/O error";
+    case ErrorCode::kCorrupt: return "corrupt structure";
+    case ErrorCode::kBusy: return "busy";
+    case ErrorCode::kOutOfRange: return "out of range";
+    case ErrorCode::kUnsupported: return "unsupported";
+    case ErrorCode::kBadHandle: return "bad handle";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(ErrorCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace cffs

@@ -1,0 +1,141 @@
+// Status and Result<T>: lightweight error handling for the C-FFS libraries.
+//
+// The core libraries never throw; fallible operations return Status (or
+// Result<T> when they also produce a value). Codes mirror the errno values a
+// POSIX file system would surface so that examples and tests read naturally.
+#ifndef CFFS_UTIL_STATUS_H_
+#define CFFS_UTIL_STATUS_H_
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace cffs {
+
+enum class ErrorCode : int32_t {
+  kOk = 0,
+  kNotFound,        // ENOENT
+  kExists,          // EEXIST
+  kNotDirectory,    // ENOTDIR
+  kIsDirectory,     // EISDIR
+  kNotEmpty,        // ENOTEMPTY
+  kNoSpace,         // ENOSPC
+  kInvalidArgument, // EINVAL
+  kNameTooLong,     // ENAMETOOLONG
+  kTooManyLinks,    // EMLINK
+  kIoError,         // EIO
+  kCorrupt,         // corrupted on-disk structure
+  kBusy,            // EBUSY
+  kOutOfRange,      // request past device / file limits
+  kUnsupported,     // operation not implemented by this file system
+  kBadHandle,       // stale or invalid file handle
+};
+
+// Human-readable name for an ErrorCode ("kNoSpace" -> "no space").
+std::string_view ErrorCodeName(ErrorCode code);
+
+// A success-or-error value. Cheap to copy on the success path (no
+// allocation); carries an optional message on the error path.
+class [[nodiscard]] Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+
+  static Status Ok() { return Status(); }
+  static Status Error(ErrorCode code, std::string message = {}) {
+    assert(code != ErrorCode::kOk);
+    Status s;
+    s.code_ = code;
+    s.message_ = std::move(message);
+    return s;
+  }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "kNoSpace: group allocation failed" or "OK".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status::Ok(); }
+inline Status NotFound(std::string m = {}) { return Status::Error(ErrorCode::kNotFound, std::move(m)); }
+inline Status Exists(std::string m = {}) { return Status::Error(ErrorCode::kExists, std::move(m)); }
+inline Status NotDirectory(std::string m = {}) { return Status::Error(ErrorCode::kNotDirectory, std::move(m)); }
+inline Status IsDirectory(std::string m = {}) { return Status::Error(ErrorCode::kIsDirectory, std::move(m)); }
+inline Status NotEmpty(std::string m = {}) { return Status::Error(ErrorCode::kNotEmpty, std::move(m)); }
+inline Status NoSpace(std::string m = {}) { return Status::Error(ErrorCode::kNoSpace, std::move(m)); }
+inline Status InvalidArgument(std::string m = {}) { return Status::Error(ErrorCode::kInvalidArgument, std::move(m)); }
+inline Status NameTooLong(std::string m = {}) { return Status::Error(ErrorCode::kNameTooLong, std::move(m)); }
+inline Status IoError(std::string m = {}) { return Status::Error(ErrorCode::kIoError, std::move(m)); }
+inline Status Corrupt(std::string m = {}) { return Status::Error(ErrorCode::kCorrupt, std::move(m)); }
+inline Status OutOfRange(std::string m = {}) { return Status::Error(ErrorCode::kOutOfRange, std::move(m)); }
+inline Status Unsupported(std::string m = {}) { return Status::Error(ErrorCode::kUnsupported, std::move(m)); }
+inline Status BadHandle(std::string m = {}) { return Status::Error(ErrorCode::kBadHandle, std::move(m)); }
+
+// Result<T>: either a value or an error Status. Like absl::StatusOr.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Result(Status status) : v_(std::move(status)) {    // NOLINT(google-explicit-constructor)
+    assert(!std::get<Status>(v_).ok() && "Result must not hold an OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(v_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  Status status() const {
+    if (ok()) return OkStatus();
+    return std::get<Status>(v_);
+  }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+// Propagate errors: RETURN_IF_ERROR(WriteBlock(...));
+#define CFFS_CONCAT_INNER(a, b) a##b
+#define CFFS_CONCAT(a, b) CFFS_CONCAT_INNER(a, b)
+
+#define RETURN_IF_ERROR(expr)                     \
+  do {                                            \
+    ::cffs::Status cffs_status_ = (expr);         \
+    if (!cffs_status_.ok()) return cffs_status_;  \
+  } while (0)
+
+// ASSIGN_OR_RETURN(auto block, cache->Get(addr));
+#define ASSIGN_OR_RETURN(decl, expr)                         \
+  auto CFFS_CONCAT(cffs_result_, __LINE__) = (expr);         \
+  if (!CFFS_CONCAT(cffs_result_, __LINE__).ok())             \
+    return CFFS_CONCAT(cffs_result_, __LINE__).status();     \
+  decl = std::move(CFFS_CONCAT(cffs_result_, __LINE__)).value()
+
+}  // namespace cffs
+
+#endif  // CFFS_UTIL_STATUS_H_

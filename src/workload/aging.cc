@@ -1,0 +1,96 @@
+#include "src/workload/aging.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cffs::workload {
+
+uint64_t SampleFileSize(Rng* rng, uint64_t max_bytes) {
+  // Log-normal with median 2 KB, sigma 1.6: P(size < 8 KB) ~= 0.81,
+  // matching "79% of all files on our file servers are less than 8 KB".
+  const double ln_median = std::log(2048.0);
+  const double bytes = rng->NextLogNormal(ln_median, 1.6);
+  const uint64_t clamped = static_cast<uint64_t>(
+      std::clamp(bytes, 1.0, static_cast<double>(max_bytes)));
+  return clamped;
+}
+
+Result<AgingResult> AgeFileSystem(sim::SimEnv* env, const AgingParams& params) {
+  Rng rng(params.seed);
+  auto& p = env->path();
+  AgingResult result;
+
+  for (uint32_t d = 0; d < params.num_dirs; ++d) {
+    RETURN_IF_ERROR(p.MkdirAll("/age" + std::to_string(d)).status());
+  }
+
+  // Utilization is absolute: fraction of the device's allocatable blocks in
+  // use, so repeated aging calls converge on the target instead of
+  // compounding relative to whatever was free at entry.
+  ASSIGN_OR_RETURN(fs::FsSpaceInfo space0, env->fs()->SpaceInfo());
+  const uint64_t usable = space0.total_blocks - space0.metadata_blocks;
+
+  std::vector<std::pair<std::string, uint64_t>> live;  // path, bytes
+  std::vector<uint8_t> payload(params.max_file_bytes, 0x5a);
+  uint64_t name_counter = 0;
+
+  // Phase 1: fill to the target utilization (creates only), so the churn
+  // phase below operates at the intended fullness.
+  for (uint64_t guard = 0; guard < 1u << 20; ++guard) {
+    ASSIGN_OR_RETURN(fs::FsSpaceInfo space, env->fs()->SpaceInfo());
+    const double util = 1.0 - static_cast<double>(space.free_blocks) / usable;
+    if (util >= params.target_utilization) break;
+    const uint64_t bytes = SampleFileSize(&rng, params.max_file_bytes);
+    if (space.free_blocks * fs::kBlockSize < bytes + (256 << 10)) break;
+    const std::string path = "/age" + std::to_string(rng.Below(params.num_dirs)) +
+                             "/g" + std::to_string(name_counter++);
+    env->ChargeCpu(bytes);
+    RETURN_IF_ERROR(p.WriteFile(path, std::span(payload.data(), bytes)));
+    live.emplace_back(path, bytes);
+    ++result.creates;
+  }
+
+  // Phase 2: churn around the target.
+  for (uint64_t op = 0; op < params.operations; ++op) {
+    ASSIGN_OR_RETURN(fs::FsSpaceInfo space, env->fs()->SpaceInfo());
+    const double util =
+        1.0 - static_cast<double>(space.free_blocks) / usable;
+    // Creation probability: 0.5 at target utilization, pushed toward 1
+    // below it and toward 0 above (the Herrin-style centring).
+    const double pc = std::clamp(
+        0.5 + 2.0 * (params.target_utilization - util), 0.02, 0.98);
+    const bool create = live.empty() || rng.Chance(pc);
+
+    if (create) {
+      const uint64_t bytes = SampleFileSize(&rng, params.max_file_bytes);
+      if (space.free_blocks * fs::kBlockSize < bytes + (64 << 10)) {
+        continue;  // too full for this file; next op will likely delete
+      }
+      const std::string path = "/age" + std::to_string(rng.Below(params.num_dirs)) +
+                               "/g" + std::to_string(name_counter++);
+      env->ChargeCpu(bytes);
+      RETURN_IF_ERROR(p.WriteFile(path, std::span(payload.data(), bytes)));
+      live.emplace_back(path, bytes);
+      ++result.creates;
+    } else {
+      const size_t victim = rng.Below(live.size());
+      env->ChargeCpu();
+      RETURN_IF_ERROR(p.Unlink(live[victim].first));
+      live[victim] = live.back();
+      live.pop_back();
+      ++result.deletes;
+    }
+  }
+  RETURN_IF_ERROR(env->fs()->Sync());
+
+  ASSIGN_OR_RETURN(fs::FsSpaceInfo space, env->fs()->SpaceInfo());
+  result.final_utilization =
+      1.0 - static_cast<double>(space.free_blocks) / usable;
+  result.surviving_files.reserve(live.size());
+  for (auto& [path, bytes] : live) {
+    result.surviving_files.push_back(std::move(path));
+  }
+  return result;
+}
+
+}  // namespace cffs::workload

@@ -1,0 +1,43 @@
+// File-system aging, paper §4.3: "we use an aging program similar to that
+// described in [Herrin93]. The program simply creates and deletes a large
+// number of files. The probability that the next operation performed is a
+// file creation (rather than a deletion) is taken from a distribution
+// centered around a desired file system utilization."
+//
+// File sizes follow a log-normal distribution calibrated to the paper's
+// observation that 79% of files are smaller than 8 KB.
+#ifndef CFFS_WORKLOAD_AGING_H_
+#define CFFS_WORKLOAD_AGING_H_
+
+#include <string>
+#include <vector>
+
+#include "src/sim/sim_env.h"
+#include "src/util/rng.h"
+
+namespace cffs::workload {
+
+struct AgingParams {
+  uint64_t operations = 20000;
+  double target_utilization = 0.5;  // fraction of data blocks in use
+  uint32_t num_dirs = 50;
+  uint64_t seed = 7;
+  uint64_t max_file_bytes = 256 * 1024;
+};
+
+struct AgingResult {
+  uint64_t creates = 0;
+  uint64_t deletes = 0;
+  double final_utilization = 0;
+  std::vector<std::string> surviving_files;
+};
+
+// Draws a file size (bytes >= 1) from the calibrated distribution.
+uint64_t SampleFileSize(Rng* rng, uint64_t max_bytes);
+
+// Ages the file system in place; the clock advances with the simulated I/O.
+Result<AgingResult> AgeFileSystem(sim::SimEnv* env, const AgingParams& params);
+
+}  // namespace cffs::workload
+
+#endif  // CFFS_WORKLOAD_AGING_H_

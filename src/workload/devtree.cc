@@ -1,0 +1,232 @@
+#include "src/workload/devtree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/bytes.h"
+
+namespace cffs::workload {
+
+namespace {
+
+class AppRecorder {
+ public:
+  AppRecorder(sim::SimEnv* env, std::string app)
+      : env_(env), app_(std::move(app)) {
+    start_ = env->clock().now();
+    reqs0_ = env->disk().stats().total_requests();
+  }
+  AppResult Finish(uint64_t bytes) const {
+    AppResult r;
+    r.app = app_;
+    r.seconds = (env_->clock().now() - start_).seconds();
+    r.disk_requests = env_->disk().stats().total_requests() - reqs0_;
+    r.bytes_moved = bytes;
+    return r;
+  }
+
+ private:
+  sim::SimEnv* env_;
+  std::string app_;
+  SimTime start_;
+  uint64_t reqs0_;
+};
+
+uint64_t SourceSize(Rng* rng) {
+  // Sources: log-normal, median 3 KB, capped at 64 KB.
+  const double b = rng->NextLogNormal(std::log(3072.0), 1.0);
+  return static_cast<uint64_t>(std::clamp(b, 256.0, 65536.0));
+}
+
+std::vector<uint8_t> FilePayload(Rng* rng, uint64_t bytes) {
+  std::vector<uint8_t> data(bytes);
+  for (auto& c : data) c = static_cast<uint8_t>('a' + rng->Below(26));
+  return data;
+}
+
+}  // namespace
+
+Result<DevTree> GenerateSourceTree(sim::SimEnv* env, std::string root,
+                                   const DevTreeParams& params) {
+  Rng rng(params.seed);
+  DevTree tree;
+  tree.root = root;
+  auto& p = env->path();
+  RETURN_IF_ERROR(p.MkdirAll(root).status());
+
+  for (uint32_t d = 0; d < params.num_dirs; ++d) {
+    const std::string dir = root + "/pkg" + std::to_string(d);
+    RETURN_IF_ERROR(p.MkdirAll(dir).status());
+    tree.dirs.push_back(dir);
+    for (uint32_t h = 0; h < params.headers_per_dir; ++h) {
+      const std::string path = dir + "/h" + std::to_string(h) + ".h";
+      const uint64_t bytes = std::min<uint64_t>(SourceSize(&rng), 8192);
+      auto data = FilePayload(&rng, bytes);
+      env->ChargeCpu(bytes);
+      RETURN_IF_ERROR(p.WriteFile(path, data));
+      tree.headers.push_back(path);
+      tree.total_bytes += bytes;
+    }
+    for (uint32_t s = 0; s < params.sources_per_dir; ++s) {
+      const std::string path = dir + "/c" + std::to_string(s) + ".c";
+      const uint64_t bytes = SourceSize(&rng);
+      auto data = FilePayload(&rng, bytes);
+      env->ChargeCpu(bytes);
+      RETURN_IF_ERROR(p.WriteFile(path, data));
+      tree.sources.push_back(path);
+      tree.total_bytes += bytes;
+    }
+  }
+  RETURN_IF_ERROR(env->fs()->Sync());
+  return tree;
+}
+
+Result<AppResult> RunCopy(sim::SimEnv* env, const DevTree& tree,
+                          std::string dst_root) {
+  auto& p = env->path();
+  AppRecorder rec(env, "copy");
+  uint64_t bytes = 0;
+  RETURN_IF_ERROR(p.MkdirAll(dst_root).status());
+  for (const std::string& dir : tree.dirs) {
+    const std::string dst_dir = dst_root + dir.substr(tree.root.size());
+    RETURN_IF_ERROR(p.MkdirAll(dst_dir).status());
+  }
+  auto copy_one = [&](const std::string& path) -> Status {
+    env->ChargeCpu();
+    ASSIGN_OR_RETURN(std::vector<uint8_t> data, p.ReadFile(path));
+    const std::string dst = dst_root + path.substr(tree.root.size());
+    env->ChargeCpu(data.size());
+    RETURN_IF_ERROR(p.WriteFile(dst, data));
+    bytes += 2 * data.size();
+    return OkStatus();
+  };
+  for (const std::string& path : tree.headers) RETURN_IF_ERROR(copy_one(path));
+  for (const std::string& path : tree.sources) RETURN_IF_ERROR(copy_one(path));
+  RETURN_IF_ERROR(env->fs()->Sync());
+  return rec.Finish(bytes);
+}
+
+Result<AppResult> RunArchive(sim::SimEnv* env, const DevTree& tree,
+                             std::string archive_path) {
+  auto& p = env->path();
+  AppRecorder rec(env, "archive");
+
+  // Tar-like stream: [u32 path_len][path][u64 data_len][data]...
+  ASSIGN_OR_RETURN(fs::InodeNum out, p.CreateFile(archive_path));
+  uint64_t off = 0;
+  uint64_t bytes = 0;
+
+  std::vector<std::string> all = tree.headers;
+  all.insert(all.end(), tree.sources.begin(), tree.sources.end());
+  std::sort(all.begin(), all.end());  // archive in namespace order, like tar
+
+  for (const std::string& path : all) {
+    env->ChargeCpu();
+    ASSIGN_OR_RETURN(std::vector<uint8_t> data, p.ReadFile(path));
+    std::vector<uint8_t> header(12 + path.size());
+    PutU32(header, 0, static_cast<uint32_t>(path.size()));
+    PutBytes(header, 4, path);
+    PutU64(header, 4 + path.size(), data.size());
+    env->ChargeCpu(header.size() + data.size());
+    ASSIGN_OR_RETURN(uint64_t n1, env->fs()->Write(out, off, header));
+    off += n1;
+    ASSIGN_OR_RETURN(uint64_t n2, env->fs()->Write(out, off, data));
+    off += n2;
+    bytes += n1 + n2;
+  }
+  RETURN_IF_ERROR(env->fs()->Sync());
+  return rec.Finish(bytes);
+}
+
+Result<AppResult> RunUnarchive(sim::SimEnv* env, std::string archive_path,
+                               std::string dst_root) {
+  auto& p = env->path();
+  AppRecorder rec(env, "unarchive");
+  ASSIGN_OR_RETURN(fs::InodeNum in, p.Resolve(archive_path));
+  ASSIGN_OR_RETURN(fs::Attr attr, env->fs()->GetAttr(in));
+  RETURN_IF_ERROR(p.MkdirAll(dst_root).status());
+
+  uint64_t off = 0;
+  uint64_t bytes = 0;
+  std::vector<uint8_t> lenbuf(12);
+  while (off < attr.size) {
+    env->ChargeCpu();
+    ASSIGN_OR_RETURN(uint64_t n, env->fs()->Read(in, off, std::span(lenbuf.data(), 4)));
+    if (n < 4) return Corrupt("truncated archive header");
+    const uint32_t path_len = GetU32(lenbuf, 0);
+    std::vector<uint8_t> pathbuf(path_len + 8);
+    ASSIGN_OR_RETURN(uint64_t n2, env->fs()->Read(in, off + 4, pathbuf));
+    if (n2 < pathbuf.size()) return Corrupt("truncated archive entry");
+    const std::string path(reinterpret_cast<const char*>(pathbuf.data()),
+                           path_len);
+    const uint64_t data_len = GetU64(pathbuf, path_len);
+    std::vector<uint8_t> data(data_len);
+    ASSIGN_OR_RETURN(uint64_t n3, env->fs()->Read(in, off + 12 + path_len, data));
+    if (n3 < data_len) return Corrupt("truncated archive data");
+    off += 12 + path_len + data_len;
+
+    // Rewrite under dst_root, creating package directories on demand.
+    const size_t slash = path.find('/', 1);
+    const std::string rel = path.substr(slash == std::string::npos ? 0 : slash);
+    const std::string dst = dst_root + rel;
+    const size_t last_slash = dst.rfind('/');
+    RETURN_IF_ERROR(p.MkdirAll(dst.substr(0, last_slash)).status());
+    env->ChargeCpu(data.size());
+    RETURN_IF_ERROR(p.WriteFile(dst, data));
+    bytes += data.size();
+  }
+  RETURN_IF_ERROR(env->fs()->Sync());
+  return rec.Finish(bytes);
+}
+
+Result<AppResult> RunCompile(sim::SimEnv* env, const DevTree& tree) {
+  auto& p = env->path();
+  AppRecorder rec(env, "compile");
+  Rng rng(tree.sources.size());
+  uint64_t bytes = 0;
+
+  // Each compilation unit reads its source plus a few headers from its own
+  // package (plus one cross-package header), then writes a .o about 1.5x
+  // the source size. Finally every .o is read once and one executable is
+  // written ("link").
+  uint64_t exe_bytes = 0;
+  std::vector<std::string> objects;
+  for (const std::string& src : tree.sources) {
+    env->ChargeCpu();
+    ASSIGN_OR_RETURN(std::vector<uint8_t> code, p.ReadFile(src));
+    bytes += code.size();
+    const size_t dir_end = src.rfind('/');
+    const std::string dir = src.substr(0, dir_end);
+    for (int h = 0; h < 3; ++h) {
+      const std::string& header =
+          tree.headers[rng.Below(tree.headers.size())];
+      env->ChargeCpu();
+      ASSIGN_OR_RETURN(std::vector<uint8_t> inc, p.ReadFile(header));
+      bytes += inc.size();
+    }
+    // CPU time for the compile itself (dominated by I/O on 1996 hardware
+    // for small units, but not free).
+    env->ChargeCpu(code.size() * 4);
+    const uint64_t obj_bytes = code.size() * 3 / 2 + 512;
+    std::vector<uint8_t> obj(obj_bytes, 0x7f);
+    const std::string obj_path = src.substr(0, src.size() - 2) + ".o";
+    env->ChargeCpu(obj_bytes);
+    RETURN_IF_ERROR(p.WriteFile(obj_path, obj));
+    objects.push_back(obj_path);
+    bytes += obj_bytes;
+    exe_bytes += obj_bytes / 2;
+  }
+  for (const std::string& obj : objects) {
+    env->ChargeCpu();
+    ASSIGN_OR_RETURN(std::vector<uint8_t> data, p.ReadFile(obj));
+    bytes += data.size();
+  }
+  std::vector<uint8_t> exe(exe_bytes, 0x7f);
+  env->ChargeCpu(exe_bytes);
+  RETURN_IF_ERROR(p.WriteFile(tree.root + "/a.out", exe));
+  bytes += exe_bytes;
+  RETURN_IF_ERROR(env->fs()->Sync());
+  return rec.Finish(bytes);
+}
+
+}  // namespace cffs::workload

@@ -1,0 +1,74 @@
+#include "src/workload/interference.h"
+
+#include "src/util/rng.h"
+
+namespace cffs::workload {
+
+Result<InterferenceResult> RunInterference(sim::SimEnv* env,
+                                           const InterferenceParams& params) {
+  auto& p = env->path();
+  Rng rng(params.seed);
+
+  // Foreground set: small files, directory by directory.
+  std::vector<uint8_t> payload(params.file_bytes, 0x6b);
+  const uint32_t per_dir =
+      (params.foreground_files + params.foreground_dirs - 1) /
+      params.foreground_dirs;
+  std::vector<std::string> fg_paths;
+  for (uint32_t i = 0; i < params.foreground_files; ++i) {
+    const std::string dir = "/fg" + std::to_string(i / per_dir);
+    RETURN_IF_ERROR(p.MkdirAll(dir).status());
+    const std::string path = dir + "/f" + std::to_string(i);
+    env->ChargeCpu(params.file_bytes);
+    RETURN_IF_ERROR(p.WriteFile(path, payload));
+    fg_paths.push_back(path);
+  }
+
+  // Background set: a few large files elsewhere on the disk; the disturber
+  // reads random blocks of them, dragging the arm away.
+  RETURN_IF_ERROR(p.MkdirAll("/bg").status());
+  std::vector<fs::InodeNum> bg_files;
+  std::vector<uint8_t> big(512 * 1024, 0x11);
+  for (int i = 0; i < 4; ++i) {
+    const std::string path = "/bg/big" + std::to_string(i);
+    RETURN_IF_ERROR(p.WriteFile(path, big));
+    ASSIGN_OR_RETURN(fs::InodeNum ino, p.Resolve(path));
+    bg_files.push_back(ino);
+  }
+  RETURN_IF_ERROR(env->ColdCache());
+  env->ResetStats();
+
+  InterferenceResult result;
+  const SimTime t0 = env->clock().now();
+  std::vector<uint8_t> buf(params.file_bytes);
+  std::vector<uint8_t> bg_buf(fs::kBlockSize);
+  uint32_t since_disturb = 0;
+
+  for (const std::string& path : fg_paths) {
+    // Interleave background arm movement.
+    if (params.disturb_every != 0 &&
+        ++since_disturb >= params.disturb_every) {
+      since_disturb = 0;
+      const fs::InodeNum bg = bg_files[rng.Below(bg_files.size())];
+      const uint64_t off =
+          rng.Below(big.size() / fs::kBlockSize) * fs::kBlockSize;
+      env->ChargeCpu(fs::kBlockSize);
+      RETURN_IF_ERROR(env->fs()->Read(bg, off, bg_buf).status());
+    }
+
+    const SimTime start = env->clock().now();
+    env->ChargeCpu();
+    ASSIGN_OR_RETURN(fs::InodeNum ino, p.Resolve(path));
+    env->ChargeCpu(params.file_bytes);
+    ASSIGN_OR_RETURN(uint64_t n, env->fs()->Read(ino, 0, buf));
+    if (n != params.file_bytes) return IoError("short foreground read");
+    result.foreground_read.Record(env->clock().now() - start);
+  }
+
+  const double secs = (env->clock().now() - t0).seconds();
+  result.foreground_files_per_sec = params.foreground_files / secs;
+  result.disk_requests = env->disk().stats().total_requests();
+  return result;
+}
+
+}  // namespace cffs::workload

@@ -1,0 +1,42 @@
+// Interference experiment (paper §2): locality-based placement "is
+// successful only when no other activity moves the disk arm between
+// related requests", while grouping moves a whole unit per request and is
+// therefore robust to interleaving.
+//
+// Two independent streams run on the same file system with their
+// operations interleaved: a foreground stream reading the small files of
+// its directories in order, and a background "disturber" stream touching
+// files far away on the disk. Per-file read latency of the foreground
+// stream is reported with and without the disturber.
+#ifndef CFFS_WORKLOAD_INTERFERENCE_H_
+#define CFFS_WORKLOAD_INTERFERENCE_H_
+
+#include "src/sim/sim_env.h"
+#include "src/util/histogram.h"
+
+namespace cffs::workload {
+
+struct InterferenceParams {
+  uint32_t foreground_files = 800;
+  uint32_t foreground_dirs = 8;
+  uint32_t file_bytes = 1024;
+  // Background ops interleaved between consecutive foreground reads
+  // (0 = no interference).
+  uint32_t disturb_every = 1;
+  uint64_t seed = 5;
+};
+
+struct InterferenceResult {
+  LatencyHistogram foreground_read;  // per-file read latency
+  double foreground_files_per_sec = 0;
+  uint64_t disk_requests = 0;
+};
+
+// Creates both working sets, makes the cache cold, then runs the
+// interleaved read phase.
+Result<InterferenceResult> RunInterference(sim::SimEnv* env,
+                                           const InterferenceParams& params);
+
+}  // namespace cffs::workload
+
+#endif  // CFFS_WORKLOAD_INTERFERENCE_H_

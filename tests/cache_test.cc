@@ -1,0 +1,267 @@
+// Unit tests for the block device and the dual-indexed buffer cache.
+#include <gtest/gtest.h>
+
+#include "src/cache/buffer_cache.h"
+#include "src/disk/disk_model.h"
+
+namespace cffs {
+namespace {
+
+class CacheTest : public ::testing::Test {
+ protected:
+  CacheTest()
+      : model_(disk::TestDisk(256, 4, 64), &clock_),
+        dev_(&model_, disk::SchedulerPolicy::kCLook),
+        cache_(&dev_, 64) {}
+
+  SimClock clock_;
+  disk::DiskModel model_;
+  blk::BlockDevice dev_;
+  cache::BufferCache cache_;
+};
+
+TEST_F(CacheTest, MissReadsFromDiskHitDoesNot) {
+  auto a = cache_.Get(42);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(dev_.stats().reads, 1u);
+  a->data()[0] = 9;
+  a.value().Release();
+  auto b = cache_.Get(42);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(dev_.stats().reads, 1u);  // served from cache
+  EXPECT_EQ(b->data()[0], 9);
+}
+
+TEST_F(CacheTest, GetZeroClearsStaleResidentContents) {
+  // Regression: a group read can insert a block that is still FREE on
+  // disk; when that block is later allocated (e.g. as an indirect block),
+  // GetZero must hand back zeroes, not the stale data — otherwise garbage
+  // is interpreted as block pointers (observed as a cross-link corruption
+  // under near-full churn).
+  ASSERT_TRUE(cache_.ReadGroup(600, 4).ok());
+  {
+    auto stale = cache_.Lookup(602);
+    ASSERT_TRUE(stale.ok());
+    (*stale)->data()[0] = 0x5a;  // simulate old file contents
+  }
+  auto fresh = cache_.GetZero(602);
+  ASSERT_TRUE(fresh.ok());
+  for (uint8_t b : (*fresh)->data()) ASSERT_EQ(b, 0);
+}
+
+TEST_F(CacheTest, GetZeroAvoidsDiskRead) {
+  auto a = cache_.GetZero(10);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(dev_.stats().reads, 0u);
+  for (uint8_t b : a->data()) EXPECT_EQ(b, 0);
+}
+
+TEST_F(CacheTest, DirtyDataSurvivesEvictionViaWriteback) {
+  {
+    auto a = cache_.GetZero(5);
+    ASSERT_TRUE(a.ok());
+    a->data()[0] = 0x77;
+    cache_.MarkDirty(*a);
+  }
+  // Evict block 5 by filling the cache with other blocks.
+  for (uint64_t b = 100; b < 100 + 80; ++b) {
+    auto r = cache_.GetZero(b);
+    ASSERT_TRUE(r.ok());
+  }
+  EXPECT_GE(cache_.stats().evictions, 1u);
+  auto back = cache_.Get(5);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->data()[0], 0x77);
+}
+
+TEST_F(CacheTest, PinnedBuffersAreNotEvicted) {
+  auto pinned = cache_.GetZero(1);
+  ASSERT_TRUE(pinned.ok());
+  pinned->data()[0] = 0xee;
+  for (uint64_t b = 100; b < 100 + 100; ++b) {
+    auto r = cache_.GetZero(b);
+    ASSERT_TRUE(r.ok());
+  }
+  // Still resident and identical (the pin protected it).
+  EXPECT_EQ(pinned->data()[0], 0xee);
+  auto again = cache_.Lookup(1);
+  EXPECT_TRUE(again.ok());
+}
+
+TEST_F(CacheTest, LruOrderEvictsColdest) {
+  auto a = cache_.GetZero(1);
+  a.value().Release();
+  auto b = cache_.GetZero(2);
+  b.value().Release();
+  // Touch 1 again so 2 is the LRU.
+  cache_.Lookup(1).value().Release();
+  for (uint64_t blk = 100; blk < 100 + 63; ++blk) {
+    cache_.GetZero(blk).value().Release();
+  }
+  // 2 should be gone before 1.
+  EXPECT_FALSE(cache_.Lookup(2).ok());
+}
+
+TEST_F(CacheTest, LogicalIndexFindsBuffer) {
+  auto a = cache_.GetZero(77);
+  ASSERT_TRUE(a.ok());
+  cache_.Bind(*a, {.file = 5, .block_index = 3});
+  a.value().Release();
+  auto found = cache_.LookupLogical({.file = 5, .block_index = 3});
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ((*found)->bno(), 77u);
+  EXPECT_FALSE(cache_.LookupLogical({.file = 5, .block_index = 4}).ok());
+}
+
+TEST_F(CacheTest, RebindMovesLogicalIdentity) {
+  auto a = cache_.GetZero(77);
+  cache_.Bind(*a, {.file = 1, .block_index = 0});
+  cache_.Bind(*a, {.file = 2, .block_index = 0});
+  a.value().Release();
+  EXPECT_FALSE(cache_.LookupLogical({.file = 1, .block_index = 0}).ok());
+  EXPECT_TRUE(cache_.LookupLogical({.file = 2, .block_index = 0}).ok());
+}
+
+TEST_F(CacheTest, ReadGroupIsOneDiskCommand) {
+  ASSERT_TRUE(cache_.ReadGroup(200, 16).ok());
+  EXPECT_EQ(dev_.stats().reads, 1u);
+  EXPECT_EQ(dev_.stats().blocks_read, 16u);
+  // All 16 blocks resident without further I/O.
+  for (uint64_t b = 200; b < 216; ++b) {
+    EXPECT_TRUE(cache_.Lookup(b).ok()) << b;
+  }
+  EXPECT_EQ(dev_.stats().reads, 1u);
+}
+
+TEST_F(CacheTest, ReadGroupKeepsNewerDirtyCopy) {
+  {
+    auto a = cache_.GetZero(205);
+    a->data()[0] = 0x31;
+    cache_.MarkDirty(*a);
+  }
+  ASSERT_TRUE(cache_.ReadGroup(200, 16).ok());
+  auto b = cache_.Get(205);
+  EXPECT_EQ(b->data()[0], 0x31);  // dirty copy not clobbered
+}
+
+TEST_F(CacheTest, SyncBlockWritesThroughOnce) {
+  auto a = cache_.GetZero(9);
+  a->data()[0] = 1;
+  cache_.MarkDirty(*a);
+  a.value().Release();
+  EXPECT_EQ(cache_.dirty_count(), 1u);
+  ASSERT_TRUE(cache_.SyncBlock(9).ok());
+  EXPECT_EQ(cache_.dirty_count(), 0u);
+  EXPECT_EQ(dev_.stats().writes, 1u);
+  // Second sync is a no-op.
+  ASSERT_TRUE(cache_.SyncBlock(9).ok());
+  EXPECT_EQ(dev_.stats().writes, 1u);
+}
+
+TEST_F(CacheTest, SyncAllCoalescesSameUnitRuns) {
+  for (uint64_t b = 300; b < 316; ++b) {
+    auto r = cache_.GetZero(b);
+    cache_.MarkDirty(*r);
+    cache_.SetFlushUnit(*r, 300);
+  }
+  ASSERT_TRUE(cache_.SyncAll().ok());
+  EXPECT_EQ(dev_.stats().writes, 1u);  // one coalesced command
+  EXPECT_EQ(dev_.stats().blocks_written, 16u);
+}
+
+TEST_F(CacheTest, SyncAllDoesNotCoalesceDifferentUnits) {
+  for (uint64_t b = 300; b < 308; ++b) {
+    auto r = cache_.GetZero(b);
+    cache_.MarkDirty(*r);
+    cache_.SetFlushUnit(*r, b);  // every block its own unit
+  }
+  ASSERT_TRUE(cache_.SyncAll().ok());
+  EXPECT_EQ(dev_.stats().writes, 8u);
+}
+
+TEST_F(CacheTest, SyncAllFillsGapsWithResidentCleanBlocks) {
+  // Dirty 300 and 303 (same unit), clean-resident 301, 302: the flush
+  // should write 300..303 as one command.
+  for (uint64_t b = 301; b <= 302; ++b) {
+    cache_.GetZero(b).value().Release();
+  }
+  for (uint64_t b : {300, 303}) {
+    auto r = cache_.GetZero(b);
+    cache_.MarkDirty(*r);
+    cache_.SetFlushUnit(*r, 300);
+  }
+  ASSERT_TRUE(cache_.SyncAll().ok());
+  EXPECT_EQ(dev_.stats().writes, 1u);
+  EXPECT_EQ(dev_.stats().blocks_written, 4u);
+}
+
+TEST_F(CacheTest, SyncAllLeavesGapWhenBlockNotResident) {
+  for (uint64_t b : {400, 403}) {
+    auto r = cache_.GetZero(b);
+    cache_.MarkDirty(*r);
+    cache_.SetFlushUnit(*r, 400);
+  }
+  ASSERT_TRUE(cache_.SyncAll().ok());
+  EXPECT_EQ(dev_.stats().writes, 2u);  // cannot bridge 401-402
+}
+
+TEST_F(CacheTest, InvalidateDropsDirtyData) {
+  {
+    auto a = cache_.GetZero(11);
+    a->data()[0] = 0x55;
+    cache_.MarkDirty(*a);
+  }
+  cache_.Invalidate(11);
+  EXPECT_EQ(cache_.dirty_count(), 0u);
+  auto back = cache_.Get(11);  // re-reads from disk: zeros
+  EXPECT_EQ(back->data()[0], 0);
+}
+
+TEST_F(CacheTest, StatsTrackHitsAndMisses) {
+  cache_.Get(1).value().Release();
+  cache_.Get(1).value().Release();
+  cache_.Get(2).value().Release();
+  EXPECT_EQ(cache_.stats().misses, 2u);
+  EXPECT_EQ(cache_.stats().hits, 1u);
+}
+
+TEST(BlockDeviceTest, RunBoundsChecked) {
+  SimClock clock;
+  disk::DiskModel model(disk::TestDisk(64, 2, 32), &clock);
+  blk::BlockDevice dev(&model, disk::SchedulerPolicy::kCLook);
+  std::vector<uint8_t> buf(blk::kBlockSize * 4);
+  EXPECT_EQ(dev.ReadRun(dev.block_count() - 1, 2, buf).code(),
+            ErrorCode::kOutOfRange);
+  EXPECT_EQ(dev.WriteRun(dev.block_count(), 1, buf).code(),
+            ErrorCode::kOutOfRange);
+  EXPECT_EQ(dev.ReadRun(0, 0, buf).code(), ErrorCode::kOutOfRange);
+}
+
+TEST(BlockDeviceTest, WriteBatchSchedulesAndCoalesces) {
+  SimClock clock;
+  disk::DiskModel model(disk::TestDisk(256, 4, 64), &clock);
+  blk::BlockDevice dev(&model, disk::SchedulerPolicy::kCLook);
+  std::vector<uint8_t> data(blk::kBlockSize, 0xcd);
+  // Submit out of order; adjacent same-unit blocks must merge.
+  std::vector<blk::WriteOp> ops = {
+      {12, data.data(), 7}, {10, data.data(), 7}, {11, data.data(), 7},
+      {500, data.data(), 8}};
+  ASSERT_TRUE(dev.WriteBatch(ops).ok());
+  EXPECT_EQ(dev.stats().writes, 2u);  // [10..12] and [500]
+  EXPECT_EQ(dev.stats().blocks_written, 4u);
+}
+
+TEST(BlockDeviceTest, ReadRunMovesDataCorrectly) {
+  SimClock clock;
+  disk::DiskModel model(disk::TestDisk(256, 4, 64), &clock);
+  blk::BlockDevice dev(&model, disk::SchedulerPolicy::kCLook);
+  std::vector<uint8_t> in(blk::kBlockSize * 3);
+  for (size_t i = 0; i < in.size(); ++i) in[i] = static_cast<uint8_t>(i / 7);
+  ASSERT_TRUE(dev.WriteRun(20, 3, in).ok());
+  std::vector<uint8_t> out(in.size());
+  ASSERT_TRUE(dev.ReadRun(20, 3, out).ok());
+  EXPECT_EQ(in, out);
+}
+
+}  // namespace
+}  // namespace cffs

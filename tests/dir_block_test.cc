@@ -1,0 +1,258 @@
+// Unit and property tests for the directory block record format.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/fs/common/dir_block.h"
+#include "src/util/bytes.h"
+#include "src/util/rng.h"
+
+namespace cffs::fs {
+namespace {
+
+std::vector<uint8_t> FreshBlock() {
+  std::vector<uint8_t> block(kBlockSize);
+  InitDirBlock(block);
+  return block;
+}
+
+InodeData SampleInode(uint64_t tag) {
+  InodeData ino;
+  ino.type = FileType::kRegular;
+  ino.nlink = 1;
+  ino.size = tag * 3;
+  ino.self = tag;
+  return ino;
+}
+
+TEST(DirBlockTest, FreshBlockIsEmptyAndValid) {
+  auto block = FreshBlock();
+  EXPECT_TRUE(DirBlockEmpty(block));
+  int records = 0;
+  ASSERT_TRUE(ForEachDirRecord(block, [&](const DirRecord& r) {
+    ++records;
+    EXPECT_EQ(r.kind, kFreeRecord);
+    EXPECT_EQ(r.rec_len, kBlockSize);
+    return true;
+  }).ok());
+  EXPECT_EQ(records, 1);
+}
+
+TEST(DirBlockTest, AddAndFindExternalEntry) {
+  auto block = FreshBlock();
+  auto added = AddDirEntry(block, "hello.txt", kExternalRecord, 1234, nullptr);
+  ASSERT_TRUE(added.ok());
+  auto found = FindDirEntry(block, "hello.txt");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found->inum, 1234u);
+  EXPECT_EQ(found->kind, kExternalRecord);
+  EXPECT_FALSE(DirBlockEmpty(block));
+}
+
+TEST(DirBlockTest, AddEmbeddedEntryCarriesInodeImage) {
+  auto block = FreshBlock();
+  InodeData ino = SampleInode(99);
+  auto added = AddDirEntry(block, "data.bin", kEmbeddedRecord, 0, &ino);
+  ASSERT_TRUE(added.ok());
+  ASSERT_NE(added->inode_off, 0);
+  InodeData back = InodeData::Decode(block, added->inode_off);
+  EXPECT_EQ(back.size, ino.size);
+  EXPECT_EQ(back.self, ino.self);
+}
+
+TEST(DirBlockTest, LookupMissingNameFails) {
+  auto block = FreshBlock();
+  ASSERT_TRUE(AddDirEntry(block, "a", kExternalRecord, 1, nullptr).ok());
+  EXPECT_EQ(FindDirEntry(block, "b").status().code(), ErrorCode::kNotFound);
+  // Prefix / superstring must not match.
+  EXPECT_FALSE(FindDirEntry(block, "aa").ok());
+}
+
+TEST(DirBlockTest, EmptyAndOversizeNamesRejected) {
+  auto block = FreshBlock();
+  EXPECT_EQ(AddDirEntry(block, "", kExternalRecord, 1, nullptr).status().code(),
+            ErrorCode::kNameTooLong);
+  std::string huge(kMaxNameLen + 1, 'x');
+  EXPECT_EQ(
+      AddDirEntry(block, huge, kExternalRecord, 1, nullptr).status().code(),
+      ErrorCode::kNameTooLong);
+  std::string max_ok(kMaxNameLen, 'y');
+  EXPECT_TRUE(AddDirEntry(block, max_ok, kExternalRecord, 1, nullptr).ok());
+  EXPECT_TRUE(FindDirEntry(block, max_ok).ok());
+}
+
+TEST(DirBlockTest, FillsUntilNoSpace) {
+  auto block = FreshBlock();
+  int added = 0;
+  for (int i = 0; i < 1000; ++i) {
+    InodeData ino = SampleInode(i);
+    auto r = AddDirEntry(block, "file" + std::to_string(i), kEmbeddedRecord,
+                         0, &ino);
+    if (!r.ok()) {
+      EXPECT_EQ(r.status().code(), ErrorCode::kNoSpace);
+      break;
+    }
+    ++added;
+  }
+  // Embedded records are ~152 bytes; a 4 KB block holds ~26.
+  EXPECT_GE(added, 24);
+  EXPECT_LE(added, 28);
+}
+
+TEST(DirBlockTest, RemoveFreesAndCoalesces) {
+  auto block = FreshBlock();
+  std::vector<uint16_t> offsets;
+  for (int i = 0; i < 5; ++i) {
+    auto r = AddDirEntry(block, "f" + std::to_string(i), kExternalRecord,
+                         i + 1, nullptr);
+    ASSERT_TRUE(r.ok());
+    offsets.push_back(r->offset);
+  }
+  for (uint16_t off : offsets) {
+    ASSERT_TRUE(RemoveDirEntry(block, off).ok());
+  }
+  EXPECT_TRUE(DirBlockEmpty(block));
+  // Everything coalesced back into one free record.
+  int records = 0;
+  ASSERT_TRUE(ForEachDirRecord(block, [&](const DirRecord& r) {
+    ++records;
+    EXPECT_EQ(r.rec_len, kBlockSize);
+    return true;
+  }).ok());
+  EXPECT_EQ(records, 1);
+}
+
+TEST(DirBlockTest, RemoveMiddleThenReuseSpace) {
+  auto block = FreshBlock();
+  auto a = AddDirEntry(block, "aaa", kExternalRecord, 1, nullptr);
+  auto b = AddDirEntry(block, "bbb", kExternalRecord, 2, nullptr);
+  auto c = AddDirEntry(block, "ccc", kExternalRecord, 3, nullptr);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  ASSERT_TRUE(RemoveDirEntry(block, b->offset).ok());
+  EXPECT_TRUE(FindDirEntry(block, "aaa").ok());
+  EXPECT_FALSE(FindDirEntry(block, "bbb").ok());
+  EXPECT_TRUE(FindDirEntry(block, "ccc").ok());
+  // New entry slots into the freed middle space.
+  auto d = AddDirEntry(block, "ddd", kExternalRecord, 4, nullptr);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->offset, b->offset);
+}
+
+TEST(DirBlockTest, RemoveNonexistentOffsetFails) {
+  auto block = FreshBlock();
+  ASSERT_TRUE(AddDirEntry(block, "x", kExternalRecord, 1, nullptr).ok());
+  EXPECT_FALSE(RemoveDirEntry(block, 8).ok());       // not a record start
+  EXPECT_FALSE(RemoveDirEntry(block, 1024).ok());    // free space interior
+}
+
+TEST(DirBlockTest, DoubleRemoveFails) {
+  auto block = FreshBlock();
+  auto a = AddDirEntry(block, "x", kExternalRecord, 1, nullptr);
+  ASSERT_TRUE(RemoveDirEntry(block, a->offset).ok());
+  EXPECT_FALSE(RemoveDirEntry(block, a->offset).ok());
+}
+
+TEST(DirBlockTest, ExistingRecordsNeverMove) {
+  // C-FFS depends on records staying put: embedded inode numbers encode
+  // their offsets. Hammer the block with adds and removes and verify that
+  // surviving records keep their original offsets.
+  auto block = FreshBlock();
+  Rng rng(31);
+  std::map<std::string, uint16_t> expected_offset;
+  for (int step = 0; step < 2000; ++step) {
+    if (expected_offset.empty() || rng.Chance(0.6)) {
+      const std::string name = "n" + std::to_string(step);
+      InodeData ino = SampleInode(step);
+      auto r = AddDirEntry(block, name, kEmbeddedRecord, 0, &ino);
+      if (r.ok()) expected_offset[name] = r->offset;
+    } else {
+      auto it = expected_offset.begin();
+      std::advance(it, rng.Below(expected_offset.size()));
+      ASSERT_TRUE(RemoveDirEntry(block, it->second).ok());
+      expected_offset.erase(it);
+    }
+    // Every surviving record is where it was created.
+    for (const auto& [name, off] : expected_offset) {
+      auto found = FindDirEntry(block, name);
+      ASSERT_TRUE(found.ok()) << name;
+      ASSERT_EQ(found->offset, off) << name;
+    }
+  }
+}
+
+TEST(DirBlockTest, RandomOpsAgainstReferenceModel) {
+  // Differential test: the block must agree with a std::map after any
+  // sequence of adds/removes, and always re-validate structurally.
+  auto block = FreshBlock();
+  Rng rng(77);
+  std::map<std::string, InodeNum> model;
+  std::map<std::string, uint16_t> offsets;
+  for (int step = 0; step < 5000; ++step) {
+    const bool add = model.empty() || rng.Chance(0.55);
+    if (add) {
+      const std::string name = rng.NextName(1, 24);
+      if (model.count(name)) continue;
+      const bool embedded = rng.Chance(0.5);
+      InodeData ino = SampleInode(step);
+      auto r = AddDirEntry(block, name,
+                           embedded ? kEmbeddedRecord : kExternalRecord,
+                           embedded ? 0 : step, embedded ? &ino : nullptr);
+      if (r.ok()) {
+        model[name] = embedded ? 0 : step;
+        offsets[name] = r->offset;
+      }
+    } else {
+      auto it = model.begin();
+      std::advance(it, rng.Below(model.size()));
+      ASSERT_TRUE(RemoveDirEntry(block, offsets[it->first]).ok());
+      offsets.erase(it->first);
+      model.erase(it);
+    }
+  }
+  // Full agreement at the end.
+  size_t found = 0;
+  ASSERT_TRUE(ForEachDirRecord(block, [&](const DirRecord& r) {
+    if (r.kind != kFreeRecord) {
+      ++found;
+      EXPECT_TRUE(model.count(std::string(r.name)));
+    }
+    return true;
+  }).ok());
+  EXPECT_EQ(found, model.size());
+}
+
+TEST(DirBlockTest, CorruptRecordLengthDetected) {
+  auto block = FreshBlock();
+  ASSERT_TRUE(AddDirEntry(block, "ok", kExternalRecord, 1, nullptr).ok());
+  block[0] = 3;  // rec_len = 3: too small, misaligned
+  block[1] = 0;
+  EXPECT_EQ(ForEachDirRecord(block, [](const DirRecord&) { return true; })
+                .code(),
+            ErrorCode::kCorrupt);
+}
+
+TEST(DirBlockTest, RecordsMustTileBlockExactly) {
+  auto block = FreshBlock();
+  // Shrink the single free record so the tiling leaves a tail.
+  PutU16(block, 0, kBlockSize - 8);
+  EXPECT_EQ(ForEachDirRecord(block, [](const DirRecord&) { return true; })
+                .code(),
+            ErrorCode::kCorrupt);
+}
+
+TEST(DirBlockTest, SetDirEntryInumOverwrites) {
+  auto block = FreshBlock();
+  auto a = AddDirEntry(block, "f", kExternalRecord, 7, nullptr);
+  SetDirEntryInum(block, a->offset, 99);
+  EXPECT_EQ(FindDirEntry(block, "f")->inum, 99u);
+}
+
+TEST(DirBlockTest, SpaceCalculationsAligned) {
+  EXPECT_EQ(DirRecordSpace(1, false), 24u);
+  EXPECT_EQ(DirRecordSpace(8, false), 24u);
+  EXPECT_EQ(DirRecordSpace(9, false), 32u);
+  EXPECT_EQ(DirRecordSpace(8, true), 24u + kInodeSize);
+}
+
+}  // namespace
+}  // namespace cffs::fs

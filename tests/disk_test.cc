@@ -1,0 +1,301 @@
+// Unit tests for the disk simulator: geometry, seek curve, mechanical
+// model, on-board cache, scheduler.
+#include <gtest/gtest.h>
+
+#include "src/disk/disk_model.h"
+#include "src/disk/scheduler.h"
+#include "src/util/rng.h"
+
+namespace cffs::disk {
+namespace {
+
+TEST(GeometryTest, TotalsMatchZones) {
+  Geometry g(4, {{100, 60}, {50, 40}});
+  EXPECT_EQ(g.total_cylinders(), 150u);
+  EXPECT_EQ(g.total_sectors(), 100ull * 4 * 60 + 50ull * 4 * 40);
+}
+
+TEST(GeometryTest, LocateFirstAndLastSector) {
+  Geometry g(4, {{100, 60}, {50, 40}});
+  Location first = g.Locate(0);
+  EXPECT_EQ(first.cylinder, 0u);
+  EXPECT_EQ(first.head, 0u);
+  EXPECT_EQ(first.sector, 0u);
+  EXPECT_EQ(first.sectors_per_track, 60u);
+
+  Location last = g.Locate(g.total_sectors() - 1);
+  EXPECT_EQ(last.cylinder, 149u);
+  EXPECT_EQ(last.head, 3u);
+  EXPECT_EQ(last.sector, 39u);
+  EXPECT_EQ(last.sectors_per_track, 40u);
+}
+
+TEST(GeometryTest, LbaMappingIsBijective) {
+  Geometry g(3, {{20, 30}, {10, 17}});
+  // Walk every LBA and reconstruct it from the location.
+  uint64_t lba = 0;
+  for (uint32_t cyl = 0; cyl < g.total_cylinders(); ++cyl) {
+    const uint32_t spt = g.SectorsPerTrackAt(cyl);
+    EXPECT_EQ(g.CylinderStartLba(cyl), lba);
+    for (uint32_t head = 0; head < g.heads(); ++head) {
+      for (uint32_t sector = 0; sector < spt; ++sector, ++lba) {
+        Location loc = g.Locate(lba);
+        EXPECT_EQ(loc.cylinder, cyl);
+        EXPECT_EQ(loc.head, head);
+        EXPECT_EQ(loc.sector, sector);
+      }
+    }
+  }
+  EXPECT_EQ(lba, g.total_sectors());
+}
+
+TEST(SeekCurveTest, ZeroDistanceIsFree) {
+  SeekCurve c(SimTime::Millis(1.0), SimTime::Millis(8.0), SimTime::Millis(18.0),
+              2000);
+  EXPECT_EQ(c.SeekTime(0).nanos(), 0);
+}
+
+TEST(SeekCurveTest, HitsCalibrationPoints) {
+  SeekCurve c(SimTime::Millis(1.0), SimTime::Millis(8.0), SimTime::Millis(18.0),
+              2000);
+  EXPECT_NEAR(c.SeekTime(1).millis(), 1.0, 1e-6);
+  EXPECT_NEAR(c.SeekTime(2000).millis(), 18.0, 1e-3);
+  // Average point: distance max/3.
+  EXPECT_NEAR(c.SeekTime(2000 / 3).millis(), 8.0, 0.15);
+}
+
+TEST(SeekCurveTest, MonotoneNonDecreasing) {
+  SeekCurve c(SimTime::Millis(0.6), SimTime::Millis(8.0), SimTime::Millis(19.0),
+              3000);
+  SimTime prev = SimTime::Zero();
+  for (uint32_t d = 1; d <= 3000; d += 7) {
+    SimTime t = c.SeekTime(d);
+    EXPECT_GE(t, prev) << "at distance " << d;
+    prev = t;
+  }
+}
+
+TEST(SeekCurveTest, ShortSeeksAreExpensivePerCylinder) {
+  // The paper: "Seeking a single cylinder generally costs a full
+  // millisecond, and this cost rises quickly for slightly longer seek
+  // distances" — i.e. the curve is concave: 10x the distance must cost far
+  // less than 10x the time.
+  SeekCurve c(SimTime::Millis(1.0), SimTime::Millis(8.7),
+              SimTime::Millis(16.5), 2600);
+  EXPECT_LT(c.SeekTime(10).millis(), 5 * c.SeekTime(1).millis());
+}
+
+TEST(SeekCurveTest, MeanMatchesSpecAverage) {
+  for (const DiskSpec& spec : Table1Disks()) {
+    const Geometry geo = spec.MakeGeometry();
+    SeekCurve c(spec.seek_single, spec.seek_avg, spec.seek_max,
+                geo.total_cylinders() - 1);
+    EXPECT_NEAR(c.MeanOverUniformPairs().millis(), spec.seek_avg.millis(),
+                spec.seek_avg.millis() * 0.10)
+        << spec.name;
+  }
+}
+
+class DiskModelTest : public ::testing::Test {
+ protected:
+  DiskModelTest() : model_(TestDisk(512, 4, 64), &clock_) {}
+  SimClock clock_;
+  DiskModel model_;
+};
+
+TEST_F(DiskModelTest, ReadWriteRoundTrip) {
+  std::vector<uint8_t> out(8 * kSectorSize, 0);
+  std::vector<uint8_t> in(8 * kSectorSize);
+  for (size_t i = 0; i < in.size(); ++i) in[i] = static_cast<uint8_t>(i);
+  ASSERT_TRUE(model_.Write(100, 8, in).ok());
+  ASSERT_TRUE(model_.Read(100, 8, out).ok());
+  EXPECT_EQ(in, out);
+}
+
+TEST_F(DiskModelTest, UnwrittenSectorsReadZero) {
+  std::vector<uint8_t> out(kSectorSize, 0xff);
+  ASSERT_TRUE(model_.Read(5000, 1, out).ok());
+  for (uint8_t b : out) EXPECT_EQ(b, 0);
+}
+
+TEST_F(DiskModelTest, AccessAdvancesSimulatedTime) {
+  std::vector<uint8_t> buf(kSectorSize);
+  const SimTime t0 = clock_.now();
+  ASSERT_TRUE(model_.Read(1234, 1, buf).ok());
+  EXPECT_GT(clock_.now(), t0);
+  // One small access: bounded by overhead + max seek + rotation + transfer.
+  EXPECT_LT((clock_.now() - t0).millis(), 40.0);
+}
+
+TEST_F(DiskModelTest, OutOfRangeRejected) {
+  std::vector<uint8_t> buf(kSectorSize);
+  EXPECT_EQ(model_.Read(model_.total_sectors(), 1, buf).code(),
+            ErrorCode::kOutOfRange);
+  EXPECT_EQ(model_.Write(model_.total_sectors() - 1, 2, buf).code(),
+            ErrorCode::kOutOfRange);
+}
+
+TEST_F(DiskModelTest, ShortBufferRejected) {
+  std::vector<uint8_t> buf(kSectorSize - 1);
+  EXPECT_EQ(model_.Read(0, 1, buf).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST_F(DiskModelTest, BigReadsBeatSmallReadsOnBandwidth) {
+  // The core Figure 2 phenomenon: one 64 KB access moves data at far higher
+  // effective bandwidth than sixteen 4 KB accesses at random locations.
+  std::vector<uint8_t> big(128 * kSectorSize);
+  Rng rng(3);
+  SimTime t0 = clock_.now();
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(
+        model_.Read(rng.Below(model_.total_sectors() - 8), 8, big).ok());
+  }
+  const SimTime small_elapsed = clock_.now() - t0;
+
+  t0 = clock_.now();
+  ASSERT_TRUE(model_.Read(40000, 128, big).ok());
+  const SimTime big_elapsed = clock_.now() - t0;
+  EXPECT_GT(small_elapsed.seconds(), 3 * big_elapsed.seconds());
+}
+
+TEST_F(DiskModelTest, ImmediateSequentialReadLosesRotation) {
+  // Closed-loop single-block sequential reads: the second request arrives
+  // just after its sector passed under the head, costing ~a full rotation.
+  std::vector<uint8_t> buf(8 * kSectorSize);
+  ASSERT_TRUE(model_.Read(10000, 8, buf).ok());
+  clock_.AdvanceBy(SimTime::Micros(200));  // host turnaround
+  const SimTime t0 = clock_.now();
+  ASSERT_TRUE(model_.Read(10008, 8, buf).ok());
+  const double ms = (clock_.now() - t0).millis();
+  const double rotation = model_.spec().RotationPeriod().millis();
+  EXPECT_GT(ms, rotation * 0.5);
+}
+
+TEST_F(DiskModelTest, PrefetchServesDelayedSequentialRead) {
+  // If the host waits long enough, the drive's read-ahead has buffered the
+  // next blocks and the sequential read is served at bus speed.
+  std::vector<uint8_t> buf(8 * kSectorSize);
+  ASSERT_TRUE(model_.Read(10000, 8, buf).ok());
+  clock_.AdvanceBy(SimTime::Millis(50));  // plenty of prefetch time
+  const uint64_t hits_before = model_.stats().cache_hit_requests;
+  ASSERT_TRUE(model_.Read(10008, 8, buf).ok());
+  EXPECT_EQ(model_.stats().cache_hit_requests, hits_before + 1);
+}
+
+TEST_F(DiskModelTest, WriteInvalidatesOnboardCache) {
+  std::vector<uint8_t> buf(8 * kSectorSize);
+  ASSERT_TRUE(model_.Read(10000, 8, buf).ok());
+  clock_.AdvanceBy(SimTime::Millis(50));
+  ASSERT_TRUE(model_.Write(10004, 8, buf).ok());
+  const uint64_t hits_before = model_.stats().cache_hit_requests;
+  ASSERT_TRUE(model_.Read(10000, 8, buf).ok());
+  EXPECT_EQ(model_.stats().cache_hit_requests, hits_before);
+}
+
+TEST_F(DiskModelTest, InjectedErrorSurfacesAndClears) {
+  std::vector<uint8_t> buf(kSectorSize);
+  model_.InjectReadError(777);
+  EXPECT_EQ(model_.Read(777, 1, buf).code(), ErrorCode::kIoError);
+  model_.ClearReadError(777);
+  EXPECT_TRUE(model_.Read(777, 1, buf).ok());
+}
+
+TEST_F(DiskModelTest, StatsAccumulate) {
+  std::vector<uint8_t> buf(kSectorSize);
+  ASSERT_TRUE(model_.Read(0, 1, buf).ok());
+  ASSERT_TRUE(model_.Write(9, 1, buf).ok());
+  EXPECT_EQ(model_.stats().read_requests, 1u);
+  EXPECT_EQ(model_.stats().write_requests, 1u);
+  EXPECT_EQ(model_.stats().sectors_read, 1u);
+  EXPECT_EQ(model_.stats().sectors_written, 1u);
+  EXPECT_GT(model_.stats().busy_time.nanos(), 0);
+}
+
+TEST_F(DiskModelTest, PeekPokeBypassTiming) {
+  std::vector<uint8_t> in(kSectorSize, 0x42);
+  const SimTime t0 = clock_.now();
+  model_.PokeSector(55, in);
+  std::vector<uint8_t> out(kSectorSize);
+  model_.PeekSector(55, out);
+  EXPECT_EQ(clock_.now(), t0);
+  EXPECT_EQ(in, out);
+}
+
+TEST(AverageAccessTest, GrowsSlowlyForSmallSizes) {
+  // Figure 2's shape on a Table 1 drive: 16x more data for well under 2x
+  // the time at the small end.
+  SimClock clock;
+  DiskModel model(HpC3653(), &clock);
+  const double t4k = model.AverageAccessTime(4096).millis();
+  const double t64k = model.AverageAccessTime(64 * 1024).millis();
+  EXPECT_LT(t64k, 2.0 * t4k);
+}
+
+TEST(SchedulerTest, FcfsKeepsOrder) {
+  std::vector<PendingRequest> reqs = {{100, 8}, {50, 8}, {75, 8}};
+  auto order = ScheduleOrder(reqs, 0, SchedulerPolicy::kFcfs);
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2}));
+}
+
+TEST(SchedulerTest, CLookAscendingFromHeadThenWrap) {
+  std::vector<PendingRequest> reqs = {{100, 8}, {50, 8}, {75, 8}, {300, 8}};
+  auto order = ScheduleOrder(reqs, 80, SchedulerPolicy::kCLook);
+  // Ahead of head 80: 100, 300. Then wrap: 50, 75.
+  EXPECT_EQ(order, (std::vector<size_t>{0, 3, 1, 2}));
+}
+
+TEST(SchedulerTest, CLookWithHeadPastAll) {
+  std::vector<PendingRequest> reqs = {{10, 1}, {20, 1}};
+  auto order = ScheduleOrder(reqs, 1000, SchedulerPolicy::kCLook);
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1}));
+}
+
+TEST(SchedulerTest, SstfPicksNearestNext) {
+  std::vector<PendingRequest> reqs = {{100, 1}, {10, 1}, {110, 1}};
+  auto order = ScheduleOrder(reqs, 95, SchedulerPolicy::kSstf);
+  EXPECT_EQ(order[0], 0u);  // 100 is nearest to 95
+  EXPECT_EQ(order[1], 2u);  // then 110 (from 101)
+  EXPECT_EQ(order[2], 1u);
+}
+
+TEST(SchedulerTest, CLookReducesSeekDistanceVsFcfs) {
+  Rng rng(5);
+  std::vector<PendingRequest> reqs;
+  for (int i = 0; i < 64; ++i) reqs.push_back({rng.Below(100000), 8});
+  auto total_travel = [&](const std::vector<size_t>& order) {
+    uint64_t pos = 0, total = 0;
+    for (size_t i : order) {
+      total += reqs[i].lba > pos ? reqs[i].lba - pos : pos - reqs[i].lba;
+      pos = reqs[i].lba;
+    }
+    return total;
+  };
+  const uint64_t fcfs = total_travel(ScheduleOrder(reqs, 0, SchedulerPolicy::kFcfs));
+  const uint64_t clook = total_travel(ScheduleOrder(reqs, 0, SchedulerPolicy::kCLook));
+  EXPECT_LT(clook, fcfs / 4);
+}
+
+TEST(DiskSpecTest, Table1MatchesPaperSeekColumns) {
+  auto disks = Table1Disks();
+  ASSERT_EQ(disks.size(), 3u);
+  EXPECT_LT(disks[0].seek_single.millis(), 1.0);   // HP: "< 1 ms"
+  EXPECT_DOUBLE_EQ(disks[1].seek_single.millis(), 0.6);
+  EXPECT_DOUBLE_EQ(disks[2].seek_single.millis(), 1.0);
+  EXPECT_DOUBLE_EQ(disks[0].seek_avg.millis(), 8.7);
+  EXPECT_DOUBLE_EQ(disks[1].seek_avg.millis(), 8.0);
+  EXPECT_DOUBLE_EQ(disks[2].seek_avg.millis(), 7.9);
+  EXPECT_DOUBLE_EQ(disks[0].seek_max.millis(), 16.5);
+  EXPECT_DOUBLE_EQ(disks[1].seek_max.millis(), 19.0);
+  EXPECT_DOUBLE_EQ(disks[2].seek_max.millis(), 18.0);
+}
+
+TEST(DiskSpecTest, MediaRateExceedsTenMBps) {
+  // "the subsequent data bandwidth is reasonable (> 10 MB/second)".
+  for (const DiskSpec& spec : Table1Disks()) {
+    EXPECT_GT(spec.MediaRate(spec.zones.front().sectors_per_track), 10e6)
+        << spec.name;
+  }
+}
+
+}  // namespace
+}  // namespace cffs::disk

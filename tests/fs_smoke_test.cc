@@ -1,0 +1,103 @@
+// End-to-end smoke tests: both file systems, basic operations.
+#include <gtest/gtest.h>
+
+#include "src/sim/sim_env.h"
+
+namespace cffs {
+namespace {
+
+using sim::FsKind;
+using sim::SimConfig;
+using sim::SimEnv;
+
+class FsSmokeTest : public ::testing::TestWithParam<FsKind> {
+ protected:
+  void SetUp() override {
+    SimConfig config;
+    config.disk_spec = disk::TestDisk(512, 4, 64);  // 64 MB
+    config.blocks_per_cg = 1024;
+    auto env = SimEnv::Create(GetParam(), config);
+    ASSERT_TRUE(env.ok()) << env.status().ToString();
+    env_ = std::move(*env);
+  }
+
+  std::vector<uint8_t> Bytes(std::string_view s) {
+    return std::vector<uint8_t>(s.begin(), s.end());
+  }
+
+  std::unique_ptr<SimEnv> env_;
+};
+
+TEST_P(FsSmokeTest, CreateWriteReadFile) {
+  auto& p = env_->path();
+  auto data = Bytes("hello, small files");
+  ASSERT_TRUE(p.WriteFile("/hello.txt", data).ok());
+  auto back = p.ReadFile("/hello.txt");
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back, data);
+}
+
+TEST_P(FsSmokeTest, PersistsAcrossRemount) {
+  auto& p = env_->path();
+  ASSERT_TRUE(p.MkdirAll("/a/b/c").ok());
+  ASSERT_TRUE(p.WriteFile("/a/b/c/file", Bytes("persistent")).ok());
+  ASSERT_TRUE(env_->Remount().ok());
+  auto back = env_->path().ReadFile("/a/b/c/file");
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back, Bytes("persistent"));
+}
+
+TEST_P(FsSmokeTest, UnlinkRemovesFile) {
+  auto& p = env_->path();
+  ASSERT_TRUE(p.WriteFile("/gone", Bytes("x")).ok());
+  ASSERT_TRUE(p.Unlink("/gone").ok());
+  EXPECT_EQ(p.ReadFile("/gone").status().code(), ErrorCode::kNotFound);
+}
+
+TEST_P(FsSmokeTest, ManySmallFiles) {
+  auto& p = env_->path();
+  ASSERT_TRUE(p.MkdirAll("/dir").ok());
+  std::vector<uint8_t> payload(1024, 0xab);
+  for (int i = 0; i < 200; ++i) {
+    const std::string path = "/dir/f" + std::to_string(i);
+    ASSERT_TRUE(p.WriteFile(path, payload).ok()) << path;
+  }
+  ASSERT_TRUE(env_->fs()->Sync().ok());
+  ASSERT_TRUE(env_->ColdCache().ok());
+  for (int i = 0; i < 200; ++i) {
+    const std::string path = "/dir/f" + std::to_string(i);
+    auto back = p.ReadFile(path);
+    ASSERT_TRUE(back.ok()) << path << ": " << back.status().ToString();
+    ASSERT_EQ(*back, payload) << path;
+  }
+}
+
+TEST_P(FsSmokeTest, LargeFileWithIndirectBlocks) {
+  auto& p = env_->path();
+  // 6 MB: exercises double-indirect mapping (12 + 1024 direct+indirect
+  // blocks = 4.05 MB).
+  std::vector<uint8_t> data(6 * 1024 * 1024);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<uint8_t>(i * 2654435761u >> 13);
+  }
+  ASSERT_TRUE(p.WriteFile("/big", data).ok());
+  ASSERT_TRUE(env_->ColdCache().ok());
+  auto back = p.ReadFile("/big");
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFs, FsSmokeTest,
+    ::testing::Values(FsKind::kFfs, FsKind::kConventional, FsKind::kEmbedOnly,
+                      FsKind::kGroupOnly, FsKind::kCffs),
+    [](const ::testing::TestParamInfo<FsKind>& info) {
+      std::string n = sim::FsKindName(info.param);
+      for (char& c : n) {
+        if (c == '-') c = '_';
+      }
+      return n;
+    });
+
+}  // namespace
+}  // namespace cffs

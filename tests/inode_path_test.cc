@@ -1,0 +1,172 @@
+// Inode codec round-trip/property tests and path-layer tests.
+#include <gtest/gtest.h>
+
+#include "src/fs/common/inode.h"
+#include "src/fs/common/path.h"
+#include "src/sim/sim_env.h"
+#include "src/util/rng.h"
+
+namespace cffs::fs {
+namespace {
+
+TEST(InodeCodecTest, RoundTripsAllFields) {
+  InodeData ino;
+  ino.type = FileType::kDirectory;
+  ino.nlink = 3;
+  ino.flags = 0xdeadbeef;
+  ino.size = 0x123456789abcULL;
+  ino.mtime_ns = -42;  // signed field survives
+  ino.parent = 0x4000000000000123ULL;
+  ino.self = 77;
+  for (uint32_t i = 0; i < kDirectBlocks; ++i) ino.direct[i] = 1000 + i * 7;
+  ino.indirect = 5555;
+  ino.dindirect = 6666;
+  ino.group_start = 8192;
+  ino.group_len = 16;
+  ino.active_group = 12288;
+
+  std::vector<uint8_t> buf(kInodeSize);
+  ino.Encode(buf, 0);
+  const InodeData back = InodeData::Decode(buf, 0);
+  EXPECT_EQ(back.type, ino.type);
+  EXPECT_EQ(back.nlink, ino.nlink);
+  EXPECT_EQ(back.flags, ino.flags);
+  EXPECT_EQ(back.size, ino.size);
+  EXPECT_EQ(back.mtime_ns, ino.mtime_ns);
+  EXPECT_EQ(back.parent, ino.parent);
+  EXPECT_EQ(back.self, ino.self);
+  EXPECT_EQ(back.direct, ino.direct);
+  EXPECT_EQ(back.indirect, ino.indirect);
+  EXPECT_EQ(back.dindirect, ino.dindirect);
+  EXPECT_EQ(back.group_start, ino.group_start);
+  EXPECT_EQ(back.group_len, ino.group_len);
+  EXPECT_EQ(back.active_group, ino.active_group);
+}
+
+TEST(InodeCodecTest, RandomRoundTripsAtRandomOffsets) {
+  Rng rng(41);
+  std::vector<uint8_t> buf(kBlockSize);
+  for (int trial = 0; trial < 500; ++trial) {
+    InodeData ino;
+    ino.type = static_cast<FileType>(rng.Below(3));
+    ino.nlink = static_cast<uint16_t>(rng.Next());
+    ino.size = rng.Next();
+    ino.mtime_ns = static_cast<int64_t>(rng.Next());
+    ino.self = rng.Next();
+    ino.parent = rng.Next();
+    for (auto& d : ino.direct) d = static_cast<uint32_t>(rng.Next());
+    ino.indirect = static_cast<uint32_t>(rng.Next());
+    ino.group_start = static_cast<uint32_t>(rng.Next());
+    ino.group_len = static_cast<uint16_t>(rng.Next());
+    const size_t off = (rng.Below(kBlockSize / kInodeSize)) * kInodeSize;
+    ino.Encode(buf, off);
+    const InodeData back = InodeData::Decode(buf, off);
+    ASSERT_EQ(back.size, ino.size);
+    ASSERT_EQ(back.self, ino.self);
+    ASSERT_EQ(back.direct, ino.direct);
+    ASSERT_EQ(back.group_start, ino.group_start);
+  }
+}
+
+TEST(InodeCodecTest, ZeroBytesDecodeAsFree) {
+  std::vector<uint8_t> buf(kInodeSize, 0);
+  const InodeData ino = InodeData::Decode(buf, 0);
+  EXPECT_TRUE(ino.is_free());
+  EXPECT_EQ(ino.size, 0u);
+}
+
+TEST(InodeCodecTest, BlockCountRoundsUp) {
+  InodeData ino;
+  ino.size = 0;
+  EXPECT_EQ(ino.BlockCount(), 0u);
+  ino.size = 1;
+  EXPECT_EQ(ino.BlockCount(), 1u);
+  ino.size = kBlockSize;
+  EXPECT_EQ(ino.BlockCount(), 1u);
+  ino.size = kBlockSize + 1;
+  EXPECT_EQ(ino.BlockCount(), 2u);
+}
+
+TEST(SplitPathTest, HandlesEdgeShapes) {
+  EXPECT_TRUE(SplitPath("").empty());
+  EXPECT_TRUE(SplitPath("/").empty());
+  EXPECT_TRUE(SplitPath("///").empty());
+  auto parts = SplitPath("/a//b/c/");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+  parts = SplitPath("no/leading/slash");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "no");
+}
+
+class PathOpsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sim::SimConfig config;
+    config.disk_spec = disk::TestDisk(256, 4, 64);
+    config.blocks_per_cg = 1024;
+    auto env = sim::SimEnv::Create(sim::FsKind::kCffs, config);
+    ASSERT_TRUE(env.ok());
+    env_ = std::move(*env);
+  }
+  std::unique_ptr<sim::SimEnv> env_;
+};
+
+TEST_F(PathOpsTest, ResolveRootVariants) {
+  auto& p = env_->path();
+  EXPECT_EQ(*p.Resolve("/"), env_->fs()->root());
+  EXPECT_EQ(*p.Resolve(""), env_->fs()->root());
+  EXPECT_EQ(*p.Resolve("/."), env_->fs()->root());
+  EXPECT_EQ(*p.Resolve("/.."), env_->fs()->root());
+}
+
+TEST_F(PathOpsTest, MkdirAllIsIdempotent) {
+  auto& p = env_->path();
+  auto first = p.MkdirAll("/x/y/z");
+  ASSERT_TRUE(first.ok());
+  auto second = p.MkdirAll("/x/y/z");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*first, *second);
+}
+
+TEST_F(PathOpsTest, MkdirRequiresParent) {
+  auto& p = env_->path();
+  EXPECT_EQ(p.Mkdir("/no/parent").status().code(), ErrorCode::kNotFound);
+}
+
+TEST_F(PathOpsTest, ResolveThroughFileFails) {
+  auto& p = env_->path();
+  ASSERT_TRUE(p.WriteFile("/file", std::vector<uint8_t>{1}).ok());
+  EXPECT_EQ(p.Resolve("/file/sub").status().code(), ErrorCode::kNotDirectory);
+}
+
+TEST_F(PathOpsTest, WriteFileTruncatesExisting) {
+  auto& p = env_->path();
+  ASSERT_TRUE(p.WriteFile("/f", std::vector<uint8_t>(5000, 1)).ok());
+  ASSERT_TRUE(p.WriteFile("/f", std::vector<uint8_t>(10, 2)).ok());
+  auto back = p.ReadFile("/f");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->size(), 10u);
+  EXPECT_EQ((*back)[0], 2);
+}
+
+TEST_F(PathOpsTest, ReadFileOfEmptyFile) {
+  auto& p = env_->path();
+  ASSERT_TRUE(p.CreateFile("/empty").ok());
+  auto back = p.ReadFile("/empty");
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST_F(PathOpsTest, DotDotFromNestedDirectory) {
+  auto& p = env_->path();
+  ASSERT_TRUE(p.MkdirAll("/a/b/c").ok());
+  ASSERT_TRUE(p.WriteFile("/a/marker", std::vector<uint8_t>{9}).ok());
+  auto via_dotdot = p.ReadFile("/a/b/c/../../marker");
+  ASSERT_TRUE(via_dotdot.ok());
+  EXPECT_EQ((*via_dotdot)[0], 9);
+}
+
+}  // namespace
+}  // namespace cffs::fs

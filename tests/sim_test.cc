@@ -1,0 +1,144 @@
+// Tests for the simulation harness, the latency histogram, and the
+// interference workload.
+#include <gtest/gtest.h>
+
+#include "src/util/histogram.h"
+#include "src/workload/interference.h"
+
+namespace cffs {
+namespace {
+
+sim::SimConfig SmallConfig() {
+  sim::SimConfig config;
+  config.disk_spec = disk::TestDisk(512, 4, 64);
+  config.blocks_per_cg = 1024;
+  return config;
+}
+
+TEST(SimEnvTest, ChargeCpuAdvancesClock) {
+  auto env = sim::SimEnv::Create(sim::FsKind::kCffs, SmallConfig());
+  ASSERT_TRUE(env.ok());
+  const SimTime t0 = (*env)->clock().now();
+  (*env)->ChargeCpu();
+  const SimTime t1 = (*env)->clock().now();
+  EXPECT_EQ((t1 - t0).nanos(), (*env)->config().cpu_per_op.nanos());
+  (*env)->ChargeCpu(2048);  // 2 KB of copying on top
+  const SimTime t2 = (*env)->clock().now();
+  EXPECT_EQ((t2 - t1).nanos(), (*env)->config().cpu_per_op.nanos() +
+                                   2 * (*env)->config().cpu_per_kb.nanos());
+}
+
+TEST(SimEnvTest, ColdCacheForcesDiskReads) {
+  auto env = sim::SimEnv::Create(sim::FsKind::kConventional, SmallConfig());
+  ASSERT_TRUE(env.ok());
+  std::vector<uint8_t> data(4096, 1);
+  ASSERT_TRUE((*env)->path().WriteFile("/f", data).ok());
+  // Warm: no disk reads.
+  (*env)->ResetStats();
+  ASSERT_TRUE((*env)->path().ReadFile("/f").ok());
+  EXPECT_EQ((*env)->device().stats().reads, 0u);
+  // Cold: the data must come from the disk.
+  ASSERT_TRUE((*env)->ColdCache().ok());
+  (*env)->ResetStats();
+  ASSERT_TRUE((*env)->path().ReadFile("/f").ok());
+  EXPECT_GT((*env)->device().stats().reads, 0u);
+}
+
+TEST(SimEnvTest, ResetStatsZeroesCounters) {
+  auto env = sim::SimEnv::Create(sim::FsKind::kCffs, SmallConfig());
+  ASSERT_TRUE(env.ok());
+  ASSERT_TRUE((*env)->path().WriteFile("/f", std::vector<uint8_t>(100)).ok());
+  ASSERT_TRUE((*env)->fs()->Sync().ok());
+  (*env)->ResetStats();
+  EXPECT_EQ((*env)->disk().stats().total_requests(), 0u);
+  EXPECT_EQ((*env)->device().stats().writes, 0u);
+  EXPECT_EQ((*env)->cache().stats().lookups, 0u);
+  EXPECT_EQ((*env)->fs()->op_stats().creates, 0u);
+}
+
+TEST(SimEnvTest, ClockSharedAcrossComponents) {
+  auto env = sim::SimEnv::Create(sim::FsKind::kCffs, SmallConfig());
+  ASSERT_TRUE(env.ok());
+  const SimTime before = (*env)->clock().now();
+  ASSERT_TRUE((*env)->ColdCache().ok());
+  ASSERT_TRUE((*env)->path().WriteFile("/x", std::vector<uint8_t>(4096)).ok());
+  ASSERT_TRUE((*env)->fs()->Sync().ok());
+  EXPECT_GT((*env)->clock().now(), before);  // disk work advanced time
+}
+
+TEST(HistogramTest, EmptyHistogram) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean().nanos(), 0);
+  EXPECT_EQ(h.Percentile(0.99).nanos(), 0);
+}
+
+TEST(HistogramTest, MeanAndMaxExact) {
+  LatencyHistogram h;
+  h.Record(SimTime::Millis(1));
+  h.Record(SimTime::Millis(3));
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.mean().millis(), 2.0);
+  EXPECT_DOUBLE_EQ(h.max().millis(), 3.0);
+}
+
+TEST(HistogramTest, PercentilesOrdered) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.Record(SimTime::Micros(i * 10));
+  const double p50 = h.Percentile(0.50).micros();
+  const double p90 = h.Percentile(0.90).micros();
+  const double p99 = h.Percentile(0.99).micros();
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  // Bucketed values are within a bucket width (2^(1/4) ~ 19%) of truth.
+  EXPECT_NEAR(p50, 5000, 5000 * 0.2);
+  EXPECT_NEAR(p99, 9900, 9900 * 0.2);
+}
+
+TEST(HistogramTest, MergeCombinesCounts) {
+  LatencyHistogram a, b;
+  a.Record(SimTime::Millis(1));
+  b.Record(SimTime::Millis(10));
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.max().millis(), 10.0);
+}
+
+TEST(HistogramTest, SummaryMentionsPercentiles) {
+  LatencyHistogram h;
+  h.Record(SimTime::Millis(2));
+  const std::string s = h.Summary();
+  EXPECT_NE(s.find("p50="), std::string::npos);
+  EXPECT_NE(s.find("p99="), std::string::npos);
+  EXPECT_NE(s.find("n=1"), std::string::npos);
+}
+
+TEST(InterferenceTest, DisturberSlowsConventionalMore) {
+  workload::InterferenceParams params;
+  params.foreground_files = 200;
+  params.foreground_dirs = 4;
+
+  double rates[2][2];  // [fs][disturb? 0/1]
+  const sim::FsKind kinds[] = {sim::FsKind::kConventional, sim::FsKind::kCffs};
+  for (int k = 0; k < 2; ++k) {
+    for (int d = 0; d < 2; ++d) {
+      auto env = sim::SimEnv::Create(kinds[k], sim::SimConfig{});
+      ASSERT_TRUE(env.ok());
+      workload::InterferenceParams run = params;
+      run.disturb_every = d == 0 ? 0 : 1;
+      auto result = workload::RunInterference(env->get(), run);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      rates[k][d] = result->foreground_files_per_sec;
+      EXPECT_EQ(result->foreground_read.count(), params.foreground_files);
+    }
+  }
+  // C-FFS stays well ahead with and without interference.
+  EXPECT_GT(rates[1][0], 3.0 * rates[0][0]);
+  EXPECT_GT(rates[1][1], 1.8 * rates[0][1]);
+  // The disturber hurts both, but c-ffs retains a large advantage.
+  EXPECT_LT(rates[0][1], rates[0][0]);
+  EXPECT_LT(rates[1][1], rates[1][0]);
+}
+
+}  // namespace
+}  // namespace cffs

@@ -1,0 +1,197 @@
+// Tests for the workload generators: determinism, distribution shape,
+// and end-to-end green runs on every configuration.
+#include <gtest/gtest.h>
+
+#include "src/workload/aging.h"
+#include "src/workload/devtree.h"
+#include "src/workload/smallfile.h"
+
+namespace cffs {
+namespace {
+
+sim::SimConfig SmallConfig() {
+  sim::SimConfig config;
+  config.disk_spec = disk::TestDisk(512, 4, 64);
+  config.blocks_per_cg = 1024;
+  return config;
+}
+
+TEST(SmallFileWorkloadTest, RunsGreenOnAllConfigs) {
+  workload::SmallFileParams params;
+  params.num_files = 300;
+  params.num_dirs = 5;
+  for (sim::FsKind kind :
+       {sim::FsKind::kFfs, sim::FsKind::kConventional, sim::FsKind::kCffs}) {
+    auto env = sim::SimEnv::Create(kind, SmallConfig());
+    ASSERT_TRUE(env.ok());
+    auto result = workload::RunSmallFile(env->get(), params);
+    ASSERT_TRUE(result.ok()) << sim::FsKindName(kind) << ": "
+                             << result.status().ToString();
+    ASSERT_EQ(result->phases.size(), 4u);
+    for (const auto& ph : result->phases) {
+      EXPECT_GT(ph.files_per_sec, 0) << ph.phase;
+      EXPECT_GT(ph.seconds, 0) << ph.phase;
+    }
+    // All files deleted at the end: the namespace is empty again.
+    auto entries = (*env)->fs()->ReadDir((*env)->fs()->root());
+    ASSERT_TRUE(entries.ok());
+    for (const auto& e : *entries) {
+      EXPECT_EQ(e.type, fs::FileType::kDirectory);  // only the d* dirs left
+    }
+  }
+}
+
+TEST(SmallFileWorkloadTest, DeterministicAcrossRuns) {
+  workload::SmallFileParams params;
+  params.num_files = 200;
+  params.num_dirs = 4;
+  double first[4];
+  for (int run = 0; run < 2; ++run) {
+    auto env = sim::SimEnv::Create(sim::FsKind::kCffs, SmallConfig());
+    ASSERT_TRUE(env.ok());
+    auto result = workload::RunSmallFile(env->get(), params);
+    ASSERT_TRUE(result.ok());
+    for (int i = 0; i < 4; ++i) {
+      if (run == 0) {
+        first[i] = result->phases[i].seconds;
+      } else {
+        EXPECT_DOUBLE_EQ(result->phases[i].seconds, first[i]) << i;
+      }
+    }
+  }
+}
+
+TEST(SmallFileWorkloadTest, PhaseAccessorFindsByName) {
+  workload::SmallFileResult r;
+  r.phases = {{.phase = "create"}, {.phase = "read"}};
+  EXPECT_EQ(r.phase("read").phase, "read");
+}
+
+TEST(AgingTest, FileSizeDistributionMatchesPaper) {
+  // "79% of all files on our file servers are less than 8 KB".
+  Rng rng(101);
+  int below_8k = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const uint64_t bytes = workload::SampleFileSize(&rng, 1 << 20);
+    ASSERT_GE(bytes, 1u);
+    ASSERT_LE(bytes, 1u << 20);
+    if (bytes < 8192) ++below_8k;
+  }
+  const double frac = static_cast<double>(below_8k) / n;
+  EXPECT_GT(frac, 0.72);
+  EXPECT_LT(frac, 0.88);
+}
+
+TEST(AgingTest, ReachesTargetUtilization) {
+  auto env = sim::SimEnv::Create(sim::FsKind::kCffs, SmallConfig());
+  ASSERT_TRUE(env.ok());
+  workload::AgingParams params;
+  params.operations = 4000;
+  params.target_utilization = 0.5;
+  params.num_dirs = 8;
+  params.max_file_bytes = 64 * 1024;
+  auto result = workload::AgeFileSystem(env->get(), params);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_NEAR(result->final_utilization, 0.5, 0.15);
+  EXPECT_GT(result->creates, result->deletes);
+  EXPECT_GT(result->deletes, 100u);
+  // Surviving files readable.
+  ASSERT_FALSE(result->surviving_files.empty());
+  auto data = (*env)->path().ReadFile(result->surviving_files.front());
+  EXPECT_TRUE(data.ok());
+}
+
+TEST(AgingTest, WorksOnFfsToo) {
+  auto env = sim::SimEnv::Create(sim::FsKind::kFfs, SmallConfig());
+  ASSERT_TRUE(env.ok());
+  workload::AgingParams params;
+  params.operations = 1500;
+  params.target_utilization = 0.35;
+  params.num_dirs = 6;
+  params.max_file_bytes = 32 * 1024;
+  auto result = workload::AgeFileSystem(env->get(), params);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+}
+
+TEST(DevTreeTest, GeneratesDeclaredShape) {
+  auto env = sim::SimEnv::Create(sim::FsKind::kCffs, SmallConfig());
+  ASSERT_TRUE(env.ok());
+  workload::DevTreeParams params;
+  params.num_dirs = 4;
+  params.sources_per_dir = 5;
+  params.headers_per_dir = 2;
+  auto tree = workload::GenerateSourceTree(env->get(), "/src", params);
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  EXPECT_EQ(tree->dirs.size(), 4u);
+  EXPECT_EQ(tree->sources.size(), 20u);
+  EXPECT_EQ(tree->headers.size(), 8u);
+  EXPECT_GT(tree->total_bytes, 0u);
+  for (const auto& path : tree->sources) {
+    auto data = (*env)->path().ReadFile(path);
+    ASSERT_TRUE(data.ok()) << path;
+    EXPECT_GE(data->size(), 256u);
+  }
+}
+
+TEST(DevTreeTest, CopyProducesIdenticalTree) {
+  auto env = sim::SimEnv::Create(sim::FsKind::kCffs, SmallConfig());
+  ASSERT_TRUE(env.ok());
+  workload::DevTreeParams params;
+  params.num_dirs = 3;
+  params.sources_per_dir = 4;
+  params.headers_per_dir = 2;
+  auto tree = workload::GenerateSourceTree(env->get(), "/src", params);
+  ASSERT_TRUE(tree.ok());
+  auto result = workload::RunCopy(env->get(), *tree, "/dst");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->seconds, 0);
+  for (const auto& path : tree->sources) {
+    auto orig = (*env)->path().ReadFile(path);
+    auto copy = (*env)->path().ReadFile("/dst" + path.substr(4));
+    ASSERT_TRUE(orig.ok() && copy.ok()) << path;
+    EXPECT_EQ(*orig, *copy) << path;
+  }
+}
+
+TEST(DevTreeTest, ArchiveThenUnarchiveRoundTrips) {
+  auto env = sim::SimEnv::Create(sim::FsKind::kCffs, SmallConfig());
+  ASSERT_TRUE(env.ok());
+  workload::DevTreeParams params;
+  params.num_dirs = 3;
+  params.sources_per_dir = 4;
+  params.headers_per_dir = 2;
+  auto tree = workload::GenerateSourceTree(env->get(), "/src", params);
+  ASSERT_TRUE(tree.ok());
+  auto ar = workload::RunArchive(env->get(), *tree, "/src.tar");
+  ASSERT_TRUE(ar.ok()) << ar.status().ToString();
+  auto un = workload::RunUnarchive(env->get(), "/src.tar", "/unpacked");
+  ASSERT_TRUE(un.ok()) << un.status().ToString();
+  for (const auto& path : tree->headers) {
+    auto orig = (*env)->path().ReadFile(path);
+    auto back = (*env)->path().ReadFile("/unpacked" + path.substr(4));
+    ASSERT_TRUE(orig.ok() && back.ok()) << path;
+    EXPECT_EQ(*orig, *back) << path;
+  }
+}
+
+TEST(DevTreeTest, CompileEmitsObjectsAndExecutable) {
+  auto env = sim::SimEnv::Create(sim::FsKind::kConventional, SmallConfig());
+  ASSERT_TRUE(env.ok());
+  workload::DevTreeParams params;
+  params.num_dirs = 2;
+  params.sources_per_dir = 3;
+  params.headers_per_dir = 2;
+  auto tree = workload::GenerateSourceTree(env->get(), "/src", params);
+  ASSERT_TRUE(tree.ok());
+  auto result = workload::RunCompile(env->get(), *tree);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  for (const auto& src : tree->sources) {
+    const std::string obj = src.substr(0, src.size() - 2) + ".o";
+    EXPECT_TRUE((*env)->path().Resolve(obj).ok()) << obj;
+  }
+  EXPECT_TRUE((*env)->path().Resolve("/src/a.out").ok());
+}
+
+}  // namespace
+}  // namespace cffs

@@ -1,0 +1,115 @@
+// cffs_debug: debugfs-style inspector for file-system images.
+//
+//   cffs_debug <image> [sb] [tree] [alloc] [frag] [dir <path>]
+//
+// With no commands, prints everything.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/disk/image.h"
+#include "src/fs/common/dump.h"
+#include "src/fs/common/path.h"
+
+using namespace cffs;
+
+namespace {
+
+struct Mounted {
+  SimClock clock;
+  std::unique_ptr<disk::DiskModel> disk;
+  std::unique_ptr<blk::BlockDevice> dev;
+  std::unique_ptr<cache::BufferCache> cache;
+  std::unique_ptr<fs::FsBase> fs;
+  bool is_ffs = false;
+};
+
+Result<std::unique_ptr<Mounted>> MountImage(const std::string& path) {
+  auto m = std::make_unique<Mounted>();
+  ASSIGN_OR_RETURN(auto disk, disk::LoadDiskImage(path, &m->clock));
+  m->disk = std::move(disk);
+  m->dev = std::make_unique<blk::BlockDevice>(m->disk.get(),
+                                              disk::SchedulerPolicy::kCLook);
+  m->cache = std::make_unique<cache::BufferCache>(m->dev.get(), 4096);
+  // Try C-FFS first, fall back to FFS.
+  auto cfs = fs::CffsFileSystem::Mount(m->cache.get(), &m->clock,
+                                       fs::MetadataPolicy::kSynchronous);
+  if (cfs.ok()) {
+    m->fs = std::move(*cfs);
+    return m;
+  }
+  ASSIGN_OR_RETURN(auto ffs, fs::FfsFileSystem::Mount(
+                                 m->cache.get(), &m->clock,
+                                 fs::MetadataPolicy::kSynchronous));
+  m->fs = std::move(ffs);
+  m->is_ffs = true;
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <image> [sb] [tree] [alloc] [frag] "
+                         "[dir <path>]\n", argv[0]);
+    return 2;
+  }
+  auto mounted = MountImage(argv[1]);
+  if (!mounted.ok()) {
+    std::fprintf(stderr, "mount: %s\n", mounted.status().ToString().c_str());
+    return 1;
+  }
+  Mounted& m = **mounted;
+
+  std::vector<std::string> cmds;
+  for (int i = 2; i < argc; ++i) cmds.push_back(argv[i]);
+  if (cmds.empty()) cmds = {"sb", "alloc", "frag", "tree"};
+
+  for (size_t i = 0; i < cmds.size(); ++i) {
+    const std::string& cmd = cmds[i];
+    Result<std::string> out = std::string("?");
+    fs::CgAllocator* alloc =
+        m.is_ffs ? static_cast<fs::FfsFileSystem*>(m.fs.get())->allocator()
+                 : static_cast<fs::CffsFileSystem*>(m.fs.get())->allocator();
+    const uint16_t gb =
+        m.is_ffs ? 16
+                 : static_cast<fs::CffsFileSystem*>(m.fs.get())
+                       ->options()
+                       .group_blocks;
+    if (cmd == "sb") {
+      out = m.is_ffs
+                ? fs::DumpSuperblock(static_cast<fs::FfsFileSystem*>(m.fs.get()))
+                : fs::DumpSuperblock(static_cast<fs::CffsFileSystem*>(m.fs.get()));
+    } else if (cmd == "tree") {
+      out = fs::DumpTree(m.fs.get());
+    } else if (cmd == "alloc") {
+      out = fs::DumpAllocation(m.fs.get(), alloc, gb);
+    } else if (cmd == "frag") {
+      auto stats = fs::MeasureFragmentation(alloc, gb);
+      if (stats.ok()) {
+        out = fs::DescribeFragmentation(*stats) + "\n";
+      } else {
+        out = stats.status();
+      }
+    } else if (cmd == "dir" && i + 1 < cmds.size()) {
+      fs::PathOps p(m.fs.get());
+      auto dir = p.Resolve(cmds[++i]);
+      if (!dir.ok()) {
+        out = dir.status();
+      } else {
+        out = fs::DumpDirectory(m.fs.get(), *dir);
+      }
+    } else {
+      std::fprintf(stderr, "unknown command %s\n", cmd.c_str());
+      return 2;
+    }
+    if (!out.ok()) {
+      std::fprintf(stderr, "%s: %s\n", cmd.c_str(),
+                   out.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("=== %s ===\n%s\n", cmd.c_str(), out->c_str());
+  }
+  return 0;
+}

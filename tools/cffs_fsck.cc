@@ -1,0 +1,77 @@
+// cffs_fsck: check (and optionally repair) a file-system image.
+//
+//   cffs_fsck <image> [--repair]
+//
+// Exit status: 0 clean, 1 problems found (or repaired — rerun to confirm),
+// 2 usage / unmountable.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/disk/image.h"
+#include "src/fsck/fsck.h"
+
+using namespace cffs;
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <image> [--repair]\n", argv[0]);
+    return 2;
+  }
+  const std::string path = argv[1];
+  bool repair = false;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--repair") == 0) repair = true;
+  }
+
+  SimClock clock;
+  auto disk = disk::LoadDiskImage(path, &clock);
+  if (!disk.ok()) {
+    std::fprintf(stderr, "load: %s\n", disk.status().ToString().c_str());
+    return 2;
+  }
+  blk::BlockDevice dev(disk->get(), disk::SchedulerPolicy::kCLook);
+  cache::BufferCache cache(&dev, 4096);
+
+  Result<fsck::FsckReport> report = Corrupt("unmountable");
+  auto cfs = fs::CffsFileSystem::Mount(&cache, &clock,
+                                       fs::MetadataPolicy::kSynchronous);
+  std::unique_ptr<fs::FsBase> keep_alive;
+  if (cfs.ok()) {
+    report = fsck::CheckCffs(cfs->get(), {.repair = repair});
+    keep_alive = std::move(*cfs);
+  } else {
+    auto ffs = fs::FfsFileSystem::Mount(&cache, &clock,
+                                        fs::MetadataPolicy::kSynchronous);
+    if (!ffs.ok()) {
+      std::fprintf(stderr, "mount: %s\n", ffs.status().ToString().c_str());
+      return 2;
+    }
+    report = fsck::CheckFfs(ffs->get(), {.repair = repair});
+    keep_alive = std::move(*ffs);
+  }
+  if (!report.ok()) {
+    std::fprintf(stderr, "fsck: %s\n", report.status().ToString().c_str());
+    return 2;
+  }
+
+  std::printf("%llu files, %llu directories, %llu referenced blocks\n",
+              static_cast<unsigned long long>(report->files),
+              static_cast<unsigned long long>(report->directories),
+              static_cast<unsigned long long>(report->referenced_blocks));
+  for (const auto& p : report->problems) std::printf("PROBLEM: %s\n", p.c_str());
+  if (repair && report->repaired > 0) {
+    if (Status s = keep_alive->Sync(); !s.ok()) {
+      std::fprintf(stderr, "sync: %s\n", s.ToString().c_str());
+      return 2;
+    }
+    if (Status s = disk::SaveDiskImage(**disk, path); !s.ok()) {
+      std::fprintf(stderr, "save: %s\n", s.ToString().c_str());
+      return 2;
+    }
+    std::printf("repaired %llu issue(s); image updated\n",
+                static_cast<unsigned long long>(report->repaired));
+  }
+  std::printf("%s\n", report->clean ? "CLEAN" : "DIRTY");
+  return report->clean ? 0 : 1;
+}

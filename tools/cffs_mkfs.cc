@@ -1,0 +1,82 @@
+// cffs_mkfs: create a file-system image.
+//
+//   cffs_mkfs <image> [--type=cffs|ffs] [--mb=256] [--group-blocks=16]
+//             [--no-embed] [--no-group]
+//
+// The image file stores both the simulated drive (an ST31200-timed disk
+// sized to --mb) and the file system built on it; cffs_debug and cffs_fsck
+// operate on the same file.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/disk/image.h"
+#include "src/fs/cffs/cffs.h"
+#include "src/fs/ffs/ffs.h"
+
+using namespace cffs;
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <image> [--type=cffs|ffs] [--mb=N] "
+                 "[--group-blocks=N] [--no-embed] [--no-group]\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string path = argv[1];
+  std::string type = "cffs";
+  uint64_t mb = 256;
+  fs::CffsOptions options;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--type=", 0) == 0) type = arg.substr(7);
+    else if (arg.rfind("--mb=", 0) == 0) mb = std::stoull(arg.substr(5));
+    else if (arg.rfind("--group-blocks=", 0) == 0)
+      options.group_blocks = static_cast<uint16_t>(std::stoul(arg.substr(15)));
+    else if (arg == "--no-embed") options.embed_inodes = false;
+    else if (arg == "--no-group") options.grouping = false;
+    else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  // Size the drive: scale the ST31200's zones to the requested capacity.
+  SimClock clock;
+  disk::DiskSpec spec = disk::SeagateSt31200();
+  const uint64_t want_sectors = mb * 1024 * 1024 / disk::kSectorSize;
+  const uint64_t have = spec.MakeGeometry().total_sectors();
+  for (auto& z : spec.zones) {
+    z.cylinders = static_cast<uint32_t>(
+        std::max<uint64_t>(1, z.cylinders * want_sectors / have));
+  }
+  disk::DiskModel disk(spec, &clock);
+  blk::BlockDevice dev(&disk, disk::SchedulerPolicy::kCLook);
+  cache::BufferCache cache(&dev, 4096);
+
+  Status status = OkStatus();
+  if (type == "ffs") {
+    auto fs = fs::FfsFileSystem::Format(&cache, &clock, fs::FfsParams{},
+                                        fs::MetadataPolicy::kSynchronous);
+    status = fs.status();
+  } else if (type == "cffs") {
+    auto fs = fs::CffsFileSystem::Format(&cache, &clock, options,
+                                         fs::MetadataPolicy::kSynchronous);
+    status = fs.status();
+  } else {
+    std::fprintf(stderr, "unknown type %s\n", type.c_str());
+    return 2;
+  }
+  if (!status.ok()) {
+    std::fprintf(stderr, "format failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  if (Status s = disk::SaveDiskImage(disk, path); !s.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("created %s image (%llu MB) at %s\n", type.c_str(),
+              static_cast<unsigned long long>(mb), path.c_str());
+  return 0;
+}

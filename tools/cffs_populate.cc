@@ -1,0 +1,78 @@
+// cffs_populate: write a small demo tree into an existing image.
+//
+//   cffs_populate <image> [--files=40] [--dirs=4] [--seed=1]
+#include <cstdio>
+#include <string>
+
+#include "src/disk/image.h"
+#include "src/fs/cffs/cffs.h"
+#include "src/fs/common/path.h"
+#include "src/fs/ffs/ffs.h"
+#include "src/util/rng.h"
+
+using namespace cffs;
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <image> [--files=N] [--dirs=N] [--seed=N]\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string path = argv[1];
+  uint64_t files = 40, dirs = 4, seed = 1;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--files=", 0) == 0) files = std::stoull(arg.substr(8));
+    else if (arg.rfind("--dirs=", 0) == 0) dirs = std::stoull(arg.substr(7));
+    else if (arg.rfind("--seed=", 0) == 0) seed = std::stoull(arg.substr(7));
+  }
+
+  SimClock clock;
+  auto disk = disk::LoadDiskImage(path, &clock);
+  if (!disk.ok()) {
+    std::fprintf(stderr, "load: %s\n", disk.status().ToString().c_str());
+    return 1;
+  }
+  blk::BlockDevice dev(disk->get(), disk::SchedulerPolicy::kCLook);
+  cache::BufferCache cache(&dev, 4096);
+
+  std::unique_ptr<fs::FsBase> fsp;
+  if (auto cfs = fs::CffsFileSystem::Mount(&cache, &clock,
+                                           fs::MetadataPolicy::kSynchronous);
+      cfs.ok()) {
+    fsp = std::move(*cfs);
+  } else if (auto ffs = fs::FfsFileSystem::Mount(
+                 &cache, &clock, fs::MetadataPolicy::kSynchronous);
+             ffs.ok()) {
+    fsp = std::move(*ffs);
+  } else {
+    std::fprintf(stderr, "mount failed\n");
+    return 1;
+  }
+
+  fs::PathOps p(fsp.get());
+  Rng rng(seed);
+  for (uint64_t f = 0; f < files; ++f) {
+    const std::string dir = "/demo" + std::to_string(f % dirs);
+    if (auto s = p.MkdirAll(dir); !s.ok()) {
+      std::fprintf(stderr, "mkdir: %s\n", s.status().ToString().c_str());
+      return 1;
+    }
+    std::vector<uint8_t> data(rng.Below(6000) + 64);
+    for (auto& b : data) b = static_cast<uint8_t>(rng.Next());
+    if (auto s = p.WriteFile(dir + "/file" + std::to_string(f), data);
+        !s.ok()) {
+      std::fprintf(stderr, "write: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  if (auto s = fsp->Sync(); !s.ok()) return 1;
+  if (auto s = disk::SaveDiskImage(**disk, path); !s.ok()) {
+    std::fprintf(stderr, "save: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("populated %s with %llu files in %llu dirs\n", path.c_str(),
+              static_cast<unsigned long long>(files),
+              static_cast<unsigned long long>(dirs));
+  return 0;
+}
