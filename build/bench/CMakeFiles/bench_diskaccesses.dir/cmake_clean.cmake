@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_diskaccesses.dir/bench_diskaccesses.cc.o"
+  "CMakeFiles/bench_diskaccesses.dir/bench_diskaccesses.cc.o.d"
+  "bench_diskaccesses"
+  "bench_diskaccesses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_diskaccesses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig2_access_time.cc" "bench/CMakeFiles/bench_fig2_access_time.dir/bench_fig2_access_time.cc.o" "gcc" "bench/CMakeFiles/bench_fig2_access_time.dir/bench_fig2_access_time.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/cffs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cffs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/cffs_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/cffs_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/blockdev/CMakeFiles/cffs_blockdev.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/cffs_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cffs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

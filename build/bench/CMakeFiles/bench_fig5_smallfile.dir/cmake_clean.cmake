@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_smallfile.dir/bench_fig5_smallfile.cc.o"
+  "CMakeFiles/bench_fig5_smallfile.dir/bench_fig5_smallfile.cc.o.d"
+  "bench_fig5_smallfile"
+  "bench_fig5_smallfile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_smallfile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

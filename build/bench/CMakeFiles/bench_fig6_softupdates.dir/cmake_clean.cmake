@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_softupdates.dir/bench_fig6_softupdates.cc.o"
+  "CMakeFiles/bench_fig6_softupdates.dir/bench_fig6_softupdates.cc.o.d"
+  "bench_fig6_softupdates"
+  "bench_fig6_softupdates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_softupdates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

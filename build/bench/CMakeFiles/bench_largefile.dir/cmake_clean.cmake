@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_largefile.dir/bench_largefile.cc.o"
+  "CMakeFiles/bench_largefile.dir/bench_largefile.cc.o.d"
+  "bench_largefile"
+  "bench_largefile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_largefile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

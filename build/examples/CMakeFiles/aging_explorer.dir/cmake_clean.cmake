@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aging_explorer.dir/aging_explorer.cpp.o"
+  "CMakeFiles/aging_explorer.dir/aging_explorer.cpp.o.d"
+  "aging_explorer"
+  "aging_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aging_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mail_spool.dir/mail_spool.cpp.o"
+  "CMakeFiles/mail_spool.dir/mail_spool.cpp.o.d"
+  "mail_spool"
+  "mail_spool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mail_spool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

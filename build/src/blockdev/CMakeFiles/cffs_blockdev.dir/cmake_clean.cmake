@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cffs_blockdev.dir/block_device.cc.o"
+  "CMakeFiles/cffs_blockdev.dir/block_device.cc.o.d"
+  "libcffs_blockdev.a"
+  "libcffs_blockdev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cffs_blockdev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

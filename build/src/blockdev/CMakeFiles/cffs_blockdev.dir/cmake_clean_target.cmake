@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcffs_blockdev.a"
+)

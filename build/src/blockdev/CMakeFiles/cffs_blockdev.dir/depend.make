@@ -1,0 +1,2 @@
+# Empty dependencies file for cffs_blockdev.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cffs_cache.dir/buffer_cache.cc.o"
+  "CMakeFiles/cffs_cache.dir/buffer_cache.cc.o.d"
+  "libcffs_cache.a"
+  "libcffs_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cffs_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/disk/disk_model.cc" "src/disk/CMakeFiles/cffs_disk.dir/disk_model.cc.o" "gcc" "src/disk/CMakeFiles/cffs_disk.dir/disk_model.cc.o.d"
+  "/root/repo/src/disk/disk_spec.cc" "src/disk/CMakeFiles/cffs_disk.dir/disk_spec.cc.o" "gcc" "src/disk/CMakeFiles/cffs_disk.dir/disk_spec.cc.o.d"
+  "/root/repo/src/disk/extract.cc" "src/disk/CMakeFiles/cffs_disk.dir/extract.cc.o" "gcc" "src/disk/CMakeFiles/cffs_disk.dir/extract.cc.o.d"
+  "/root/repo/src/disk/geometry.cc" "src/disk/CMakeFiles/cffs_disk.dir/geometry.cc.o" "gcc" "src/disk/CMakeFiles/cffs_disk.dir/geometry.cc.o.d"
+  "/root/repo/src/disk/image.cc" "src/disk/CMakeFiles/cffs_disk.dir/image.cc.o" "gcc" "src/disk/CMakeFiles/cffs_disk.dir/image.cc.o.d"
+  "/root/repo/src/disk/scheduler.cc" "src/disk/CMakeFiles/cffs_disk.dir/scheduler.cc.o" "gcc" "src/disk/CMakeFiles/cffs_disk.dir/scheduler.cc.o.d"
+  "/root/repo/src/disk/seek_curve.cc" "src/disk/CMakeFiles/cffs_disk.dir/seek_curve.cc.o" "gcc" "src/disk/CMakeFiles/cffs_disk.dir/seek_curve.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cffs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cffs_disk.dir/disk_model.cc.o"
+  "CMakeFiles/cffs_disk.dir/disk_model.cc.o.d"
+  "CMakeFiles/cffs_disk.dir/disk_spec.cc.o"
+  "CMakeFiles/cffs_disk.dir/disk_spec.cc.o.d"
+  "CMakeFiles/cffs_disk.dir/extract.cc.o"
+  "CMakeFiles/cffs_disk.dir/extract.cc.o.d"
+  "CMakeFiles/cffs_disk.dir/geometry.cc.o"
+  "CMakeFiles/cffs_disk.dir/geometry.cc.o.d"
+  "CMakeFiles/cffs_disk.dir/image.cc.o"
+  "CMakeFiles/cffs_disk.dir/image.cc.o.d"
+  "CMakeFiles/cffs_disk.dir/scheduler.cc.o"
+  "CMakeFiles/cffs_disk.dir/scheduler.cc.o.d"
+  "CMakeFiles/cffs_disk.dir/seek_curve.cc.o"
+  "CMakeFiles/cffs_disk.dir/seek_curve.cc.o.d"
+  "libcffs_disk.a"
+  "libcffs_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cffs_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fs/cffs/cffs.cc" "src/fs/CMakeFiles/cffs_fs.dir/cffs/cffs.cc.o" "gcc" "src/fs/CMakeFiles/cffs_fs.dir/cffs/cffs.cc.o.d"
+  "/root/repo/src/fs/common/allocator.cc" "src/fs/CMakeFiles/cffs_fs.dir/common/allocator.cc.o" "gcc" "src/fs/CMakeFiles/cffs_fs.dir/common/allocator.cc.o.d"
+  "/root/repo/src/fs/common/bitmap.cc" "src/fs/CMakeFiles/cffs_fs.dir/common/bitmap.cc.o" "gcc" "src/fs/CMakeFiles/cffs_fs.dir/common/bitmap.cc.o.d"
+  "/root/repo/src/fs/common/block_map.cc" "src/fs/CMakeFiles/cffs_fs.dir/common/block_map.cc.o" "gcc" "src/fs/CMakeFiles/cffs_fs.dir/common/block_map.cc.o.d"
+  "/root/repo/src/fs/common/dir_block.cc" "src/fs/CMakeFiles/cffs_fs.dir/common/dir_block.cc.o" "gcc" "src/fs/CMakeFiles/cffs_fs.dir/common/dir_block.cc.o.d"
+  "/root/repo/src/fs/common/dump.cc" "src/fs/CMakeFiles/cffs_fs.dir/common/dump.cc.o" "gcc" "src/fs/CMakeFiles/cffs_fs.dir/common/dump.cc.o.d"
+  "/root/repo/src/fs/common/fs_base.cc" "src/fs/CMakeFiles/cffs_fs.dir/common/fs_base.cc.o" "gcc" "src/fs/CMakeFiles/cffs_fs.dir/common/fs_base.cc.o.d"
+  "/root/repo/src/fs/common/inode.cc" "src/fs/CMakeFiles/cffs_fs.dir/common/inode.cc.o" "gcc" "src/fs/CMakeFiles/cffs_fs.dir/common/inode.cc.o.d"
+  "/root/repo/src/fs/common/path.cc" "src/fs/CMakeFiles/cffs_fs.dir/common/path.cc.o" "gcc" "src/fs/CMakeFiles/cffs_fs.dir/common/path.cc.o.d"
+  "/root/repo/src/fs/ffs/ffs.cc" "src/fs/CMakeFiles/cffs_fs.dir/ffs/ffs.cc.o" "gcc" "src/fs/CMakeFiles/cffs_fs.dir/ffs/ffs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cache/CMakeFiles/cffs_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/blockdev/CMakeFiles/cffs_blockdev.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cffs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/cffs_disk.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cffs_fs.dir/cffs/cffs.cc.o"
+  "CMakeFiles/cffs_fs.dir/cffs/cffs.cc.o.d"
+  "CMakeFiles/cffs_fs.dir/common/allocator.cc.o"
+  "CMakeFiles/cffs_fs.dir/common/allocator.cc.o.d"
+  "CMakeFiles/cffs_fs.dir/common/bitmap.cc.o"
+  "CMakeFiles/cffs_fs.dir/common/bitmap.cc.o.d"
+  "CMakeFiles/cffs_fs.dir/common/block_map.cc.o"
+  "CMakeFiles/cffs_fs.dir/common/block_map.cc.o.d"
+  "CMakeFiles/cffs_fs.dir/common/dir_block.cc.o"
+  "CMakeFiles/cffs_fs.dir/common/dir_block.cc.o.d"
+  "CMakeFiles/cffs_fs.dir/common/dump.cc.o"
+  "CMakeFiles/cffs_fs.dir/common/dump.cc.o.d"
+  "CMakeFiles/cffs_fs.dir/common/fs_base.cc.o"
+  "CMakeFiles/cffs_fs.dir/common/fs_base.cc.o.d"
+  "CMakeFiles/cffs_fs.dir/common/inode.cc.o"
+  "CMakeFiles/cffs_fs.dir/common/inode.cc.o.d"
+  "CMakeFiles/cffs_fs.dir/common/path.cc.o"
+  "CMakeFiles/cffs_fs.dir/common/path.cc.o.d"
+  "CMakeFiles/cffs_fs.dir/ffs/ffs.cc.o"
+  "CMakeFiles/cffs_fs.dir/ffs/ffs.cc.o.d"
+  "libcffs_fs.a"
+  "libcffs_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cffs_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

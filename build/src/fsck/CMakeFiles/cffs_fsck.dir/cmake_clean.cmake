@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cffs_fsck.dir/fsck.cc.o"
+  "CMakeFiles/cffs_fsck.dir/fsck.cc.o.d"
+  "libcffs_fsck.a"
+  "libcffs_fsck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cffs_fsck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

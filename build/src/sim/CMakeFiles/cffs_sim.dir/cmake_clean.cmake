@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cffs_sim.dir/sim_env.cc.o"
+  "CMakeFiles/cffs_sim.dir/sim_env.cc.o.d"
+  "libcffs_sim.a"
+  "libcffs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cffs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

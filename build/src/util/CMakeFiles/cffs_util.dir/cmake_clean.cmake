@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cffs_util.dir/histogram.cc.o"
+  "CMakeFiles/cffs_util.dir/histogram.cc.o.d"
+  "CMakeFiles/cffs_util.dir/rng.cc.o"
+  "CMakeFiles/cffs_util.dir/rng.cc.o.d"
+  "CMakeFiles/cffs_util.dir/status.cc.o"
+  "CMakeFiles/cffs_util.dir/status.cc.o.d"
+  "libcffs_util.a"
+  "libcffs_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cffs_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

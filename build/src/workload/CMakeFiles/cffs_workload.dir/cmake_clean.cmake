@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cffs_workload.dir/aging.cc.o"
+  "CMakeFiles/cffs_workload.dir/aging.cc.o.d"
+  "CMakeFiles/cffs_workload.dir/devtree.cc.o"
+  "CMakeFiles/cffs_workload.dir/devtree.cc.o.d"
+  "CMakeFiles/cffs_workload.dir/interference.cc.o"
+  "CMakeFiles/cffs_workload.dir/interference.cc.o.d"
+  "CMakeFiles/cffs_workload.dir/smallfile.cc.o"
+  "CMakeFiles/cffs_workload.dir/smallfile.cc.o.d"
+  "CMakeFiles/cffs_workload.dir/trace.cc.o"
+  "CMakeFiles/cffs_workload.dir/trace.cc.o.d"
+  "libcffs_workload.a"
+  "libcffs_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cffs_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

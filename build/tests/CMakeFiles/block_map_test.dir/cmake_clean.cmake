@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_map_test.dir/block_map_test.cc.o"
+  "CMakeFiles/block_map_test.dir/block_map_test.cc.o.d"
+  "block_map_test"
+  "block_map_test.pdb"
+  "block_map_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

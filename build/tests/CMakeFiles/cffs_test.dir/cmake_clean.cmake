@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cffs_test.dir/cffs_test.cc.o"
+  "CMakeFiles/cffs_test.dir/cffs_test.cc.o.d"
+  "cffs_test"
+  "cffs_test.pdb"
+  "cffs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cffs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dir_block_test.dir/dir_block_test.cc.o"
+  "CMakeFiles/dir_block_test.dir/dir_block_test.cc.o.d"
+  "dir_block_test"
+  "dir_block_test.pdb"
+  "dir_block_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dir_block_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ffs_test.cc" "tests/CMakeFiles/ffs_test.dir/ffs_test.cc.o" "gcc" "tests/CMakeFiles/ffs_test.dir/ffs_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/cffs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/cffs_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/cffs_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/blockdev/CMakeFiles/cffs_blockdev.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/cffs_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cffs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_posix_test.dir/fs_posix_test.cc.o"
+  "CMakeFiles/fs_posix_test.dir/fs_posix_test.cc.o.d"
+  "fs_posix_test"
+  "fs_posix_test.pdb"
+  "fs_posix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_posix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_smoke_test.dir/fs_smoke_test.cc.o"
+  "CMakeFiles/fs_smoke_test.dir/fs_smoke_test.cc.o.d"
+  "fs_smoke_test"
+  "fs_smoke_test.pdb"
+  "fs_smoke_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_dump_test.dir/image_dump_test.cc.o"
+  "CMakeFiles/image_dump_test.dir/image_dump_test.cc.o.d"
+  "image_dump_test"
+  "image_dump_test.pdb"
+  "image_dump_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_dump_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inode_path_test.dir/inode_path_test.cc.o"
+  "CMakeFiles/inode_path_test.dir/inode_path_test.cc.o.d"
+  "inode_path_test"
+  "inode_path_test.pdb"
+  "inode_path_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inode_path_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/fs_smoke_test[1]_include.cmake")
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/disk_test[1]_include.cmake")
+include("/root/repo/build/tests/cache_test[1]_include.cmake")
+include("/root/repo/build/tests/dir_block_test[1]_include.cmake")
+include("/root/repo/build/tests/block_map_test[1]_include.cmake")
+include("/root/repo/build/tests/allocator_test[1]_include.cmake")
+include("/root/repo/build/tests/fs_posix_test[1]_include.cmake")
+include("/root/repo/build/tests/cffs_test[1]_include.cmake")
+include("/root/repo/build/tests/ffs_test[1]_include.cmake")
+include("/root/repo/build/tests/fsck_test[1]_include.cmake")
+include("/root/repo/build/tests/equivalence_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/perf_invariants_test[1]_include.cmake")
+include("/root/repo/build/tests/crash_test[1]_include.cmake")
+include("/root/repo/build/tests/image_dump_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/inode_path_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cffs_debug.dir/cffs_debug.cc.o"
+  "CMakeFiles/cffs_debug.dir/cffs_debug.cc.o.d"
+  "cffs_debug"
+  "cffs_debug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cffs_debug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cffs_fsck_tool.dir/cffs_fsck.cc.o"
+  "CMakeFiles/cffs_fsck_tool.dir/cffs_fsck.cc.o.d"
+  "cffs_fsck"
+  "cffs_fsck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cffs_fsck_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cffs_mkfs.dir/cffs_mkfs.cc.o"
+  "CMakeFiles/cffs_mkfs.dir/cffs_mkfs.cc.o.d"
+  "cffs_mkfs"
+  "cffs_mkfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cffs_mkfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

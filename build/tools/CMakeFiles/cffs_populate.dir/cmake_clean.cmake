@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cffs_populate.dir/cffs_populate.cc.o"
+  "CMakeFiles/cffs_populate.dir/cffs_populate.cc.o.d"
+  "cffs_populate"
+  "cffs_populate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cffs_populate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
