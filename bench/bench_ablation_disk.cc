@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "bench/report.h"
 #include "src/workload/smallfile.h"
 
 using namespace cffs;
@@ -35,6 +36,7 @@ int main(int argc, char** argv) {
       {"C-LOOK, no prefetch", disk::SchedulerPolicy::kCLook, 0},
       {"SSTF   + prefetch", disk::SchedulerPolicy::kSstf, 64},
   };
+  bench::Report report("ablation_disk");
 
   for (sim::FsKind kind : {sim::FsKind::kConventional, sim::FsKind::kCffs}) {
     for (const Variant& v : variants) {
@@ -54,7 +56,14 @@ int main(int argc, char** argv) {
                   result->phases[1].files_per_sec,
                   result->phases[2].files_per_sec,
                   result->phases[3].files_per_sec);
+      for (const auto& ph : result->phases) {
+        obs::Json row = bench::PhaseJson(ph);
+        row.Set("config", sim::FsKindName(kind));
+        row.Set("variant", v.name);
+        report.AddRow(std::move(row));
+      }
     }
   }
+  report.Write();
   return 0;
 }

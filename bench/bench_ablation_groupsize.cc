@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "bench/report.h"
 #include "src/workload/smallfile.h"
 
 using namespace cffs;
@@ -23,6 +24,7 @@ int main(int argc, char** argv) {
               params.num_files, params.file_bytes);
   std::printf("%10s %10s %10s %10s %10s %12s\n", "group", "create/s",
               "read/s", "overwr/s", "delete/s", "group reads");
+  bench::Report report("ablation_groupsize");
 
   for (uint16_t gb : {2, 4, 8, 16, 32, 64}) {
     sim::SimConfig config;
@@ -44,6 +46,12 @@ int main(int argc, char** argv) {
                 result->phases[2].files_per_sec,
                 result->phases[3].files_per_sec,
                 static_cast<unsigned long long>(group_reads));
+    for (const auto& ph : result->phases) {
+      obs::Json row = bench::PhaseJson(ph);
+      row.Set("group_blocks", static_cast<uint64_t>(gb));
+      report.AddRow(std::move(row));
+    }
   }
+  report.Write();
   return 0;
 }

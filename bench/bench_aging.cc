@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "bench/report.h"
 #include "src/workload/aging.h"
 #include "src/workload/smallfile.h"
 
@@ -18,6 +19,8 @@ int main(int argc, char** argv) {
   std::printf("File-system aging: post-aging small-file throughput\n");
   std::printf("%5s  %-14s %10s %10s %10s %10s %7s\n", "util", "config",
               "create/s", "read/s", "overwr/s", "delete/s", "ops");
+  bench::Report report("aging");
+  report.Set("quick", quick);
 
   const double utils[] = {0.25, 0.50, 0.75};
   for (double util : utils) {
@@ -58,7 +61,16 @@ int main(int argc, char** argv) {
                   result->phases[3].files_per_sec,
                   static_cast<unsigned long long>(aged->creates +
                                                   aged->deletes));
+      for (const auto& ph : result->phases) {
+        obs::Json row = bench::PhaseJson(ph);
+        row.Set("config", sim::FsKindName(kind));
+        row.Set("target_utilization", util);
+        row.Set("final_utilization", aged->final_utilization);
+        row.Set("aging_ops", aged->creates + aged->deletes);
+        report.AddRow(std::move(row));
+      }
     }
   }
+  report.Write();
   return 0;
 }

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "bench/report.h"
 #include "src/workload/smallfile.h"
 
 using namespace cffs;
@@ -26,6 +27,7 @@ int main(int argc, char** argv) {
   std::printf("%-14s %22s %22s %22s %22s\n", "config", "create (R+W)",
               "read (R+W)", "overwrite (R+W)", "delete (R+W)");
 
+  bench::Report report("diskaccesses");
   workload::SmallFileResult conv, cffs;
   const sim::FsKind kinds[] = {
       sim::FsKind::kFfs, sim::FsKind::kConventional, sim::FsKind::kEmbedOnly,
@@ -48,6 +50,11 @@ int main(int argc, char** argv) {
       std::printf(" %22s", cell);
     }
     std::printf("\n");
+    for (const auto& ph : result->phases) {
+      obs::Json row = bench::PhaseJson(ph);
+      row.Set("config", sim::FsKindName(kind));
+      report.AddRow(std::move(row));
+    }
     if (kind == sim::FsKind::kConventional) conv = *result;
     if (kind == sim::FsKind::kCffs) cffs = *result;
   }
@@ -55,6 +62,7 @@ int main(int argc, char** argv) {
   std::printf("\nC-FFS vs conventional:\n");
   std::printf("%-10s %12s %12s %16s\n", "phase", "speedup", "req. ratio",
               "sync writes c/f");
+  obs::Json speedups = obs::Json::Array();
   for (size_t i = 0; i < conv.phases.size(); ++i) {
     const auto& c = conv.phases[i];
     const auto& x = cffs.phases[i];
@@ -64,6 +72,13 @@ int main(int argc, char** argv) {
                 x.files_per_sec / c.files_per_sec, creq / (xreq > 0 ? xreq : 1),
                 static_cast<unsigned long long>(c.sync_metadata_writes),
                 static_cast<unsigned long long>(x.sync_metadata_writes));
+    obs::Json s = obs::Json::Object();
+    s.Set("phase", c.phase);
+    s.Set("speedup", x.files_per_sec / c.files_per_sec);
+    s.Set("request_ratio", creq / (xreq > 0 ? xreq : 1));
+    speedups.Push(std::move(s));
   }
+  report.Set("cffs_vs_conventional", std::move(speedups));
+  report.Write();
   return 0;
 }

@@ -4,6 +4,7 @@
 // more than moving 4 KB — the headroom explicit grouping exploits.
 #include <cstdio>
 
+#include "bench/report.h"
 #include "src/disk/disk_model.h"
 
 using namespace cffs;
@@ -15,12 +16,15 @@ int main() {
   for (const auto& s : disks) std::printf(" %18s", s.name.c_str());
   std::printf(" %18s\n", "bandwidth eff.*");
 
+  bench::Report report("fig2_access_time");
   for (uint64_t size = 512; size <= 1024 * 1024; size *= 2) {
     if (size >= 1024) {
       std::printf("%9lluK", static_cast<unsigned long long>(size / 1024));
     } else {
       std::printf("%10llu", static_cast<unsigned long long>(size));
     }
+    obs::Json row = obs::Json::Object();
+    row.Set("request_bytes", size);
     double first_ms = 0;
     for (size_t i = 0; i < disks.size(); ++i) {
       SimClock clock;
@@ -28,6 +32,7 @@ int main() {
       const double ms = model.AverageAccessTime(size).millis();
       if (i == 0) first_ms = ms;
       std::printf(" %18.2f", ms);
+      row.Set(disks[i].name + "_ms", ms);
     }
     // Fraction of the first drive's media bandwidth a stream of such
     // requests achieves.
@@ -38,7 +43,10 @@ int main() {
                                .sectors_per_track);
     const double achieved = static_cast<double>(size) / (first_ms / 1e3);
     std::printf(" %17.1f%%\n", 100.0 * achieved / media);
+    row.Set("bandwidth_efficiency", achieved / media);
+    report.AddRow(std::move(row));
   }
+  report.Write();
   std::printf("\n* of the HP C3653's media rate; small requests waste the "
               "disk's bandwidth on positioning.\n");
   return 0;

@@ -5,9 +5,13 @@
 //
 // Shape targets (paper): C-FFS read/overwrite ~5-7x conventional; delete
 // >= 2.5x with embedded inodes; an order of magnitude fewer disk requests.
+//
+// Emits BENCH_fig5_smallfile.json: one row per (config, phase) with the
+// disk time breakdown, plus a full end-of-run MetricsSnapshot per config.
 #include <cstdio>
 #include <cstring>
 
+#include "bench/report.h"
 #include "src/workload/smallfile.h"
 
 using namespace cffs;
@@ -18,9 +22,11 @@ int main(int argc, char** argv) {
   params.file_bytes = 1024;
   params.num_dirs = 100;
   bool verbose = false;
+  bool quick = false;
   // --quick: smaller run for CI-style smoke usage.
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
       params.num_files = 2000;
       params.num_dirs = 20;
     }
@@ -33,11 +39,22 @@ int main(int argc, char** argv) {
   std::printf("%-14s %10s %10s %10s %10s\n", "config", "create/s", "read/s",
               "overwr/s", "delete/s");
 
+  bench::Report report("fig5_smallfile");
+  report.Set("quick", quick);
+  {
+    obs::Json p = obs::Json::Object();
+    p.Set("num_files", params.num_files);
+    p.Set("file_bytes", params.file_bytes);
+    p.Set("num_dirs", params.num_dirs);
+    p.Set("metadata", "synchronous");
+    report.Set("params", std::move(p));
+  }
+  obs::Json snapshots = obs::Json::Object();
+
   const sim::FsKind kinds[] = {
       sim::FsKind::kFfs, sim::FsKind::kConventional, sim::FsKind::kEmbedOnly,
       sim::FsKind::kGroupOnly, sim::FsKind::kCffs};
 
-  double conv[4] = {0, 0, 0, 0};
   for (sim::FsKind kind : kinds) {
     sim::SimConfig config;
     auto env = sim::SimEnv::Create(kind, config);
@@ -52,9 +69,6 @@ int main(int argc, char** argv) {
     }
     double rates[4];
     for (int i = 0; i < 4; ++i) rates[i] = result->phases[i].files_per_sec;
-    if (kind == sim::FsKind::kConventional) {
-      for (int i = 0; i < 4; ++i) conv[i] = rates[i];
-    }
     std::printf("%-14s %10.1f %10.1f %10.1f %10.1f\n",
                 sim::FsKindName(kind).c_str(), rates[0], rates[1], rates[2],
                 rates[3]);
@@ -67,11 +81,23 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(ph.disk_writes),
                     static_cast<unsigned long long>(ph.sync_metadata_writes),
                     static_cast<unsigned long long>(ph.group_reads));
+        std::printf("    %-10s disk: busy=%.3fs (seek=%.3f rot=%.3f "
+                    "xfer=%.3f ovh=%.3f)\n",
+                    "", ph.disk_busy_s, ph.disk_seek_s, ph.disk_rotation_s,
+                    ph.disk_transfer_s, ph.disk_overhead_s);
       }
     }
+    for (const auto& ph : result->phases) {
+      obs::Json row = bench::PhaseJson(ph);
+      row.Set("config", sim::FsKindName(kind));
+      report.AddRow(std::move(row));
+    }
+    snapshots.Set(sim::FsKindName(kind), (*env)->Snapshot().ToJson());
   }
+  report.Set("snapshots", std::move(snapshots));
+  report.Write();
+
   std::printf("\nspeedup of c-ffs over conventional is printed by "
               "bench_diskaccesses along with request counts\n");
-  (void)conv;
   return 0;
 }

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "bench/report.h"
 #include "src/workload/smallfile.h"
 
 using namespace cffs;
@@ -18,11 +19,23 @@ int main(int argc, char** argv) {
   params.num_files = 10000;
   params.file_bytes = 1024;
   params.num_dirs = 100;
+  bool quick = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
       params.num_files = 2000;
       params.num_dirs = 20;
     }
+  }
+  bench::Report report("fig6_softupdates");
+  report.Set("quick", quick);
+  {
+    obs::Json p = obs::Json::Object();
+    p.Set("num_files", params.num_files);
+    p.Set("file_bytes", params.file_bytes);
+    p.Set("num_dirs", params.num_dirs);
+    p.Set("metadata", "delayed");
+    report.Set("params", std::move(p));
   }
 
   std::printf("Figure 6: small-file benchmark with soft updates emulated "
@@ -52,6 +65,12 @@ int main(int argc, char** argv) {
                 result->phases[1].files_per_sec,
                 result->phases[2].files_per_sec,
                 result->phases[3].files_per_sec);
+    for (const auto& ph : result->phases) {
+      obs::Json row = bench::PhaseJson(ph);
+      row.Set("config", sim::FsKindName(kind));
+      report.AddRow(std::move(row));
+    }
   }
+  report.Write();
   return 0;
 }

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "bench/report.h"
 #include "src/workload/smallfile.h"
 
 using namespace cffs;
@@ -14,6 +15,8 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
   }
+  bench::Report report("fig7_filesize");
+  report.Set("quick", quick);
   std::printf("Figure 7: small-file read/create throughput vs file size "
               "(conventional vs C-FFS)\n");
   std::printf("%8s %14s %14s %9s %14s %14s %9s\n", "size", "conv read/s",
@@ -47,6 +50,17 @@ int main(int argc, char** argv) {
                 read_rate[0], read_rate[1], read_rate[1] / read_rate[0],
                 create_rate[0], create_rate[1],
                 create_rate[1] / create_rate[0]);
+    obs::Json row = obs::Json::Object();
+    row.Set("file_kb", static_cast<uint64_t>(kb));
+    row.Set("num_files", params.num_files);
+    row.Set("conventional_read_per_sec", read_rate[0]);
+    row.Set("cffs_read_per_sec", read_rate[1]);
+    row.Set("read_speedup", read_rate[1] / read_rate[0]);
+    row.Set("conventional_create_per_sec", create_rate[0]);
+    row.Set("cffs_create_per_sec", create_rate[1]);
+    row.Set("create_speedup", create_rate[1] / create_rate[0]);
+    report.AddRow(std::move(row));
   }
+  report.Write();
   return 0;
 }

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "bench/report.h"
 #include "src/workload/interference.h"
 
 using namespace cffs;
@@ -19,6 +20,12 @@ int main(int argc, char** argv) {
               params.foreground_files);
   std::printf("%-14s %12s %12s  %s\n", "config", "disturb", "files/s",
               "per-read latency");
+  bench::Report report("interference");
+  {
+    obs::Json p = obs::Json::Object();
+    p.Set("foreground_files", params.foreground_files);
+    report.Set("params", std::move(p));
+  }
 
   for (sim::FsKind kind : {sim::FsKind::kConventional, sim::FsKind::kCffs}) {
     for (uint32_t disturb : {0u, 4u, 1u}) {
@@ -41,8 +48,17 @@ int main(int argc, char** argv) {
       std::printf("%-14s %12s %12.1f  %s\n", sim::FsKindName(kind).c_str(),
                   label, result->foreground_files_per_sec,
                   result->foreground_read.Summary().c_str());
+      obs::Json row = obs::Json::Object();
+      row.Set("config", sim::FsKindName(kind));
+      row.Set("disturb_every", static_cast<uint64_t>(disturb));
+      row.Set("foreground_files_per_sec", result->foreground_files_per_sec);
+      auto hist = obs::Json::Parse(result->foreground_read.ToJson());
+      row.Set("foreground_read_latency",
+              hist.ok() ? std::move(*hist) : obs::Json());
+      report.AddRow(std::move(row));
     }
   }
+  report.Write();
   std::printf("\nThe conventional system's (already modest) locality gains "
               "evaporate under\ninterference; grouped reads amortize the "
               "repositioning over 16 files either way.\n");

@@ -3,6 +3,7 @@
 // and reads one 32 MB file on each configuration and reports MB/s.
 #include <cstdio>
 
+#include "bench/report.h"
 #include "src/sim/sim_env.h"
 #include "src/util/rng.h"
 
@@ -13,6 +14,13 @@ int main() {
   std::printf("Large-file bandwidth (one %llu MB file)\n",
               static_cast<unsigned long long>(kFileBytes >> 20));
   std::printf("%-14s %12s %12s\n", "config", "write MB/s", "read MB/s");
+
+  bench::Report report("largefile");
+  {
+    obs::Json p = obs::Json::Object();
+    p.Set("file_bytes", kFileBytes);
+    report.Set("params", std::move(p));
+  }
 
   const sim::FsKind kinds[] = {sim::FsKind::kFfs, sim::FsKind::kConventional,
                                sim::FsKind::kCffs};
@@ -52,7 +60,13 @@ int main() {
 
     std::printf("%-14s %12.2f %12.2f\n", sim::FsKindName(kind).c_str(),
                 kFileBytes / wsecs / 1e6, kFileBytes / rsecs / 1e6);
+    obs::Json row = obs::Json::Object();
+    row.Set("config", sim::FsKindName(kind));
+    row.Set("write_mb_per_sec", kFileBytes / wsecs / 1e6);
+    row.Set("read_mb_per_sec", kFileBytes / rsecs / 1e6);
+    report.AddRow(std::move(row));
   }
+  report.Write();
   std::printf("\nAll configurations should be within a few percent: grouping "
               "only touches small files.\n");
   return 0;

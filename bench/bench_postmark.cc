@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "bench/report.h"
 #include "src/workload/trace.h"
 
 using namespace cffs;
@@ -23,6 +24,14 @@ int main(int argc, char** argv) {
               params.initial_files, params.transactions, trace.size());
   std::printf("%-14s %10s %10s %12s %12s\n", "config", "seconds", "ops/s",
               "disk reqs", "failed ops");
+  bench::Report report("postmark");
+  {
+    obs::Json p = obs::Json::Object();
+    p.Set("initial_files", params.initial_files);
+    p.Set("transactions", params.transactions);
+    p.Set("trace_ops", static_cast<uint64_t>(trace.size()));
+    report.Set("params", std::move(p));
+  }
 
   const sim::FsKind kinds[] = {
       sim::FsKind::kFfs, sim::FsKind::kConventional, sim::FsKind::kEmbedOnly,
@@ -41,6 +50,14 @@ int main(int argc, char** argv) {
                 stats->ops_applied / stats->seconds,
                 static_cast<unsigned long long>(stats->disk_requests),
                 static_cast<unsigned long long>(stats->ops_failed));
+    obs::Json row = obs::Json::Object();
+    row.Set("config", sim::FsKindName(kind));
+    row.Set("seconds", stats->seconds);
+    row.Set("ops_per_sec", stats->ops_applied / stats->seconds);
+    row.Set("disk_requests", stats->disk_requests);
+    row.Set("ops_failed", stats->ops_failed);
+    report.AddRow(std::move(row));
   }
+  report.Write();
   return 0;
 }

@@ -4,6 +4,7 @@
 // model's average seek, which should match the spec's average).
 #include <cstdio>
 
+#include "bench/report.h"
 #include "src/disk/disk_model.h"
 
 using namespace cffs;
@@ -74,5 +75,31 @@ int main() {
   std::printf("\nPaper's Table 1 seek columns (verbatim from the text):\n");
   std::printf("  track-to-track: <1 / 0.6 / 1.0 ms; average: 8.7 / 8.0 / 7.9 ms;"
               " maximum: 16.5 / 19.0 / 18.0 ms\n");
+
+  bench::Report report("table1_disks");
+  for (const auto& s : disks) {
+    SimClock clock;
+    disk::DiskModel model(s, &clock);
+    obs::Json r = obs::Json::Object();
+    r.Set("disk", s.name);
+    r.Set("rpm", static_cast<uint64_t>(s.rpm));
+    r.Set("rotation_ms", s.RotationPeriod().millis());
+    r.Set("surfaces", static_cast<uint64_t>(s.heads));
+    r.Set("sectors_per_track_outer",
+          static_cast<uint64_t>(s.zones.front().sectors_per_track));
+    r.Set("sectors_per_track_inner",
+          static_cast<uint64_t>(s.zones.back().sectors_per_track));
+    r.Set("capacity_gb",
+          static_cast<double>(s.MakeGeometry().capacity_bytes()) / 1e9);
+    r.Set("media_rate_outer_mb_s",
+          s.MediaRate(s.zones.front().sectors_per_track) / 1e6);
+    r.Set("seek_single_ms", s.seek_single.millis());
+    r.Set("seek_avg_spec_ms", s.seek_avg.millis());
+    r.Set("seek_avg_model_ms",
+          model.seek_curve().MeanOverUniformPairs().millis());
+    r.Set("seek_max_ms", s.seek_max.millis());
+    report.AddRow(std::move(r));
+  }
+  report.Write();
   return 0;
 }

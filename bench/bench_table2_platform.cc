@@ -5,6 +5,7 @@
 // most of a rotation per request).
 #include <cstdio>
 
+#include "bench/report.h"
 #include "src/blockdev/block_device.h"
 #include "src/disk/disk_model.h"
 #include "src/util/rng.h"
@@ -29,6 +30,16 @@ int main() {
               spec.MediaRate(spec.zones[spec.zones.size() / 2].sectors_per_track) / 1e6);
   std::printf("  bus rate               %.1f MB/s\n\n", spec.bus_mb_per_s);
 
+  bench::Report report("table2_platform");
+  {
+    obs::Json p = obs::Json::Object();
+    p.Set("disk", spec.name);
+    p.Set("rpm", static_cast<uint64_t>(spec.rpm));
+    p.Set("capacity_gb",
+          static_cast<double>(spec.MakeGeometry().capacity_bytes()) / 1e9);
+    report.Set("params", std::move(p));
+  }
+
   // Measured on the simulated drive.
   auto measure = [&](const char* label, auto body) {
     SimClock clock;
@@ -37,6 +48,10 @@ int main() {
     const double mb = body(&dev, &clock);
     const double secs = clock.now().seconds();
     std::printf("  %-34s %8.2f MB/s\n", label, mb / secs);
+    obs::Json row = obs::Json::Object();
+    row.Set("workload", label);
+    row.Set("mb_per_sec", mb / secs);
+    report.AddRow(std::move(row));
   };
 
   std::vector<uint8_t> buf(64 * blk::kBlockSize);
@@ -75,6 +90,7 @@ int main() {
     }
     return static_cast<double>(blocks) * blk::kBlockSize / 1e6;
   });
+  report.Write();
   std::printf("\nThe 4 KB-request sequential rates show the closed-loop "
               "rotation loss:\nper-request host turnaround means the next "
               "sector has already passed under the head.\n");

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "bench/report.h"
 #include "src/workload/devtree.h"
 
 using namespace cffs;
@@ -60,6 +61,9 @@ int main(int argc, char** argv) {
   std::printf("%-14s %10s %10s %10s %10s\n", "config", "copy", "archive",
               "unarchive", "compile");
 
+  bench::Report report("table3_apps");
+  report.Set("quick", quick);
+
   AppTimes conv{}, cffs{};
   const sim::FsKind kinds[] = {sim::FsKind::kFfs, sim::FsKind::kConventional,
                                sim::FsKind::kEmbedOnly, sim::FsKind::kGroupOnly,
@@ -75,6 +79,13 @@ int main(int argc, char** argv) {
     std::printf("%-14s %10.2f %10.2f %10.2f %10.2f\n",
                 sim::FsKindName(kind).c_str(), t.copy, t.archive, t.unarchive,
                 t.compile);
+    obs::Json row = obs::Json::Object();
+    row.Set("config", sim::FsKindName(kind));
+    row.Set("copy_s", t.copy);
+    row.Set("archive_s", t.archive);
+    row.Set("unarchive_s", t.unarchive);
+    row.Set("compile_s", t.compile);
+    report.AddRow(std::move(row));
     if (kind == sim::FsKind::kConventional) conv = t;
     if (kind == sim::FsKind::kCffs) cffs = t;
   }
@@ -86,5 +97,12 @@ int main(int argc, char** argv) {
               imp(conv.copy, cffs.copy), imp(conv.archive, cffs.archive),
               imp(conv.unarchive, cffs.unarchive),
               imp(conv.compile, cffs.compile));
+  obs::Json s = obs::Json::Object();
+  s.Set("copy_pct", imp(conv.copy, cffs.copy));
+  s.Set("archive_pct", imp(conv.archive, cffs.archive));
+  s.Set("unarchive_pct", imp(conv.unarchive, cffs.unarchive));
+  s.Set("compile_pct", imp(conv.compile, cffs.compile));
+  report.Set("cffs_improvement_over_conventional", std::move(s));
+  report.Write();
   return 0;
 }

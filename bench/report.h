@@ -1,0 +1,108 @@
+// Machine-readable bench reports.
+//
+// Every bench binary builds one Report and calls Write() at the end, which
+// drops BENCH_<name>.json next to the binary's working directory (or into
+// $CFFS_BENCH_DIR when set). The schema is shared across benches:
+//
+//   {
+//     "bench": "<name>",
+//     "schema_version": 1,
+//     "quick": false,              // reduced CI-style run?
+//     "params": { ... },           // bench-specific knobs
+//     "rows": [ ... ],             // one object per printed table row
+//     ... bench-specific extras (snapshots, speedups, notes)
+//   }
+//
+// Rows for the smallfile-style benches come from PhaseJson(), which carries
+// the per-phase disk time breakdown so the report can answer "where did the
+// time go" without re-running; full counter dumps use
+// MetricsSnapshot::ToJson() (see src/obs/metrics.h).
+//
+// Header-only on purpose: bench binaries are one file each and already link
+// cffs_obs via cffs_sim.
+#ifndef CFFS_BENCH_REPORT_H_
+#define CFFS_BENCH_REPORT_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+#include "src/obs/json.h"
+#include "src/workload/smallfile.h"
+
+namespace cffs::bench {
+
+class Report {
+ public:
+  explicit Report(std::string name)
+      : name_(std::move(name)), root_(obs::Json::Object()) {
+    root_.Set("bench", name_);
+    root_.Set("schema_version", 1);
+    root_.Set("rows", obs::Json::Array());
+  }
+
+  obs::Json& root() { return root_; }
+
+  void Set(std::string key, obs::Json value) {
+    root_.Set(std::move(key), std::move(value));
+  }
+
+  void AddRow(obs::Json row) {
+    root_.FindMutable("rows")->Push(std::move(row));
+  }
+
+  std::string FileName() const { return "BENCH_" + name_ + ".json"; }
+
+  // Target path: $CFFS_BENCH_DIR/BENCH_<name>.json, or cwd when unset.
+  std::string Path() const {
+    const char* dir = std::getenv("CFFS_BENCH_DIR");
+    if (dir != nullptr && dir[0] != '\0') {
+      return std::string(dir) + "/" + FileName();
+    }
+    return FileName();
+  }
+
+  // Writes the report; a failure warns on stderr but never fails the bench.
+  void Write() const {
+    const std::string path = Path();
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return;
+    }
+    const std::string text = root_.Dump(2);
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("report: %s\n", path.c_str());
+  }
+
+ private:
+  std::string name_;
+  obs::Json root_;
+};
+
+// One phase of a smallfile-style workload as a report row.
+inline obs::Json PhaseJson(const workload::PhaseResult& p) {
+  obs::Json j = obs::Json::Object();
+  j.Set("phase", p.phase);
+  j.Set("seconds", p.seconds);
+  j.Set("files_per_sec", p.files_per_sec);
+  j.Set("disk_reads", p.disk_reads);
+  j.Set("disk_writes", p.disk_writes);
+  j.Set("sync_metadata_writes", p.sync_metadata_writes);
+  j.Set("group_reads", p.group_reads);
+  obs::Json t = obs::Json::Object();
+  t.Set("busy_s", p.disk_busy_s);
+  t.Set("seek_s", p.disk_seek_s);
+  t.Set("rotation_s", p.disk_rotation_s);
+  t.Set("transfer_s", p.disk_transfer_s);
+  t.Set("overhead_s", p.disk_overhead_s);
+  j.Set("disk_time", std::move(t));
+  return j;
+}
+
+}  // namespace cffs::bench
+
+#endif  // CFFS_BENCH_REPORT_H_

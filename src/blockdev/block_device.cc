@@ -66,6 +66,8 @@ Status BlockDevice::WriteBatch(const std::vector<WriteOp>& ops) {
 
   // Coalesce runs of adjacent same-unit blocks in the service order into
   // single commands (scatter/gather).
+  const SimTime batch_start = disk_->now();
+  uint64_t commands = 0;
   std::vector<uint8_t> run;
   size_t i = 0;
   while (i < order.size()) {
@@ -89,7 +91,16 @@ Status BlockDevice::WriteBatch(const std::vector<WriteOp>& ops) {
       }
       RETURN_IF_ERROR(WriteRun(start_bno, count, run));
     }
+    ++commands;
     i = j;
+  }
+  if (trace_) {
+    obs::TraceEvent e;
+    e.kind = obs::EventKind::kWriteBatch;
+    e.ts_ns = batch_start.nanos();
+    e.a = ops.size();
+    e.b = commands;
+    trace_->Record(e);
   }
   return OkStatus();
 }

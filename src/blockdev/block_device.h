@@ -14,6 +14,7 @@
 
 #include "src/disk/disk_model.h"
 #include "src/disk/scheduler.h"
+#include "src/obs/trace.h"
 #include "src/util/status.h"
 
 namespace cffs::blk {
@@ -66,12 +67,17 @@ class BlockDevice {
   BlockIoStats& stats() { return stats_; }
   const BlockIoStats& stats() const { return stats_; }
 
+  // Emits one kWriteBatch trace event per WriteBatch call, summarizing how
+  // many blocks the scheduler coalesced into how many disk commands.
+  void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
+
  private:
   disk::DiskModel* disk_;
   disk::SchedulerPolicy policy_;
   uint64_t block_count_;
   uint64_t head_lba_ = 0;  // scheduler's notion of the head position
   BlockIoStats stats_;
+  obs::TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace cffs::blk

@@ -54,6 +54,22 @@ void BufferCache::Unpin(Buffer* buf) {
   --buf->pins_;
 }
 
+void BufferCache::NoteLookup(uint64_t bno, bool hit) {
+  ++stats_.lookups;
+  if (hit) {
+    ++stats_.hits;
+  } else {
+    ++stats_.misses;
+  }
+  if (trace_) {
+    obs::TraceEvent e;
+    e.kind = hit ? obs::EventKind::kCacheHit : obs::EventKind::kCacheMiss;
+    e.ts_ns = dev_->disk()->now().nanos();
+    e.a = bno;
+    trace_->Record(e);
+  }
+}
+
 void BufferCache::SetDirty(Buffer* buf, bool dirty) {
   if (buf->dirty_ == dirty) return;
   buf->dirty_ = dirty;
@@ -88,6 +104,14 @@ Status BufferCache::EvictIfNeeded() {
       // Everything pinned: allow temporary over-capacity rather than fail.
       return OkStatus();
     }
+    if (trace_) {
+      obs::TraceEvent e;
+      e.kind = obs::EventKind::kCacheEvict;
+      e.ts_ns = dev_->disk()->now().nanos();
+      e.a = victim->bno_;
+      e.flag = victim->dirty_;
+      trace_->Record(e);
+    }
     if (victim->dirty_) {
       RETURN_IF_ERROR(dev_->WriteBlock(victim->bno_, victim->data()));
       ++stats_.writebacks;
@@ -114,12 +138,11 @@ Result<BufferRef> BufferCache::Get(uint64_t bno) {
     return OutOfRange("cache get past device end: block " +
                       std::to_string(bno));
   }
-  ++stats_.lookups;
   if (Buffer* buf = FindResident(bno)) {
-    ++stats_.hits;
+    NoteLookup(bno, /*hit=*/true);
     return Pin(buf);
   }
-  ++stats_.misses;
+  NoteLookup(bno, /*hit=*/false);
   RETURN_IF_ERROR(EvictIfNeeded());
   Buffer* buf = InsertNew(bno);
   Status s = dev_->ReadBlock(bno, buf->data());
@@ -136,15 +159,15 @@ Result<BufferRef> BufferCache::GetZero(uint64_t bno) {
     return OutOfRange("cache getzero past device end: block " +
                       std::to_string(bno));
   }
-  ++stats_.lookups;
   if (Buffer* buf = FindResident(bno)) {
-    ++stats_.hits;
+    NoteLookup(bno, /*hit=*/true);
     // The caller is (re)initializing this block: any resident contents are
     // stale (e.g. inserted by a group read while the block was still
     // free) and must not leak into the fresh block — zero unconditionally.
     std::memset(buf->data().data(), 0, blk::kBlockSize);
     return Pin(buf);
   }
+  NoteLookup(bno, /*hit=*/false);
   RETURN_IF_ERROR(EvictIfNeeded());
   Buffer* buf = InsertNew(bno);
   std::memset(buf->data().data(), 0, blk::kBlockSize);
@@ -152,11 +175,11 @@ Result<BufferRef> BufferCache::GetZero(uint64_t bno) {
 }
 
 Result<BufferRef> BufferCache::Lookup(uint64_t bno) {
-  ++stats_.lookups;
   if (Buffer* buf = FindResident(bno)) {
-    ++stats_.hits;
+    NoteLookup(bno, /*hit=*/true);
     return Pin(buf);
   }
+  NoteLookup(bno, /*hit=*/false);
   return NotFound("block not resident");
 }
 
@@ -184,6 +207,14 @@ void BufferCache::Bind(BufferRef& ref, LogicalId id) {
 Status BufferCache::ReadGroup(uint64_t start_bno, uint32_t count) {
   if (count == 0) return InvalidArgument("empty group read");
   std::vector<uint8_t> raw(static_cast<size_t>(count) * blk::kBlockSize);
+  if (trace_) {
+    obs::TraceEvent e;
+    e.kind = obs::EventKind::kGroupRead;
+    e.ts_ns = dev_->disk()->now().nanos();
+    e.a = start_bno;
+    e.b = count;
+    trace_->Record(e);
+  }
   RETURN_IF_ERROR(dev_->ReadRun(start_bno, count, raw));
   ++stats_.group_reads;
   for (uint32_t i = 0; i < count; ++i) {

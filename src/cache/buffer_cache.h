@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "src/blockdev/block_device.h"
+#include "src/obs/trace.h"
 #include "src/util/status.h"
 
 namespace cffs::cache {
@@ -45,6 +46,8 @@ struct LogicalIdHash {
   }
 };
 
+// Counter invariant (checked by obs::MetricsSnapshot::CheckInvariants):
+// every lookup is either a hit or a miss, so hits + misses == lookups.
 struct CacheStats {
   uint64_t lookups = 0;
   uint64_t hits = 0;
@@ -130,6 +133,9 @@ class BufferCache {
   size_t dirty_count() const { return dirty_count_; }
   CacheStats& stats() { return stats_; }
 
+  // Emits hit/miss/eviction/group-read trace events. nullptr disables.
+  void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
+
   // Fetch by physical address, reading from disk on a miss.
   Result<BufferRef> Get(uint64_t bno);
 
@@ -186,6 +192,8 @@ class BufferCache {
   void Unpin(Buffer* buf);
   BufferRef Pin(Buffer* buf);
   void SetDirty(Buffer* buf, bool dirty);
+  // Counts the hit/miss in stats_ and emits the matching trace instant.
+  void NoteLookup(uint64_t bno, bool hit);
 
   friend class BufferRef;
 
@@ -193,6 +201,7 @@ class BufferCache {
   size_t capacity_;
   size_t dirty_count_ = 0;
   CacheStats stats_;
+  obs::TraceRecorder* trace_ = nullptr;
 
   std::unordered_map<uint64_t, std::unique_ptr<Buffer>> buffers_;
   std::unordered_map<LogicalId, uint64_t, LogicalIdHash> logical_index_;

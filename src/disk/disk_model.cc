@@ -175,6 +175,24 @@ void DiskModel::CacheInvalidate(uint64_t lba, uint32_t nsectors) {
   }
 }
 
+void DiskModel::RecordIoEvent(const DiskStats& before, SimTime start,
+                              SimTime done, uint64_t lba, uint32_t nsectors,
+                              bool is_write, bool segment_hit) const {
+  obs::TraceEvent e;
+  e.kind = obs::EventKind::kDiskIo;
+  e.ts_ns = start.nanos();
+  e.dur_ns = (done - start).nanos();
+  e.flag = is_write;
+  e.hit = segment_hit;
+  e.a = lba;
+  e.b = nsectors;
+  e.seek_ns = (stats_.seek_time - before.seek_time).nanos();
+  e.rotation_ns = (stats_.rotation_time - before.rotation_time).nanos();
+  e.transfer_ns = (stats_.transfer_time - before.transfer_time).nanos();
+  e.overhead_ns = (stats_.overhead_time - before.overhead_time).nanos();
+  trace_->Record(e);
+}
+
 uint8_t* DiskModel::SectorPtr(uint64_t lba, bool create) {
   const uint64_t chunk = lba / kChunkSectors;
   auto it = chunks_.find(chunk);
@@ -199,8 +217,10 @@ Status DiskModel::Read(uint64_t lba, uint32_t nsectors, std::span<uint8_t> out) 
   }
 
   const SimTime start = clock_->now();
+  const DiskStats before = stats_;
   SimTime done;
-  if (CacheHit(lba, nsectors)) {
+  const bool segment_hit = CacheHit(lba, nsectors);
+  if (segment_hit) {
     const double bytes = static_cast<double>(nsectors) * kSectorSize;
     const SimTime bus = SimTime::Seconds(bytes / (spec_.bus_mb_per_s * 1e6));
     done = start + spec_.command_overhead + bus;
@@ -220,6 +240,10 @@ Status DiskModel::Read(uint64_t lba, uint32_t nsectors, std::span<uint8_t> out) 
   stats_.sectors_read += nsectors;
   stats_.busy_time += done - start;
   clock_->AdvanceTo(done);
+  if (trace_) {
+    RecordIoEvent(before, start, done, lba, nsectors, /*is_write=*/false,
+                  segment_hit);
+  }
 
   for (uint32_t i = 0; i < nsectors; ++i) {
     const uint8_t* src = SectorPtr(lba + i, /*create=*/false);
@@ -243,6 +267,7 @@ Status DiskModel::Write(uint64_t lba, uint32_t nsectors,
   }
 
   const SimTime start = clock_->now();
+  const DiskStats before = stats_;
   SimTime done;
   if (spec_.write_cache_enabled) {
     const double bytes = static_cast<double>(nsectors) * kSectorSize;
@@ -262,6 +287,10 @@ Status DiskModel::Write(uint64_t lba, uint32_t nsectors,
   stats_.sectors_written += nsectors;
   stats_.busy_time += done - start;
   clock_->AdvanceTo(done);
+  if (trace_) {
+    RecordIoEvent(before, start, done, lba, nsectors, /*is_write=*/true,
+                  /*segment_hit=*/false);
+  }
 
   for (uint32_t i = 0; i < nsectors; ++i) {
     uint8_t* dst = SectorPtr(lba + i, /*create=*/true);

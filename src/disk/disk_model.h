@@ -39,6 +39,7 @@
 #include "src/disk/disk_spec.h"
 #include "src/disk/geometry.h"
 #include "src/disk/seek_curve.h"
+#include "src/obs/trace.h"
 #include "src/util/sim_time.h"
 #include "src/util/status.h"
 
@@ -70,6 +71,7 @@ class DiskModel {
   const Geometry& geometry() const { return geometry_; }
   const SeekCurve& seek_curve() const { return seek_curve_; }
   uint64_t total_sectors() const { return geometry_.total_sectors(); }
+  SimTime now() const { return clock_->now(); }
 
   // Reads/writes advance the simulation clock by the access time.
   Status Read(uint64_t lba, uint32_t nsectors, std::span<uint8_t> out);
@@ -86,6 +88,10 @@ class DiskModel {
 
   DiskStats& stats() { return stats_; }
   const DiskStats& stats() const { return stats_; }
+
+  // Emits one kDiskIo trace event per command, with the per-command
+  // seek/rotation/transfer/overhead breakdown. nullptr disables tracing.
+  void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
 
   // --- fault injection (tests / fsck experiments) ---
   // Future reads of this LBA fail with kIoError until cleared.
@@ -120,6 +126,12 @@ class DiskModel {
   SimTime MechanicalAccess(SimTime start, uint64_t lba, uint32_t nsectors,
                            DiskStats* stats, uint32_t* end_cylinder) const;
 
+  // Emits one kDiskIo trace event; `before` is the stats snapshot taken
+  // when the command arrived (the diff is this command's time breakdown).
+  void RecordIoEvent(const DiskStats& before, SimTime start, SimTime done,
+                     uint64_t lba, uint32_t nsectors, bool is_write,
+                     bool segment_hit) const;
+
   // Rotational angle in [0,1) at absolute simulated time t.
   double AngleAt(SimTime t) const;
 
@@ -136,6 +148,7 @@ class DiskModel {
 
   uint32_t current_cylinder_ = 0;
   DiskStats stats_;
+  obs::TraceRecorder* trace_ = nullptr;
 
   std::vector<CacheSegment> cache_;
   uint64_t cache_clock_ = 0;

@@ -539,17 +539,20 @@ Result<InodeNum> CffsFileSystem::CreateCommon(InodeNum dir,
 
 Result<InodeNum> CffsFileSystem::Create(InodeNum dir, std::string_view name) {
   ++op_stats_.creates;
+  OpScope scope(this, obs::FsOp::kCreate, dir);
   return CreateCommon(dir, name, FileType::kRegular);
 }
 
 Result<InodeNum> CffsFileSystem::Mkdir(InodeNum dir, std::string_view name) {
   ++op_stats_.mkdirs;
+  OpScope scope(this, obs::FsOp::kMkdir, dir);
   // Directory inodes are externalized (see class comment).
   return CreateCommon(dir, name, FileType::kDirectory);
 }
 
 Status CffsFileSystem::Unlink(InodeNum dir, std::string_view name) {
   ++op_stats_.unlinks;
+  OpScope scope(this, obs::FsOp::kUnlink, dir);
   ASSIGN_OR_RETURN(InodeData d, LoadInode(dir));
   if (!d.is_dir()) return NotDirectory("unlink in non-directory");
   ASSIGN_OR_RETURN(DirSlot slot, DirFind(d, name));
@@ -720,6 +723,7 @@ Status CffsFileSystem::Rename(InodeNum old_dir, std::string_view old_name,
 }
 
 Status CffsFileSystem::Sync() {
+  OpScope scope(this, obs::FsOp::kSync);
   RETURN_IF_ERROR(WriteSuperblock());
   return cache_->SyncAll();
 }

@@ -5,10 +5,33 @@
 
 namespace cffs::fs {
 
+FsBase::OpScope::~OpScope() {
+  const int64_t end_ns = fs_->NowNs();
+  if (LatencyHistogram* h = fs_->latencies_.ForOp(op_)) {
+    h->Record(SimTime::Nanos(end_ns - start_ns_));
+  }
+  if (fs_->trace_) {
+    obs::TraceEvent e;
+    e.kind = obs::EventKind::kFsOp;
+    e.ts_ns = start_ns_;
+    e.dur_ns = end_ns - start_ns_;
+    e.op = op_;
+    e.a = ino_;
+    fs_->trace_->Record(e);
+  }
+}
+
 Status FsBase::MetaDirty(cache::BufferRef& ref, bool order_critical) {
   cache_->MarkDirty(ref);
   if (order_critical && policy_ == MetadataPolicy::kSynchronous) {
     ++op_stats_.sync_metadata_writes;
+    if (trace_) {
+      obs::TraceEvent e;
+      e.kind = obs::EventKind::kSyncMetaWrite;
+      e.ts_ns = NowNs();
+      e.a = ref->bno();
+      trace_->Record(e);
+    }
     return cache_->SyncBlock(ref->bno());
   }
   return OkStatus();
@@ -17,6 +40,13 @@ Status FsBase::MetaDirty(cache::BufferRef& ref, bool order_critical) {
 Status FsBase::SyncMetaBlock(uint32_t bno, bool order_critical) {
   if (order_critical && policy_ == MetadataPolicy::kSynchronous) {
     ++op_stats_.sync_metadata_writes;
+    if (trace_) {
+      obs::TraceEvent e;
+      e.kind = obs::EventKind::kSyncMetaWrite;
+      e.ts_ns = NowNs();
+      e.a = bno;
+      trace_->Record(e);
+    }
     return cache_->SyncBlock(bno);
   }
   return OkStatus();
@@ -57,6 +87,7 @@ BmapOps FsBase::MakeReadOnlyBmapOps() const {
 
 Result<InodeNum> FsBase::Lookup(InodeNum dir, std::string_view name) {
   ++op_stats_.lookups;
+  OpScope scope(this, obs::FsOp::kLookup, dir);
   ASSIGN_OR_RETURN(InodeData d, LoadInode(dir));
   if (!d.is_dir()) return NotDirectory("lookup in non-directory");
   if (name == ".") return dir;
@@ -103,6 +134,7 @@ Result<std::vector<DirEntryInfo>> FsBase::ReadDir(InodeNum dir) {
 Result<uint64_t> FsBase::Read(InodeNum num, uint64_t off,
                               std::span<uint8_t> out) {
   ++op_stats_.reads;
+  OpScope scope(this, obs::FsOp::kRead, num);
   ASSIGN_OR_RETURN(InodeData ino, LoadInode(num));
   if (ino.is_dir()) return IsDirectory("read of directory");
   if (off >= ino.size) return uint64_t{0};
@@ -148,6 +180,7 @@ Result<uint64_t> FsBase::Read(InodeNum num, uint64_t off,
 Result<uint64_t> FsBase::Write(InodeNum num, uint64_t off,
                                std::span<const uint8_t> in) {
   ++op_stats_.writes;
+  OpScope scope(this, obs::FsOp::kWrite, num);
   ASSIGN_OR_RETURN(InodeData ino, LoadInode(num));
   if (ino.is_dir()) return IsDirectory("write of directory");
   const uint64_t want = in.size();
@@ -215,6 +248,7 @@ Result<uint64_t> FsBase::Write(InodeNum num, uint64_t off,
 }
 
 Status FsBase::Truncate(InodeNum num, uint64_t new_size) {
+  OpScope scope(this, obs::FsOp::kTruncate, num);
   ASSIGN_OR_RETURN(InodeData ino, LoadInode(num));
   if (ino.is_dir()) return IsDirectory("truncate of directory");
   if (new_size < ino.size) {

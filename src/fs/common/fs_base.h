@@ -16,6 +16,8 @@
 #include "src/fs/common/block_map.h"
 #include "src/fs/common/dir_block.h"
 #include "src/fs/common/file_system.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/sim_time.h"
 
 namespace cffs::fs {
@@ -36,6 +38,14 @@ class FsBase : public FileSystem {
   MetadataPolicy metadata_policy() const { return policy_; }
   void set_metadata_policy(MetadataPolicy p) { policy_ = p; }
   cache::BufferCache* buffer_cache() { return cache_; }
+
+  // Per-operation latency distributions, measured in simulated time over
+  // each public operation (including the synchronous disk waits inside).
+  obs::OpLatencies& op_latencies() { return latencies_; }
+
+  // Emits fs-op complete events and sync-metadata-write instants into the
+  // recorder. nullptr disables.
+  void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
 
   // Loads an inode image; public for fsck and tests.
   virtual Result<InodeData> LoadInode(InodeNum num) = 0;
@@ -92,6 +102,25 @@ class FsBase : public FileSystem {
 
   // --- shared machinery ---
 
+  // RAII timer around one public operation: on destruction it records the
+  // elapsed simulated time into the op's latency histogram and emits a
+  // kFsOp trace event. Concrete file systems open one at the top of the
+  // operations they implement themselves (Create/Mkdir/Unlink/Sync).
+  class OpScope {
+   public:
+    OpScope(FsBase* fs, obs::FsOp op, InodeNum ino = kInvalidInode)
+        : fs_(fs), op_(op), ino_(ino), start_ns_(fs->NowNs()) {}
+    OpScope(const OpScope&) = delete;
+    OpScope& operator=(const OpScope&) = delete;
+    ~OpScope();
+
+   private:
+    FsBase* fs_;
+    obs::FsOp op_;
+    InodeNum ino_;
+    int64_t start_ns_;
+  };
+
   // Marks a metadata buffer dirty; under kSynchronous policy, order-critical
   // buffers are written through immediately.
   Status MetaDirty(cache::BufferRef& ref, bool order_critical);
@@ -134,6 +163,8 @@ class FsBase : public FileSystem {
   SimClock* clock_;
   MetadataPolicy policy_;
   FsOpStats op_stats_;
+  obs::OpLatencies latencies_;
+  obs::TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace cffs::fs

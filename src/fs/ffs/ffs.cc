@@ -219,6 +219,7 @@ Status FfsFileSystem::FreeBlock(uint32_t bno) { return alloc_->Free(bno); }
 
 Result<InodeNum> FfsFileSystem::Create(InodeNum dir, std::string_view name) {
   ++op_stats_.creates;
+  OpScope scope(this, obs::FsOp::kCreate, dir);
   ASSIGN_OR_RETURN(InodeData d, LoadInode(dir));
   if (!d.is_dir()) return NotDirectory("create in non-directory");
   if (DirFind(d, name).ok()) return Exists(std::string(name));
@@ -249,6 +250,7 @@ Result<InodeNum> FfsFileSystem::Create(InodeNum dir, std::string_view name) {
 
 Result<InodeNum> FfsFileSystem::Mkdir(InodeNum dir, std::string_view name) {
   ++op_stats_.mkdirs;
+  OpScope scope(this, obs::FsOp::kMkdir, dir);
   ASSIGN_OR_RETURN(InodeData d, LoadInode(dir));
   if (!d.is_dir()) return NotDirectory("mkdir in non-directory");
   if (DirFind(d, name).ok()) return Exists(std::string(name));
@@ -276,6 +278,7 @@ Result<InodeNum> FfsFileSystem::Mkdir(InodeNum dir, std::string_view name) {
 
 Status FfsFileSystem::Unlink(InodeNum dir, std::string_view name) {
   ++op_stats_.unlinks;
+  OpScope scope(this, obs::FsOp::kUnlink, dir);
   ASSIGN_OR_RETURN(InodeData d, LoadInode(dir));
   if (!d.is_dir()) return NotDirectory("unlink in non-directory");
   ASSIGN_OR_RETURN(DirSlot slot, DirFind(d, name));
@@ -389,6 +392,7 @@ Status FfsFileSystem::Rename(InodeNum old_dir, std::string_view old_name,
 }
 
 Status FfsFileSystem::Sync() {
+  OpScope scope(this, obs::FsOp::kSync);
   RETURN_IF_ERROR(WriteSuperblock());
   return cache_->SyncAll();
 }

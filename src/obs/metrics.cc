@@ -1,0 +1,166 @@
+#include "src/obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace cffs::obs {
+
+LatencyHistogram* OpLatencies::ForOp(FsOp op) {
+  switch (op) {
+    case FsOp::kLookup: return &lookup;
+    case FsOp::kCreate: return &create;
+    case FsOp::kRead: return &read;
+    case FsOp::kWrite: return &write;
+    case FsOp::kSync: return &sync;
+    default: return nullptr;
+  }
+}
+
+const LatencyHistogram* OpLatencies::ForOp(FsOp op) const {
+  return const_cast<OpLatencies*>(this)->ForOp(op);
+}
+
+namespace {
+
+Json HistogramJson(const LatencyHistogram& h) {
+  // LatencyHistogram::ToJson() is the canonical schema; re-parse it into
+  // the DOM rather than maintaining a second serializer.
+  Result<Json> parsed = Json::Parse(h.ToJson());
+  return parsed.ok() ? *std::move(parsed) : Json();
+}
+
+Json TimeJson(SimTime t) { return Json(t.seconds()); }
+
+}  // namespace
+
+Json OpLatencies::ToJson() const {
+  Json j = Json::Object();
+  j.Set("lookup", HistogramJson(lookup));
+  j.Set("create", HistogramJson(create));
+  j.Set("read", HistogramJson(read));
+  j.Set("write", HistogramJson(write));
+  j.Set("sync", HistogramJson(sync));
+  return j;
+}
+
+Json ToJson(const fs::FsOpStats& s) {
+  Json j = Json::Object();
+  j.Set("creates", s.creates);
+  j.Set("unlinks", s.unlinks);
+  j.Set("lookups", s.lookups);
+  j.Set("reads", s.reads);
+  j.Set("writes", s.writes);
+  j.Set("mkdirs", s.mkdirs);
+  j.Set("sync_metadata_writes", s.sync_metadata_writes);
+  j.Set("group_reads", s.group_reads);
+  return j;
+}
+
+Json ToJson(const cache::CacheStats& s) {
+  Json j = Json::Object();
+  j.Set("lookups", s.lookups);
+  j.Set("hits", s.hits);
+  j.Set("misses", s.misses);
+  j.Set("logical_hits", s.logical_hits);
+  j.Set("group_reads", s.group_reads);
+  j.Set("group_blocks", s.group_blocks);
+  j.Set("writebacks", s.writebacks);
+  j.Set("evictions", s.evictions);
+  return j;
+}
+
+Json ToJson(const blk::BlockIoStats& s) {
+  Json j = Json::Object();
+  j.Set("reads", s.reads);
+  j.Set("writes", s.writes);
+  j.Set("blocks_read", s.blocks_read);
+  j.Set("blocks_written", s.blocks_written);
+  return j;
+}
+
+Json ToJson(const disk::DiskStats& s) {
+  Json j = Json::Object();
+  j.Set("read_requests", s.read_requests);
+  j.Set("write_requests", s.write_requests);
+  j.Set("sectors_read", s.sectors_read);
+  j.Set("sectors_written", s.sectors_written);
+  j.Set("cache_hit_requests", s.cache_hit_requests);
+  j.Set("seek_cylinders", s.seek_cylinders);
+  j.Set("seek_s", TimeJson(s.seek_time));
+  j.Set("rotation_s", TimeJson(s.rotation_time));
+  j.Set("transfer_s", TimeJson(s.transfer_time));
+  j.Set("overhead_s", TimeJson(s.overhead_time));
+  j.Set("busy_s", TimeJson(s.busy_time));
+  return j;
+}
+
+Json MetricsSnapshot::ToJson() const {
+  Json j = Json::Object();
+  j.Set("fs", fs_name);
+  j.Set("sim_seconds", sim_seconds);
+  j.Set("fs_ops", obs::ToJson(fs_ops));
+  j.Set("latency", latency.ToJson());
+  j.Set("cache", obs::ToJson(cache));
+  j.Set("block_io", obs::ToJson(block_io));
+  j.Set("disk", obs::ToJson(disk));
+  return j;
+}
+
+std::vector<std::string> MetricsSnapshot::CheckInvariants() const {
+  std::vector<std::string> bad;
+  auto fail = [&bad](const char* fmt, auto... args) {
+    char buf[256];
+    std::snprintf(buf, sizeof buf, fmt, args...);
+    bad.emplace_back(buf);
+  };
+
+  if (cache.hits + cache.misses != cache.lookups) {
+    fail("cache: hits (%llu) + misses (%llu) != lookups (%llu)",
+         static_cast<unsigned long long>(cache.hits),
+         static_cast<unsigned long long>(cache.misses),
+         static_cast<unsigned long long>(cache.lookups));
+  }
+
+  const SimTime mech = disk.seek_time + disk.rotation_time + disk.transfer_time;
+  if (disk.busy_time < mech) {
+    fail("disk: busy (%.6fs) < seek+rotation+transfer (%.6fs)",
+         disk.busy_time.seconds(), mech.seconds());
+  }
+  // Every component of every request is accounted exactly once; allow only
+  // integer-nanosecond rounding per request for the full-breakdown check.
+  const SimTime full = mech + disk.overhead_time;
+  const int64_t tolerance_ns =
+      16 * static_cast<int64_t>(disk.total_requests()) + 1000;
+  if (std::llabs((disk.busy_time - full).nanos()) > tolerance_ns) {
+    fail("disk: busy (%.9fs) != seek+rotation+transfer+overhead (%.9fs)",
+         disk.busy_time.seconds(), full.seconds());
+  }
+
+  if (block_io.reads != disk.read_requests) {
+    fail("block io: %llu read commands vs %llu disk read requests",
+         static_cast<unsigned long long>(block_io.reads),
+         static_cast<unsigned long long>(disk.read_requests));
+  }
+  if (block_io.writes != disk.write_requests) {
+    fail("block io: %llu write commands vs %llu disk write requests",
+         static_cast<unsigned long long>(block_io.writes),
+         static_cast<unsigned long long>(disk.write_requests));
+  }
+
+  struct { const char* name; uint64_t ops; uint64_t samples; } pairs[] = {
+      {"lookup", fs_ops.lookups, latency.lookup.count()},
+      {"create", fs_ops.creates, latency.create.count()},
+      {"read", fs_ops.reads, latency.read.count()},
+      {"write", fs_ops.writes, latency.write.count()},
+  };
+  for (const auto& p : pairs) {
+    if (p.ops != p.samples) {
+      fail("latency: %s histogram has %llu samples for %llu ops", p.name,
+           static_cast<unsigned long long>(p.samples),
+           static_cast<unsigned long long>(p.ops));
+    }
+  }
+  return bad;
+}
+
+}  // namespace cffs::obs

@@ -1,0 +1,77 @@
+// MetricsSnapshot: every counter the stack keeps, gathered into one value.
+//
+// The simulated machine spreads its accounting across four structs —
+// fs::FsOpStats (operation counts), cache::CacheStats (hit/miss/eviction),
+// blk::BlockIoStats (commands and blocks moved) and disk::DiskStats (the
+// seek / rotation / transfer / overhead time breakdown) — plus the
+// per-operation latency histograms recorded by fs::FsBase. A snapshot
+// copies all of them at one instant, serializes to JSON (the payload of
+// BENCH_*.json reports and the `cffs_trace` tool) and can self-check the
+// cross-layer counter invariants the simulation is supposed to maintain.
+//
+// sim::SimEnv::Snapshot() is the usual collection point; the structs here
+// are plain data so tools and tests can also assemble snapshots by hand.
+#ifndef CFFS_OBS_METRICS_H_
+#define CFFS_OBS_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/blockdev/block_device.h"
+#include "src/cache/buffer_cache.h"
+#include "src/disk/disk_model.h"
+#include "src/fs/common/fs_types.h"
+#include "src/obs/json.h"
+#include "src/obs/trace.h"
+#include "src/util/histogram.h"
+
+namespace cffs::obs {
+
+// Latency distributions for the individually-timed operations.
+struct OpLatencies {
+  LatencyHistogram lookup;
+  LatencyHistogram create;
+  LatencyHistogram read;
+  LatencyHistogram write;
+  LatencyHistogram sync;
+
+  // Histogram for `op`, or nullptr if the op is not tracked.
+  LatencyHistogram* ForOp(FsOp op);
+  const LatencyHistogram* ForOp(FsOp op) const;
+
+  void Reset() { *this = OpLatencies{}; }
+  Json ToJson() const;
+};
+
+struct MetricsSnapshot {
+  std::string fs_name;     // FileSystem::name(), e.g. "c-ffs"
+  double sim_seconds = 0;  // simulation clock at snapshot time
+
+  fs::FsOpStats fs_ops;
+  OpLatencies latency;
+  cache::CacheStats cache;
+  blk::BlockIoStats block_io;
+  disk::DiskStats disk;
+
+  Json ToJson() const;
+  std::string ToJsonString(int indent = 2) const { return ToJson().Dump(indent); }
+
+  // Cross-layer counter invariants. Returns one human-readable line per
+  // violation; empty means the books balance:
+  //   - cache hits + misses == cache lookups
+  //   - disk busy_time >= seek + rotation + transfer (and equals the full
+  //     breakdown including overhead, within per-request rounding)
+  //   - one disk command per block-device command (reads and writes)
+  //   - latency histogram sample counts match the op counters
+  std::vector<std::string> CheckInvariants() const;
+};
+
+// Per-struct serializers (shared by snapshot and bench reports).
+Json ToJson(const fs::FsOpStats& s);
+Json ToJson(const cache::CacheStats& s);
+Json ToJson(const blk::BlockIoStats& s);
+Json ToJson(const disk::DiskStats& s);
+
+}  // namespace cffs::obs
+
+#endif  // CFFS_OBS_METRICS_H_

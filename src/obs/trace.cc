@@ -1,0 +1,211 @@
+#include "src/obs/trace.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace cffs::obs {
+
+const char* FsOpName(FsOp op) {
+  switch (op) {
+    case FsOp::kLookup: return "lookup";
+    case FsOp::kCreate: return "create";
+    case FsOp::kRead: return "read";
+    case FsOp::kWrite: return "write";
+    case FsOp::kSync: return "sync";
+    case FsOp::kMkdir: return "mkdir";
+    case FsOp::kUnlink: return "unlink";
+    case FsOp::kTruncate: return "truncate";
+    case FsOp::kOther: return "op";
+  }
+  return "op";
+}
+
+TraceRecorder::TraceRecorder(size_t capacity)
+    : ring_(capacity > 0 ? capacity : 1) {}
+
+void TraceRecorder::Record(const TraceEvent& e) {
+  if (count_ == ring_.size()) ++dropped_;
+  else ++count_;
+  ring_[next_] = e;
+  next_ = (next_ + 1) % ring_.size();
+}
+
+void TraceRecorder::Clear() {
+  next_ = 0;
+  count_ = 0;
+  dropped_ = 0;
+}
+
+std::vector<TraceEvent> TraceRecorder::Events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(count_);
+  const size_t first = (next_ + ring_.size() - count_) % ring_.size();
+  for (size_t i = 0; i < count_; ++i) {
+    out.push_back(ring_[(first + i) % ring_.size()]);
+  }
+  return out;
+}
+
+namespace {
+
+constexpr int kFsLane = 1;
+constexpr int kCacheLane = 2;
+constexpr int kDiskLane = 3;
+
+void AppendUs(std::string* out, const char* key, int64_t ns) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "\"%s\":%.3f", key,
+                static_cast<double>(ns) / 1e3);
+  *out += buf;
+}
+
+// One Chrome trace event object. All names/categories come from fixed
+// tables, so no string escaping is needed on this hot path.
+void AppendEvent(std::string* out, const TraceEvent& e) {
+  const char* name = "?";
+  const char* cat = "?";
+  int tid = kFsLane;
+  bool complete = false;  // ph "X" (has dur) vs instant "i"
+  switch (e.kind) {
+    case EventKind::kFsOp:
+      name = FsOpName(e.op);
+      cat = "fs";
+      tid = kFsLane;
+      complete = true;
+      break;
+    case EventKind::kSyncMetaWrite:
+      name = "sync-meta-write";
+      cat = "fs";
+      tid = kFsLane;
+      break;
+    case EventKind::kCacheHit:
+      name = "cache-hit";
+      cat = "cache";
+      tid = kCacheLane;
+      break;
+    case EventKind::kCacheMiss:
+      name = "cache-miss";
+      cat = "cache";
+      tid = kCacheLane;
+      break;
+    case EventKind::kCacheEvict:
+      name = "cache-evict";
+      cat = "cache";
+      tid = kCacheLane;
+      break;
+    case EventKind::kGroupRead:
+      name = "group-read";
+      cat = "cache";
+      tid = kCacheLane;
+      break;
+    case EventKind::kDiskIo:
+      name = e.flag ? "disk-write" : "disk-read";
+      cat = "disk";
+      tid = kDiskLane;
+      complete = true;
+      break;
+    case EventKind::kWriteBatch:
+      name = "write-batch";
+      cat = "disk";
+      tid = kDiskLane;
+      break;
+  }
+
+  char head[192];
+  if (complete) {
+    std::snprintf(head, sizeof head,
+                  "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,"
+                  "\"dur\":%.3f,\"pid\":1,\"tid\":%d,\"args\":{",
+                  name, cat, static_cast<double>(e.ts_ns) / 1e3,
+                  static_cast<double>(e.dur_ns) / 1e3, tid);
+  } else {
+    std::snprintf(head, sizeof head,
+                  "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"s\":\"t\","
+                  "\"ts\":%.3f,\"pid\":1,\"tid\":%d,\"args\":{",
+                  name, cat, static_cast<double>(e.ts_ns) / 1e3, tid);
+  }
+  *out += head;
+
+  char args[160];
+  switch (e.kind) {
+    case EventKind::kFsOp:
+      std::snprintf(args, sizeof args, "\"ino\":%llu",
+                    static_cast<unsigned long long>(e.a));
+      *out += args;
+      break;
+    case EventKind::kSyncMetaWrite:
+    case EventKind::kCacheHit:
+    case EventKind::kCacheMiss:
+      std::snprintf(args, sizeof args, "\"bno\":%llu",
+                    static_cast<unsigned long long>(e.a));
+      *out += args;
+      break;
+    case EventKind::kCacheEvict:
+      std::snprintf(args, sizeof args, "\"bno\":%llu,\"dirty\":%s",
+                    static_cast<unsigned long long>(e.a),
+                    e.flag ? "true" : "false");
+      *out += args;
+      break;
+    case EventKind::kGroupRead:
+      std::snprintf(args, sizeof args, "\"start_bno\":%llu,\"blocks\":%llu",
+                    static_cast<unsigned long long>(e.a),
+                    static_cast<unsigned long long>(e.b));
+      *out += args;
+      break;
+    case EventKind::kDiskIo:
+      std::snprintf(args, sizeof args,
+                    "\"lba\":%llu,\"sectors\":%llu,\"cache_hit\":%s,",
+                    static_cast<unsigned long long>(e.a),
+                    static_cast<unsigned long long>(e.b),
+                    e.hit ? "true" : "false");
+      *out += args;
+      AppendUs(out, "seek_us", e.seek_ns);
+      *out += ',';
+      AppendUs(out, "rotation_us", e.rotation_ns);
+      *out += ',';
+      AppendUs(out, "transfer_us", e.transfer_ns);
+      *out += ',';
+      AppendUs(out, "overhead_us", e.overhead_ns);
+      break;
+    case EventKind::kWriteBatch:
+      std::snprintf(args, sizeof args, "\"blocks\":%llu,\"commands\":%llu",
+                    static_cast<unsigned long long>(e.a),
+                    static_cast<unsigned long long>(e.b));
+      *out += args;
+      break;
+  }
+  *out += "}}";
+}
+
+void AppendThreadName(std::string* out, int tid, const char* label) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,"
+                "\"args\":{\"name\":\"%s\"}}",
+                tid, label);
+  *out += buf;
+}
+
+}  // namespace
+
+std::string TraceRecorder::ToChromeJson() const {
+  std::string out;
+  out.reserve(count_ * 160 + 512);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  AppendThreadName(&out, kFsLane, "fs ops");
+  out += ',';
+  AppendThreadName(&out, kCacheLane, "buffer cache");
+  out += ',';
+  AppendThreadName(&out, kDiskLane, "disk");
+  const size_t first = (next_ + ring_.size() - count_) % ring_.size();
+  for (size_t i = 0; i < count_; ++i) {
+    out += ',';
+    AppendEvent(&out, ring_[(first + i) % ring_.size()]);
+  }
+  out += "],\"otherData\":{\"dropped_events\":";
+  out += std::to_string(dropped_);
+  out += "}}";
+  return out;
+}
+
+}  // namespace cffs::obs

@@ -1,0 +1,99 @@
+// Event tracing for the simulated storage stack.
+//
+// Every layer — file system, buffer cache, block device, disk model — can
+// emit typed events into one bounded TraceRecorder ring buffer (oldest
+// events are dropped once full, with a drop count kept). The recorder
+// exports Chrome trace-event JSON, so a run can be opened directly in
+// perfetto / chrome://tracing with one lane per layer:
+//
+//   tid 1  fs ops          complete events (Lookup/Create/Read/...), plus
+//                          synchronous-metadata-write instants
+//   tid 2  buffer cache    hit / miss / eviction / group-read instants
+//   tid 3  disk            one complete event per disk command, with the
+//                          seek / rotation / transfer / overhead breakdown
+//                          in args; write-batch summaries
+//
+// Timestamps are simulated time. Recording costs nothing when no recorder
+// is attached (all emit sites are `if (trace_)`-guarded).
+#ifndef CFFS_OBS_TRACE_H_
+#define CFFS_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cffs::obs {
+
+enum class EventKind : uint8_t {
+  kFsOp,           // one complete file-system operation (dur = latency)
+  kSyncMetaWrite,  // synchronous metadata write-through (ordered update)
+  kCacheHit,       // buffer-cache lookup served from memory
+  kCacheMiss,      // buffer-cache lookup that went to the device
+  kCacheEvict,     // LRU eviction (flag = victim was dirty)
+  kGroupRead,      // whole-group fetch: one command, many blocks inserted
+  kDiskIo,         // one disk command (flag = write, hit = on-board cache)
+  kWriteBatch,     // scheduler-ordered write-back batch summary
+};
+
+// File-system operations that are individually timed. The first five carry
+// latency histograms (see obs/metrics.h); the rest appear in traces only.
+enum class FsOp : uint8_t {
+  kLookup,
+  kCreate,
+  kRead,
+  kWrite,
+  kSync,
+  kMkdir,
+  kUnlink,
+  kTruncate,
+  kOther,
+};
+
+const char* FsOpName(FsOp op);
+
+struct TraceEvent {
+  EventKind kind = EventKind::kFsOp;
+  int64_t ts_ns = 0;   // simulated begin time
+  int64_t dur_ns = 0;  // 0 for instants
+  FsOp op = FsOp::kOther;
+  bool flag = false;   // kDiskIo: is-write; kCacheEvict: victim dirty
+  bool hit = false;    // kDiskIo: served by the on-board segment cache
+  uint64_t a = 0;      // lba / bno / inode — primary subject
+  uint64_t b = 0;      // sectors / block count — size of the subject
+  // Per-command disk time breakdown (kDiskIo only).
+  int64_t seek_ns = 0;
+  int64_t rotation_ns = 0;
+  int64_t transfer_ns = 0;
+  int64_t overhead_ns = 0;
+};
+
+class TraceRecorder {
+ public:
+  static constexpr size_t kDefaultCapacity = 1u << 16;
+
+  explicit TraceRecorder(size_t capacity = kDefaultCapacity);
+
+  void Record(const TraceEvent& e);
+
+  size_t capacity() const { return ring_.size(); }
+  size_t size() const { return count_; }
+  uint64_t dropped() const { return dropped_; }
+  void Clear();
+
+  // Events in chronological (insertion) order.
+  std::vector<TraceEvent> Events() const;
+
+  // Chrome trace-event JSON: {"traceEvents": [...], ...}. Loadable in
+  // perfetto and chrome://tracing. `ts` is microseconds of simulated time.
+  std::string ToChromeJson() const;
+
+ private:
+  std::vector<TraceEvent> ring_;
+  size_t next_ = 0;      // slot the next event lands in
+  size_t count_ = 0;     // number of valid events (<= capacity)
+  uint64_t dropped_ = 0; // events overwritten after the ring filled
+};
+
+}  // namespace cffs::obs
+
+#endif  // CFFS_OBS_TRACE_H_

@@ -44,7 +44,35 @@ Result<std::unique_ptr<SimEnv>> SimEnv::Create(FsKind kind,
     env->fs_ = std::move(fs);
   }
   env->path_ = std::make_unique<fs::PathOps>(env->fs_.get());
+  env->AttachTrace();
   return env;
+}
+
+void SimEnv::EnableTrace(size_t capacity) {
+  if (!trace_) trace_ = std::make_unique<obs::TraceRecorder>(capacity);
+  AttachTrace();
+}
+
+void SimEnv::AttachTrace() {
+  obs::TraceRecorder* t = trace_.get();
+  disk_->set_trace(t);
+  device_->set_trace(t);
+  cache_->set_trace(t);
+  if (fs_) fs_->set_trace(t);
+}
+
+obs::MetricsSnapshot SimEnv::Snapshot() const {
+  obs::MetricsSnapshot snap;
+  snap.fs_name = fs_ ? fs_->name() : FsKindName(kind_);
+  snap.sim_seconds = clock_.now().seconds();
+  if (fs_) {
+    snap.fs_ops = fs_->op_stats();
+    snap.latency = fs_->op_latencies();
+  }
+  snap.cache = cache_->stats();
+  snap.block_io = device_->stats();
+  snap.disk = disk_->stats();
+  return snap;
 }
 
 void SimEnv::ChargeCpu(uint64_t bytes) {
@@ -67,6 +95,7 @@ void SimEnv::ResetStats() {
   device_->stats().Reset();
   cache_->stats().Reset();
   fs_->op_stats().Reset();
+  fs_->op_latencies().Reset();
 }
 
 Result<size_t> SimEnv::CrashAndRemount() {
@@ -83,6 +112,7 @@ Result<size_t> SimEnv::CrashAndRemount() {
     fs_ = std::move(fs);
   }
   path_ = std::make_unique<fs::PathOps>(fs_.get());
+  AttachTrace();
   return lost;
 }
 
@@ -101,6 +131,7 @@ Status SimEnv::Remount() {
     fs_ = std::move(fs);
   }
   path_ = std::make_unique<fs::PathOps>(fs_.get());
+  AttachTrace();
   return OkStatus();
 }
 

@@ -14,6 +14,8 @@
 #include "src/fs/cffs/cffs.h"
 #include "src/fs/common/path.h"
 #include "src/fs/ffs/ffs.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/sim_time.h"
 
 namespace cffs::sim {
@@ -69,8 +71,22 @@ class SimEnv {
   // clear it either, but our phases move the head enough to invalidate it).
   Status ColdCache();
 
-  // Zeroes disk/cache/fs statistics (not the clock).
+  // Zeroes disk/cache/fs statistics and latency histograms (not the clock,
+  // and not the event trace — use trace()->Clear() for that).
   void ResetStats();
+
+  // Starts recording typed events from every layer (disk I/O with timing
+  // breakdown, cache hit/miss/eviction, group reads, fs ops, synchronous
+  // metadata writes) into a bounded ring buffer. Idempotent; the recorder
+  // survives Remount()/CrashAndRemount().
+  void EnableTrace(size_t capacity = obs::TraceRecorder::kDefaultCapacity);
+
+  // The active recorder, or nullptr if EnableTrace was never called.
+  obs::TraceRecorder* trace() { return trace_.get(); }
+
+  // Gathers every layer's counters plus the latency histograms into one
+  // machine-readable snapshot.
+  obs::MetricsSnapshot Snapshot() const;
 
   // Unmounts (sync) and remounts the file system, dropping all in-memory
   // state. Used to test persistence.
@@ -84,6 +100,10 @@ class SimEnv {
  private:
   SimEnv(FsKind kind, const SimConfig& config);
 
+  // Points every layer at the current recorder (or detaches on nullptr).
+  // Re-run after the file system is replaced by Remount/CrashAndRemount.
+  void AttachTrace();
+
   FsKind kind_;
   SimConfig config_;
   SimClock clock_;
@@ -92,6 +112,7 @@ class SimEnv {
   std::unique_ptr<cache::BufferCache> cache_;
   std::unique_ptr<fs::FsBase> fs_;
   std::unique_ptr<fs::PathOps> path_;
+  std::unique_ptr<obs::TraceRecorder> trace_;
 };
 
 }  // namespace cffs::sim

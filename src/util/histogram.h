@@ -37,13 +37,14 @@ class LatencyHistogram {
   }
 
   // Value at or below which `p` (0..1) of the samples fall. Returns the
-  // upper edge of the containing bucket (conservative).
+  // upper edge of the containing bucket (conservative); the overflow bucket
+  // has no finite edge, so samples landing there report the observed max.
   SimTime Percentile(double p) const {
     if (total_ == 0) return SimTime::Zero();
     const uint64_t want = static_cast<uint64_t>(
         std::clamp(p, 0.0, 1.0) * static_cast<double>(total_ - 1)) + 1;
     uint64_t seen = 0;
-    for (int b = 0; b < kBuckets; ++b) {
+    for (int b = 0; b < kBuckets - 1; ++b) {
       seen += counts_[b];
       if (seen >= want) return SimTime::Nanos(BucketUpperNs(b));
     }
@@ -61,6 +62,17 @@ class LatencyHistogram {
 
   // "mean=1.2ms p50=0.9ms p90=12.3ms p99=14.1ms max=22.0ms (n=10000)"
   std::string Summary() const;
+
+  // JSON object with the summary statistics and the populated buckets:
+  //   {"count":N,"mean_ns":...,"max_ns":...,"p50_ns":...,"p90_ns":...,
+  //    "p99_ns":...,"buckets":[{"le_ns":1000,"count":3},...]}
+  // Only non-empty buckets are listed; the final (overflow) bucket has no
+  // finite upper edge and is emitted with "le_ns":null.
+  std::string ToJson() const;
+
+  // Bucket introspection (tests, external serializers).
+  uint64_t bucket_count(int b) const { return counts_[b]; }
+  static int64_t BucketUpperNanos(int b) { return BucketUpperNs(b); }
 
  private:
   static int BucketOf(int64_t ns) {

@@ -34,6 +34,7 @@ class PhaseRecorder {
     writes0_ = env->device().stats().writes;
     syncs0_ = env->fs()->op_stats().sync_metadata_writes;
     groups0_ = env->fs()->op_stats().group_reads;
+    disk0_ = env->disk().stats();
   }
 
   PhaseResult Finish(uint32_t files) const {
@@ -46,6 +47,12 @@ class PhaseRecorder {
     r.sync_metadata_writes =
         env_->fs()->op_stats().sync_metadata_writes - syncs0_;
     r.group_reads = env_->fs()->op_stats().group_reads - groups0_;
+    const disk::DiskStats& d = env_->disk().stats();
+    r.disk_busy_s = (d.busy_time - disk0_.busy_time).seconds();
+    r.disk_seek_s = (d.seek_time - disk0_.seek_time).seconds();
+    r.disk_rotation_s = (d.rotation_time - disk0_.rotation_time).seconds();
+    r.disk_transfer_s = (d.transfer_time - disk0_.transfer_time).seconds();
+    r.disk_overhead_s = (d.overhead_time - disk0_.overhead_time).seconds();
     return r;
   }
 
@@ -54,6 +61,7 @@ class PhaseRecorder {
   std::string name_;
   SimTime start_;
   uint64_t reads0_, writes0_, syncs0_, groups0_;
+  disk::DiskStats disk0_;
 };
 
 }  // namespace

@@ -34,6 +34,13 @@ struct PhaseResult {
   uint64_t disk_writes = 0;
   uint64_t sync_metadata_writes = 0;
   uint64_t group_reads = 0;
+  // Where the drive spent its time during this phase (seconds of simulated
+  // time; busy = seek + rotation + transfer + overhead).
+  double disk_busy_s = 0;
+  double disk_seek_s = 0;
+  double disk_rotation_s = 0;
+  double disk_transfer_s = 0;
+  double disk_overhead_s = 0;
 };
 
 struct SmallFileResult {

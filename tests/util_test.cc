@@ -1,9 +1,11 @@
-// Unit tests for src/util: Status/Result, RNG, byte codecs, SimTime.
+// Unit tests for src/util: Status/Result, RNG, byte codecs, SimTime,
+// latency histograms.
 #include <gtest/gtest.h>
 
 #include <cmath>
 
 #include "src/util/bytes.h"
+#include "src/util/histogram.h"
 #include "src/util/rng.h"
 #include "src/util/sim_time.h"
 #include "src/util/status.h"
@@ -201,6 +203,69 @@ TEST(SimClockTest, NeverMovesBackwards) {
   EXPECT_DOUBLE_EQ(clock.now().millis(), 5.0);
   clock.AdvanceBy(SimTime::Millis(2));
   EXPECT_DOUBLE_EQ(clock.now().millis(), 7.0);
+}
+
+TEST(LatencyHistogramTest, EmptyHistogram) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean().nanos(), 0);
+  EXPECT_EQ(h.Percentile(0.5).nanos(), 0);
+}
+
+TEST(LatencyHistogramTest, PercentileBracketsSamples) {
+  LatencyHistogram h;
+  // 90 fast (10 us) and 10 slow (10 ms) samples: p50 must sit near the fast
+  // mode, p99 near the slow one. Percentile returns a bucket upper edge, so
+  // allow one geometric step (2^(1/4)) of slack.
+  for (int i = 0; i < 90; ++i) h.Record(SimTime::Micros(10));
+  for (int i = 0; i < 10; ++i) h.Record(SimTime::Millis(10));
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_GE(h.Percentile(0.5).nanos(), 10'000);
+  EXPECT_LE(h.Percentile(0.5).nanos(), 12'000);
+  EXPECT_GE(h.Percentile(0.99).nanos(), 10'000'000);
+  EXPECT_LE(h.Percentile(0.99).nanos(), 12'000'000);
+  EXPECT_EQ(h.max().nanos(), 10'000'000);
+  // p0 and p100 are clamped, not out-of-range.
+  EXPECT_GT(h.Percentile(0.0).nanos(), 0);
+  EXPECT_GE(h.Percentile(1.0).nanos(), 10'000'000);
+}
+
+TEST(LatencyHistogramTest, MergeAddsCountsAndKeepsMax) {
+  LatencyHistogram a, b;
+  for (int i = 0; i < 50; ++i) a.Record(SimTime::Micros(100));
+  for (int i = 0; i < 50; ++i) b.Record(SimTime::Millis(50));
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 100u);
+  EXPECT_EQ(a.max().nanos(), 50'000'000);
+  // Mean of the merged population: (50*0.1ms + 50*50ms) / 100 = 25.05 ms.
+  EXPECT_NEAR(a.mean().millis(), 25.05, 0.01);
+  // The merged p90 falls in the slow mode contributed by b.
+  EXPECT_GE(a.Percentile(0.9).nanos(), 50'000'000);
+}
+
+TEST(LatencyHistogramTest, OverflowBucketCatchesHugeSamples) {
+  LatencyHistogram h;
+  // The geometric buckets top out around 3000 s; 10000 s must overflow.
+  h.Record(SimTime::Seconds(10000));
+  EXPECT_EQ(h.bucket_count(LatencyHistogram::kBuckets - 1), 1u);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.max().nanos(), 10000ll * 1'000'000'000);
+  // Percentile of an overflow-only population reports the true max, not a
+  // bucket edge.
+  EXPECT_EQ(h.Percentile(0.5).nanos(), h.max().nanos());
+}
+
+TEST(LatencyHistogramTest, ToJsonListsPopulatedBuckets) {
+  LatencyHistogram h;
+  for (int i = 0; i < 3; ++i) h.Record(SimTime::Micros(5));
+  h.Record(SimTime::Seconds(10000));  // lands in the overflow bucket
+  const std::string json = h.ToJson();
+  EXPECT_NE(json.find("\"count\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\":["), std::string::npos);
+  // Overflow bucket has a null upper edge.
+  EXPECT_NE(json.find("\"le_ns\":null"), std::string::npos);
+  EXPECT_NE(json.find("\"p50_ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99_ns\""), std::string::npos);
 }
 
 }  // namespace
