@@ -1,6 +1,7 @@
 #include "src/disk/scheduler.h"
 
 #include <algorithm>
+#include <cassert>
 #include <numeric>
 
 namespace cffs::disk {
@@ -29,7 +30,7 @@ std::vector<size_t> ScheduleOrder(const std::vector<PendingRequest>& requests,
     case SchedulerPolicy::kSstf: {
       // Greedy nearest-first walk. O(n^2) but batches are small.
       std::vector<size_t> out;
-      out.reserve(order.size());
+      out.reserve(requests.size());
       std::vector<bool> used(requests.size(), false);
       uint64_t pos = head_lba;
       for (size_t n = 0; n < requests.size(); ++n) {
@@ -44,6 +45,10 @@ std::vector<size_t> ScheduleOrder(const std::vector<PendingRequest>& requests,
             best = i;
           }
         }
+        // Exactly n requests are marked used, so an unused one always
+        // remains — but never index with the sentinel if that breaks.
+        assert(best != static_cast<size_t>(-1));
+        if (best == static_cast<size_t>(-1)) break;
         used[best] = true;
         out.push_back(best);
         pos = requests[best].lba + requests[best].nsectors;

@@ -219,8 +219,8 @@ Result<InodeData> CffsFileSystem::LoadInode(InodeNum num) {
   return ino;
 }
 
-Status CffsFileSystem::StoreInode(InodeNum num, const InodeData& ino,
-                                  bool order_critical) {
+Status CffsFileSystem::StoreInodeImpl(InodeNum num, const InodeData& ino,
+                                      bool order_critical) {
   if (IsEmbedded(num)) {
     const uint32_t bno = EmbeddedBlock(num);
     const uint32_t off = EmbeddedOffset(num);
@@ -298,7 +298,7 @@ Result<uint32_t> CffsFileSystem::AllocGroupedBlock(InodeNum num,
   InodeNum dir_num = num;
   if (!self_dir) {
     dir_num = ino->parent;
-    Result<InodeData> dir_or = LoadInode(dir_num);
+    Result<InodeData> dir_or = GetInode(dir_num);
     if (!dir_or.ok()) {
       // No usable parent (e.g. special files); fall back to ungrouped.
       return alloc_->AllocNear(alloc_->layout(0).data_start);
@@ -489,7 +489,7 @@ Status CffsFileSystem::AfterBlocksFreed(InodeNum num, InodeData* ino) {
 Result<InodeNum> CffsFileSystem::CreateCommon(InodeNum dir,
                                               std::string_view name,
                                               FileType type) {
-  ASSIGN_OR_RETURN(InodeData d, LoadInode(dir));
+  ASSIGN_OR_RETURN(InodeData d, GetInode(dir));
   if (!d.is_dir()) return NotDirectory("create in non-directory");
   if (DirFind(d, name).ok()) return Exists(std::string(name));
 
@@ -516,6 +516,9 @@ Result<InodeNum> CffsFileSystem::CreateCommon(InodeNum dir,
       SetDirEntryInum(buf.data(), slot.rec.offset, inum);
       cache_->MarkDirty(buf);
     }
+    // The image was encoded straight into the directory block, bypassing
+    // StoreInode — keep the inode cache coherent by hand.
+    NoteInodeWritten(inum, ino);
     RETURN_IF_ERROR(SyncMetaBlock(slot.bno, /*order_critical=*/true));
   } else {
     ASSIGN_OR_RETURN(uint64_t slot_idx, AllocExternalSlot());
@@ -553,17 +556,19 @@ Result<InodeNum> CffsFileSystem::Mkdir(InodeNum dir, std::string_view name) {
 Status CffsFileSystem::Unlink(InodeNum dir, std::string_view name) {
   ++op_stats_.unlinks;
   OpScope scope(this, obs::FsOp::kUnlink, dir);
-  ASSIGN_OR_RETURN(InodeData d, LoadInode(dir));
+  ASSIGN_OR_RETURN(InodeData d, GetInode(dir));
   if (!d.is_dir()) return NotDirectory("unlink in non-directory");
   ASSIGN_OR_RETURN(DirSlot slot, DirFind(d, name));
   const InodeNum inum = slot.rec.inum;
-  ASSIGN_OR_RETURN(InodeData ino, LoadInode(inum));
+  ASSIGN_OR_RETURN(InodeData ino, GetInode(inum));
   if (ino.is_dir()) return IsDirectory(std::string(name));
 
   if (IsEmbedded(inum)) {
     // Name and inode vanish in one atomic sector update — the single
-    // ordered write.
-    RETURN_IF_ERROR(DirRemove(slot.bno, slot.rec.offset));
+    // ordered write. The image died with the record: drop it from the
+    // inode cache so a stale number cannot validate from memory.
+    RETURN_IF_ERROR(DirRemove(dir, name, slot.bno, slot.rec.offset));
+    NoteInodeGone(inum);
     RETURN_IF_ERROR(SyncMetaBlock(slot.bno, /*order_critical=*/true));
     BmapOps ops = MakeBmapOps(inum, &ino);
     RETURN_IF_ERROR(BmapTruncate(ops, &ino, 0));
@@ -572,7 +577,7 @@ Status CffsFileSystem::Unlink(InodeNum dir, std::string_view name) {
 
   // Externalized: the conventional ordered writes (name removal, truncate-
   // time inode update, inode deallocation — as in 4.4BSD).
-  RETURN_IF_ERROR(DirRemove(slot.bno, slot.rec.offset));
+  RETURN_IF_ERROR(DirRemove(dir, name, slot.bno, slot.rec.offset));
   RETURN_IF_ERROR(SyncMetaBlock(slot.bno, /*order_critical=*/true));
   if (ino.nlink > 1) {
     --ino.nlink;
@@ -590,16 +595,16 @@ Status CffsFileSystem::Unlink(InodeNum dir, std::string_view name) {
 }
 
 Status CffsFileSystem::Rmdir(InodeNum dir, std::string_view name) {
-  ASSIGN_OR_RETURN(InodeData d, LoadInode(dir));
+  ASSIGN_OR_RETURN(InodeData d, GetInode(dir));
   if (!d.is_dir()) return NotDirectory("rmdir in non-directory");
   ASSIGN_OR_RETURN(DirSlot slot, DirFind(d, name));
   const InodeNum inum = slot.rec.inum;
-  ASSIGN_OR_RETURN(InodeData ino, LoadInode(inum));
+  ASSIGN_OR_RETURN(InodeData ino, GetInode(inum));
   if (!ino.is_dir()) return NotDirectory(std::string(name));
   ASSIGN_OR_RETURN(bool empty, DirIsEmpty(ino));
   if (!empty) return NotEmpty(std::string(name));
 
-  RETURN_IF_ERROR(DirRemove(slot.bno, slot.rec.offset));
+  RETURN_IF_ERROR(DirRemove(dir, name, slot.bno, slot.rec.offset));
   RETURN_IF_ERROR(SyncMetaBlock(slot.bno, /*order_critical=*/true));
 
   BmapOps ops = MakeBmapOps(inum, &ino);
@@ -609,16 +614,19 @@ Status CffsFileSystem::Rmdir(InodeNum dir, std::string_view name) {
   }
   InodeData cleared;
   RETURN_IF_ERROR(StoreInode(inum, cleared, /*order_critical=*/true));
+  // The directory's slot goes back on the free list: drop every dentry and
+  // the index keyed under its (reusable) number.
+  NoteDirGone(inum);
   free_slots_.push_back(inum);
   return OkStatus();
 }
 
 Status CffsFileSystem::Link(InodeNum dir, std::string_view name,
                             InodeNum target) {
-  ASSIGN_OR_RETURN(InodeData d, LoadInode(dir));
+  ASSIGN_OR_RETURN(InodeData d, GetInode(dir));
   if (!d.is_dir()) return NotDirectory("link in non-directory");
   if (DirFind(d, name).ok()) return Exists(std::string(name));
-  ASSIGN_OR_RETURN(InodeData tino, LoadInode(target));
+  ASSIGN_OR_RETURN(InodeData tino, GetInode(target));
   if (tino.is_dir()) return IsDirectory("hard link to directory");
 
   InodeNum final_target = target;
@@ -635,8 +643,10 @@ Status CffsFileSystem::Link(InodeNum dir, std::string_view name,
     ASSIGN_OR_RETURN(cache::BufferRef buf, cache_->Get(bno));
     // Find the record owning this embedded inode and flip it to external.
     bool rewritten = false;
+    std::string old_entry_name;
     RETURN_IF_ERROR(ForEachDirRecord(buf.data(), [&](const DirRecord& r) {
       if (r.kind == kEmbeddedRecord && r.inum == target) {
+        old_entry_name = std::string(r.name);
         buf.data()[r.offset + 2] = kExternalRecord;
         SetDirEntryInum(buf.data(), r.offset, final_target);
         // Clear the now-slack inode image so stale ids cannot validate.
@@ -649,6 +659,12 @@ Status CffsFileSystem::Link(InodeNum dir, std::string_view name,
     if (!rewritten) return Corrupt("embedded inode record not found");
     cache_->MarkDirty(buf);
     buf.Release();
+    // The embedded number is dead (its image was cleared above); the
+    // externalized number was cached by StoreInode. The dentry mapping the
+    // original name to the embedded number must go too. The directory
+    // index survives: the record stayed in place, only its kind changed.
+    NoteInodeGone(target);
+    NoteDentryGone(tino.parent, old_entry_name);
     RETURN_IF_ERROR(SyncMetaBlock(bno, /*order_critical=*/true));
   } else {
     ++tino.nlink;
@@ -669,16 +685,16 @@ Status CffsFileSystem::Link(InodeNum dir, std::string_view name,
 
 Status CffsFileSystem::Rename(InodeNum old_dir, std::string_view old_name,
                               InodeNum new_dir, std::string_view new_name) {
-  ASSIGN_OR_RETURN(InodeData od, LoadInode(old_dir));
+  ASSIGN_OR_RETURN(InodeData od, GetInode(old_dir));
   if (!od.is_dir()) return NotDirectory("rename source dir");
-  ASSIGN_OR_RETURN(InodeData nd, LoadInode(new_dir));
+  ASSIGN_OR_RETURN(InodeData nd, GetInode(new_dir));
   if (!nd.is_dir()) return NotDirectory("rename target dir");
   ASSIGN_OR_RETURN(DirSlot src, DirFind(od, old_name));
   if (DirFind(nd, new_name).ok()) return Exists(std::string(new_name));
 
   const InodeNum inum = src.rec.inum;
   {
-    ASSIGN_OR_RETURN(InodeData moved, LoadInode(inum));
+    ASSIGN_OR_RETURN(InodeData moved, GetInode(inum));
     if (moved.is_dir()) RETURN_IF_ERROR(CheckRenameLoop(inum, new_dir));
   }
   InodeData* nd_ptr = (new_dir == old_dir) ? &od : &nd;
@@ -686,7 +702,7 @@ Status CffsFileSystem::Rename(InodeNum old_dir, std::string_view old_name,
 
   if (IsEmbedded(inum)) {
     // The inode image moves with the name; it gets a new number.
-    ASSIGN_OR_RETURN(InodeData ino, LoadInode(inum));
+    ASSIGN_OR_RETURN(InodeData ino, GetInode(inum));
     ino.parent = new_dir;
     ASSIGN_OR_RETURN(DirSlot dst, DirAdd(new_dir, nd_ptr, new_name,
                                          kEmbeddedRecord, kInvalidInode,
@@ -699,13 +715,18 @@ Status CffsFileSystem::Rename(InodeNum old_dir, std::string_view old_name,
       SetDirEntryInum(buf.data(), dst.rec.offset, new_inum);
       cache_->MarkDirty(buf);
     }
+    // The inode changed number: the new image was encoded in place
+    // (bypassing StoreInode) and the old number is about to die with the
+    // source record. Keep the inode cache coherent by hand.
+    NoteInodeWritten(new_inum, ino);
+    NoteInodeGone(inum);
     RETURN_IF_ERROR(SyncMetaBlock(dst.bno, /*order_critical=*/true));
   } else {
     ASSIGN_OR_RETURN(DirSlot dst, DirAdd(new_dir, nd_ptr, new_name,
                                          kExternalRecord, inum, nullptr,
                                          &dir_dirty));
     RETURN_IF_ERROR(SyncMetaBlock(dst.bno, /*order_critical=*/true));
-    ASSIGN_OR_RETURN(InodeData moved, LoadInode(inum));
+    ASSIGN_OR_RETURN(InodeData moved, GetInode(inum));
     if (moved.parent != new_dir) {
       moved.parent = new_dir;
       RETURN_IF_ERROR(StoreInode(inum, moved, /*order_critical=*/false));
@@ -716,9 +737,9 @@ Status CffsFileSystem::Rename(InodeNum old_dir, std::string_view old_name,
   }
 
   // Remove the old name (re-find: the add may have reshaped blocks).
-  ASSIGN_OR_RETURN(InodeData od2, LoadInode(old_dir));
+  ASSIGN_OR_RETURN(InodeData od2, GetInode(old_dir));
   ASSIGN_OR_RETURN(DirSlot src2, DirFind(od2, old_name));
-  RETURN_IF_ERROR(DirRemove(src2.bno, src2.rec.offset));
+  RETURN_IF_ERROR(DirRemove(old_dir, old_name, src2.bno, src2.rec.offset));
   return SyncMetaBlock(src2.bno, /*order_critical=*/true);
 }
 

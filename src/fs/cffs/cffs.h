@@ -96,8 +96,8 @@ class CffsFileSystem : public FsBase {
   }
 
  protected:
-  Status StoreInode(InodeNum num, const InodeData& ino,
-                    bool order_critical) override;
+  Status StoreInodeImpl(InodeNum num, const InodeData& ino,
+                        bool order_critical) override;
   Result<uint32_t> AllocDataBlock(InodeNum num, InodeData* ino,
                                   uint64_t idx,
                                   uint64_t size_hint_blocks) override;

@@ -78,6 +78,26 @@ Result<DirRecord> FindDirEntry(std::span<const uint8_t> block,
   return found;
 }
 
+Result<DirRecord> ReadDirRecordAt(std::span<const uint8_t> block,
+                                  uint16_t offset) {
+  assert(block.size() == kBlockSize);
+  if (offset % 8 != 0 || offset + kDirRecordHeader > kBlockSize) {
+    return NotFound("bad record offset");
+  }
+  const uint16_t rec_len = GetU16(block, offset);
+  if (rec_len < kDirRecordHeader || rec_len % 8 != 0 ||
+      offset + rec_len > kBlockSize) {
+    return NotFound("malformed record at offset");
+  }
+  const uint8_t kind = block[offset + 2];
+  const uint8_t name_len = block[offset + 3];
+  if (kind == kFreeRecord || kind > kEmbeddedRecord || name_len == 0 ||
+      DirRecordSpace(name_len, kind == kEmbeddedRecord) > rec_len) {
+    return NotFound("no used record at offset");
+  }
+  return ParseRecord(block, offset);
+}
+
 Result<DirRecord> AddDirEntry(std::span<uint8_t> block, std::string_view name,
                               uint8_t kind, InodeNum inum,
                               const InodeData* embedded) {

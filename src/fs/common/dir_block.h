@@ -68,6 +68,14 @@ Status ForEachDirRecord(std::span<const uint8_t> block,
 Result<DirRecord> FindDirEntry(std::span<const uint8_t> block,
                                std::string_view name);
 
+// Decodes the record starting exactly at `offset`, validating its header.
+// kNotFound if the slot is free or malformed (e.g. the location is stale).
+// Used by the per-directory name index, which remembers record locations —
+// records never move, so a remembered offset stays the record's start for
+// the lifetime of the name.
+Result<DirRecord> ReadDirRecordAt(std::span<const uint8_t> block,
+                                  uint16_t offset);
+
 // Allocates a record for `name` out of the block's free space and writes
 // header + name. For embedded records, writes the inode image too (with
 // inode.self untouched — the caller re-encodes after computing the id from

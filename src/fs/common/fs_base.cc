@@ -85,19 +85,107 @@ BmapOps FsBase::MakeReadOnlyBmapOps() const {
   return ops;
 }
 
+void FsBase::set_name_cache_enabled(bool enabled) {
+  if (!enabled) name_cache_.Clear();
+  name_cache_enabled_ = enabled;
+}
+
+Result<InodeData> FsBase::GetInode(InodeNum num, bool* from_cache) {
+  if (from_cache) *from_cache = false;
+  if (name_cache_enabled_) {
+    if (const InodeData* hit = name_cache_.inodes.Lookup(num)) {
+      ++op_stats_.inode_cache_hits;
+      if (from_cache) *from_cache = true;
+      return *hit;
+    }
+  }
+  ++op_stats_.inode_cache_misses;
+  ASSIGN_OR_RETURN(InodeData ino, LoadInode(num));
+  if (name_cache_enabled_) name_cache_.inodes.Put(num, ino);
+  return ino;
+}
+
+Status FsBase::StoreInode(InodeNum num, const InodeData& ino,
+                          bool order_critical) {
+  RETURN_IF_ERROR(StoreInodeImpl(num, ino, order_critical));
+  NoteInodeWritten(num, ino);
+  return OkStatus();
+}
+
+void FsBase::NoteInodeWritten(InodeNum num, const InodeData& ino) {
+  if (!name_cache_enabled_) return;
+  if (ino.is_free()) {
+    name_cache_.inodes.Erase(num);
+  } else {
+    name_cache_.inodes.Put(num, ino);
+  }
+}
+
+void FsBase::NoteInodeGone(InodeNum num) { name_cache_.inodes.Erase(num); }
+
+void FsBase::NoteDirGone(InodeNum dir) {
+  name_cache_.dentries.EraseDir(dir);
+  name_cache_.dir_indexes.EraseDir(dir);
+  name_cache_.inodes.Erase(dir);
+}
+
+void FsBase::NoteDentryGone(InodeNum dir, std::string_view name) {
+  name_cache_.dentries.Erase(dir, name);
+}
+
+void FsBase::TraceDentry(InodeNum dir, bool hit, bool negative) {
+  if (!trace_) return;
+  obs::TraceEvent e;
+  e.kind = obs::EventKind::kDentryLookup;
+  e.ts_ns = NowNs();
+  e.op = obs::FsOp::kLookup;
+  e.flag = hit;
+  e.hit = negative;
+  e.a = dir;
+  trace_->Record(e);
+}
+
 Result<InodeNum> FsBase::Lookup(InodeNum dir, std::string_view name) {
   ++op_stats_.lookups;
   OpScope scope(this, obs::FsOp::kLookup, dir);
-  ASSIGN_OR_RETURN(InodeData d, LoadInode(dir));
+  // "." and ".." are answered from the directory's own inode and never
+  // enter the dentry cache (".." would go stale when the directory moves);
+  // they and all error paths count as misses so the accounting invariant
+  // lookups == hits + neg_hits + misses holds unconditionally.
+  if (name_cache_enabled_ && name != "." && name != "..") {
+    if (const DentryCache::Entry* e = name_cache_.dentries.Lookup(dir, name)) {
+      if (e->negative) {
+        ++op_stats_.dentry_neg_hits;
+        TraceDentry(dir, /*hit=*/true, /*negative=*/true);
+        return NotFound("cached negative entry");
+      }
+      ++op_stats_.dentry_hits;
+      TraceDentry(dir, /*hit=*/true, /*negative=*/false);
+      return e->inum;
+    }
+  }
+  ++op_stats_.dentry_misses;
+  TraceDentry(dir, /*hit=*/false, /*negative=*/false);
+  ASSIGN_OR_RETURN(InodeData d, GetInode(dir));
   if (!d.is_dir()) return NotDirectory("lookup in non-directory");
   if (name == ".") return dir;
   if (name == "..") return d.parent == kInvalidInode ? dir : d.parent;
-  ASSIGN_OR_RETURN(DirSlot slot, DirFind(d, name));
-  return slot.rec.inum;
+  Result<DirSlot> slot = DirFind(d, name);
+  if (!slot.ok()) {
+    if (name_cache_enabled_ &&
+        slot.status().code() == ErrorCode::kNotFound) {
+      name_cache_.dentries.PutNegative(dir, name);
+    }
+    return slot.status();
+  }
+  if (name_cache_enabled_) {
+    name_cache_.dentries.PutPositive(dir, name, slot->rec.inum);
+  }
+  return slot->rec.inum;
 }
 
 Result<std::vector<DirEntryInfo>> FsBase::ReadDir(InodeNum dir) {
-  ASSIGN_OR_RETURN(InodeData d, LoadInode(dir));
+  ASSIGN_OR_RETURN(InodeData d, GetInode(dir));
   if (!d.is_dir()) return NotDirectory("readdir of non-directory");
   std::vector<DirEntryInfo> out;
   const BmapOps ops = MakeReadOnlyBmapOps();
@@ -121,11 +209,17 @@ Result<std::vector<DirEntryInfo>> FsBase::ReadDir(InodeNum dir) {
       return true;
     }));
   }
-  // Fill types for external entries.
+  // Fill types for external entries. Routing through the inode cache means
+  // a directory that was just listed (or whose children were just stat'ed)
+  // fills types without re-decoding — count each avoided decode.
   for (DirEntryInfo& e : out) {
     if (!e.embedded) {
-      Result<InodeData> ino = LoadInode(e.inum);
-      if (ino.ok()) e.type = ino->type;
+      bool from_cache = false;
+      Result<InodeData> ino = GetInode(e.inum, &from_cache);
+      if (ino.ok()) {
+        e.type = ino->type;
+        if (from_cache) ++op_stats_.readdir_inode_loads_saved;
+      }
     }
   }
   return out;
@@ -135,7 +229,7 @@ Result<uint64_t> FsBase::Read(InodeNum num, uint64_t off,
                               std::span<uint8_t> out) {
   ++op_stats_.reads;
   OpScope scope(this, obs::FsOp::kRead, num);
-  ASSIGN_OR_RETURN(InodeData ino, LoadInode(num));
+  ASSIGN_OR_RETURN(InodeData ino, GetInode(num));
   if (ino.is_dir()) return IsDirectory("read of directory");
   if (off >= ino.size) return uint64_t{0};
   const uint64_t want = std::min<uint64_t>(out.size(), ino.size - off);
@@ -181,7 +275,7 @@ Result<uint64_t> FsBase::Write(InodeNum num, uint64_t off,
                                std::span<const uint8_t> in) {
   ++op_stats_.writes;
   OpScope scope(this, obs::FsOp::kWrite, num);
-  ASSIGN_OR_RETURN(InodeData ino, LoadInode(num));
+  ASSIGN_OR_RETURN(InodeData ino, GetInode(num));
   if (ino.is_dir()) return IsDirectory("write of directory");
   const uint64_t want = in.size();
   const uint64_t reach = std::max<uint64_t>(ino.size, off + want);
@@ -249,7 +343,7 @@ Result<uint64_t> FsBase::Write(InodeNum num, uint64_t off,
 
 Status FsBase::Truncate(InodeNum num, uint64_t new_size) {
   OpScope scope(this, obs::FsOp::kTruncate, num);
-  ASSIGN_OR_RETURN(InodeData ino, LoadInode(num));
+  ASSIGN_OR_RETURN(InodeData ino, GetInode(num));
   if (ino.is_dir()) return IsDirectory("truncate of directory");
   if (new_size < ino.size) {
     BmapOps ops = MakeBmapOps(num, &ino);
@@ -274,7 +368,7 @@ Status FsBase::Truncate(InodeNum num, uint64_t new_size) {
 }
 
 Result<Attr> FsBase::GetAttr(InodeNum num) {
-  ASSIGN_OR_RETURN(InodeData ino, LoadInode(num));
+  ASSIGN_OR_RETURN(InodeData ino, GetInode(num));
   Attr a;
   a.inum = num;
   a.type = ino.type;
@@ -284,15 +378,86 @@ Result<Attr> FsBase::GetAttr(InodeNum num) {
   return a;
 }
 
-Result<FsBase::DirSlot> FsBase::DirFind(const InodeData& dir,
-                                        std::string_view name) {
+Result<cache::BufferRef> FsBase::DirBlockGet(const InodeData& dir,
+                                             uint32_t bno) {
+  ++op_stats_.dir_block_reads;
+  RETURN_IF_ERROR(PrepareDataRead(dir, bno));
+  return cache_->Get(bno);
+}
+
+Result<DirIndexCache::Index*> FsBase::BuildDirIndex(const InodeData& dir) {
+  DirIndexCache::Index index;
   const BmapOps ops = MakeReadOnlyBmapOps();
   const uint64_t nblocks = dir.BlockCount();
   for (uint64_t i = 0; i < nblocks; ++i) {
     ASSIGN_OR_RETURN(uint32_t bno, BmapRead(ops, dir, i));
     if (bno == 0) continue;
-    RETURN_IF_ERROR(PrepareDataRead(dir, bno));
-    ASSIGN_OR_RETURN(cache::BufferRef buf, cache_->Get(bno));
+    ASSIGN_OR_RETURN(cache::BufferRef buf, DirBlockGet(dir, bno));
+    RETURN_IF_ERROR(ForEachDirRecord(buf.data(), [&](const DirRecord& r) {
+      if (r.kind != kFreeRecord) {
+        index.by_name[std::string(r.name)] =
+            DirEntryLoc{i, bno, r.offset};
+      }
+      return true;
+    }));
+  }
+  ++op_stats_.dir_index_builds;
+  if (trace_) {
+    obs::TraceEvent e;
+    e.kind = obs::EventKind::kDirIndexBuild;
+    e.ts_ns = NowNs();
+    e.op = obs::FsOp::kLookup;
+    e.a = dir.self;
+    e.b = index.by_name.size();
+    trace_->Record(e);
+  }
+  return name_cache_.dir_indexes.Install(dir.self, std::move(index));
+}
+
+Result<FsBase::DirSlot> FsBase::DirFindIndexed(const InodeData& dir,
+                                               std::string_view name) {
+  DirIndexCache::Index* idx = name_cache_.dir_indexes.Find(dir.self);
+  if (idx == nullptr) {
+    ASSIGN_OR_RETURN(idx, BuildDirIndex(dir));
+    if (idx == nullptr) return Unsupported("directory indexing disabled");
+  }
+  ++op_stats_.dir_index_probes;
+  const auto it = idx->by_name.find(std::string(name));
+  // The index is complete (built from a full scan and maintained by
+  // DirAdd/DirRemove), so a probe miss is an authoritative answer.
+  if (it == idx->by_name.end()) return NotFound("no directory entry");
+  const DirEntryLoc loc = it->second;
+  ASSIGN_OR_RETURN(cache::BufferRef buf, DirBlockGet(dir, loc.bno));
+  Result<DirRecord> rec = ReadDirRecordAt(buf.data(), loc.offset);
+  if (!rec.ok() || rec->name != name) {
+    // The remembered location no longer holds this name: the index is
+    // stale (should not happen — coherence bug guard). Drop it and let the
+    // caller fall back to the authoritative scan.
+    name_cache_.dir_indexes.EraseDir(dir.self);
+    return Unsupported("stale directory index entry");
+  }
+  DirSlot slot;
+  slot.file_idx = loc.file_idx;
+  slot.bno = loc.bno;
+  slot.rec = *rec;
+  slot.rec.name = {};  // buffer pin is about to drop
+  return slot;
+}
+
+Result<FsBase::DirSlot> FsBase::DirFind(const InodeData& dir,
+                                        std::string_view name) {
+  if (name_cache_enabled_ && dir.self != kInvalidInode) {
+    Result<DirSlot> fast = DirFindIndexed(dir, name);
+    if (fast.ok() || fast.status().code() != ErrorCode::kUnsupported) {
+      return fast;
+    }
+  }
+  const BmapOps ops = MakeReadOnlyBmapOps();
+  const uint64_t nblocks = dir.BlockCount();
+  for (uint64_t i = 0; i < nblocks; ++i) {
+    ASSIGN_OR_RETURN(uint32_t bno, BmapRead(ops, dir, i));
+    if (bno == 0) continue;
+    ASSIGN_OR_RETURN(cache::BufferRef buf, DirBlockGet(dir, bno));
     Result<DirRecord> rec = FindDirEntry(buf.data(), name);
     if (rec.ok()) {
       DirSlot slot;
@@ -324,6 +489,13 @@ Result<FsBase::DirSlot> FsBase::DirAdd(InodeNum dir_num, InodeData* dir,
     if (rec.ok()) {
       cache_->MarkDirty(buf);
       cache_->SetFlushUnit(buf, FlushUnitFor(dir_num, *dir, bno));
+      if (name_cache_enabled_) {
+        name_cache_.dir_indexes.Add(dir_num, name,
+                                    DirEntryLoc{i, bno, rec->offset});
+        // A stale negative entry may exist; the next Lookup repopulates
+        // from the authoritative record (whose inum C-FFS may still patch).
+        name_cache_.dentries.Erase(dir_num, name);
+      }
       DirSlot slot;
       slot.file_idx = i;
       slot.bno = bno;
@@ -346,6 +518,11 @@ Result<FsBase::DirSlot> FsBase::DirAdd(InodeNum dir_num, InodeData* dir,
   dir->size = (nblocks + 1) * kBlockSize;
   dir->mtime_ns = NowNs();
   if (dir_dirtied) *dir_dirtied = true;
+  if (name_cache_enabled_) {
+    name_cache_.dir_indexes.Add(dir_num, name,
+                                DirEntryLoc{nblocks, bno, rec.offset});
+    name_cache_.dentries.Erase(dir_num, name);
+  }
   DirSlot slot;
   slot.file_idx = nblocks;
   slot.bno = bno;
@@ -354,10 +531,17 @@ Result<FsBase::DirSlot> FsBase::DirAdd(InodeNum dir_num, InodeData* dir,
   return slot;
 }
 
-Status FsBase::DirRemove(uint32_t bno, uint16_t offset) {
+Status FsBase::DirRemove(InodeNum dir_num, std::string_view name, uint32_t bno,
+                         uint16_t offset) {
   ASSIGN_OR_RETURN(cache::BufferRef buf, cache_->Get(bno));
   RETURN_IF_ERROR(RemoveDirEntry(buf.data(), offset));
   cache_->MarkDirty(buf);
+  if (name_cache_enabled_) {
+    name_cache_.dir_indexes.Remove(dir_num, name);
+    // A lookup-after-unlink answers kNotFound without touching the
+    // directory again.
+    name_cache_.dentries.PutNegative(dir_num, name);
+  }
   return OkStatus();
 }
 
@@ -367,7 +551,7 @@ Status FsBase::CheckRenameLoop(InodeNum moved, InodeNum new_dir) {
     if (cur == moved) {
       return InvalidArgument("cannot move a directory into itself");
     }
-    ASSIGN_OR_RETURN(InodeData ino, LoadInode(cur));
+    ASSIGN_OR_RETURN(InodeData ino, GetInode(cur));
     if (ino.parent == cur || ino.parent == kInvalidInode) return OkStatus();
     cur = ino.parent;
   }

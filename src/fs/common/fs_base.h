@@ -16,6 +16,7 @@
 #include "src/fs/common/block_map.h"
 #include "src/fs/common/dir_block.h"
 #include "src/fs/common/file_system.h"
+#include "src/fs/common/name_cache.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/util/sim_time.h"
@@ -47,8 +48,16 @@ class FsBase : public FileSystem {
   // recorder. nullptr disables.
   void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
 
-  // Loads an inode image; public for fsck and tests.
+  // Loads an inode image straight from the buffer cache (uncached); public
+  // for fsck and tests. Operation paths go through GetInode() instead.
   virtual Result<InodeData> LoadInode(InodeNum num) = 0;
+
+  // Name-resolution acceleration toggle (dentry cache + per-directory hash
+  // index + inode cache; see fs/common/name_cache.h). On by default;
+  // benchmarks switch it off to measure the ablation. Disabling drops all
+  // cached state.
+  void set_name_cache_enabled(bool enabled);
+  bool name_cache_enabled() const { return name_cache_enabled_; }
 
  protected:
   FsBase(cache::BufferCache* cache, SimClock* clock, MetadataPolicy policy)
@@ -58,9 +67,10 @@ class FsBase : public FileSystem {
 
   // Writes an inode image back. `order_critical` marks writes whose
   // sequencing protects metadata integrity: under kSynchronous policy they
-  // go to disk immediately.
-  virtual Status StoreInode(InodeNum num, const InodeData& ino,
-                            bool order_critical) = 0;
+  // go to disk immediately. Called only through StoreInode(), which keeps
+  // the inode cache write-through coherent.
+  virtual Status StoreInodeImpl(InodeNum num, const InodeData& ino,
+                                bool order_critical) = 0;
 
   // Allocates a data block for file block `idx` of `ino` (updating any
   // grouping state in *ino as a side effect). `size_hint_blocks` is the
@@ -125,6 +135,31 @@ class FsBase : public FileSystem {
   // buffers are written through immediately.
   Status MetaDirty(cache::BufferRef& ref, bool order_critical);
 
+  // Cached inode load: consults the inode cache, decoding via LoadInode()
+  // only on a miss. Sets *from_cache when the caller wants to count saved
+  // decodes (ReadDir does).
+  Result<InodeData> GetInode(InodeNum num, bool* from_cache = nullptr);
+
+  // Writes an inode image back via StoreInodeImpl and keeps the inode cache
+  // write-through coherent (a free image invalidates the entry).
+  Status StoreInode(InodeNum num, const InodeData& ino, bool order_critical);
+
+  // --- explicit coherence hooks for paths that bypass StoreInode ---
+
+  // Refreshes the cached image after an in-place encode (C-FFS writes
+  // embedded inodes straight into directory blocks on create/rename).
+  void NoteInodeWritten(InodeNum num, const InodeData& ino);
+  // Drops a cached image whose on-disk home was destroyed or re-numbered
+  // (embedded unlink, Link externalization, embedded rename).
+  void NoteInodeGone(InodeNum num);
+  // Drops all name-resolution state for a deleted directory (its inum may
+  // be reused): dentries underneath it and its hash index.
+  void NoteDirGone(InodeNum dir);
+  // Drops one (dir, name) dentry whose target inode number changed in
+  // place (C-FFS externalizes an embedded inode on Link, rewriting the
+  // record to reference the new number).
+  void NoteDentryGone(InodeNum dir, std::string_view name);
+
   BmapOps MakeBmapOps(InodeNum num, InodeData* ino,
                       uint64_t size_hint_blocks = 0);
   BmapOps MakeReadOnlyBmapOps() const;
@@ -135,18 +170,26 @@ class FsBase : public FileSystem {
     DirRecord rec;          // note: name view dangles once the pin drops
   };
 
-  // Scans the directory for `name`. kNotFound if absent.
+  // Finds `name` in the directory. kNotFound if absent. With the name
+  // cache enabled this is one hashed probe into the directory's index
+  // (built lazily with a single full scan); otherwise it is the classic
+  // O(blocks x records) scan.
   Result<DirSlot> DirFind(const InodeData& dir, std::string_view name);
 
   // Adds an entry, extending the directory with a new block if necessary.
   // Marks the containing block dirty (not synced — the caller decides).
   // Sets *dir_dirtied if the directory inode changed (size growth).
+  // Maintains the directory index and erases any (dir, name) dentry — the
+  // next Lookup repopulates from the authoritative block.
   Result<DirSlot> DirAdd(InodeNum dir_num, InodeData* dir,
                          std::string_view name, uint8_t kind, InodeNum inum,
                          const InodeData* embedded, bool* dir_dirtied);
 
-  // Removes the record at (bno, offset); marks the block dirty.
-  Status DirRemove(uint32_t bno, uint16_t offset);
+  // Removes the record for `name` at (bno, offset); marks the block dirty.
+  // Maintains the directory index and installs a NEGATIVE dentry so a
+  // lookup-after-unlink answers kNotFound without touching the directory.
+  Status DirRemove(InodeNum dir_num, std::string_view name, uint32_t bno,
+                   uint16_t offset);
 
   Result<bool> DirIsEmpty(const InodeData& dir);
 
@@ -165,6 +208,21 @@ class FsBase : public FileSystem {
   FsOpStats op_stats_;
   obs::OpLatencies latencies_;
   obs::TraceRecorder* trace_ = nullptr;
+
+ private:
+  // Fetches one directory block for DirFind/BuildDirIndex (counts it and
+  // triggers the C-FFS group fetch first).
+  Result<cache::BufferRef> DirBlockGet(const InodeData& dir, uint32_t bno);
+  // Full scan of `dir` that records every name's location; installs and
+  // returns the index (nullptr only if indexing is off or the scan failed).
+  Result<DirIndexCache::Index*> BuildDirIndex(const InodeData& dir);
+  // Index-probe fast path of DirFind; kUnsupported means "fall back to the
+  // linear scan" (index disabled, unbuildable, or found stale).
+  Result<DirSlot> DirFindIndexed(const InodeData& dir, std::string_view name);
+  void TraceDentry(InodeNum dir, bool hit, bool negative);
+
+  NameCache name_cache_;
+  bool name_cache_enabled_ = true;
 };
 
 }  // namespace cffs::fs

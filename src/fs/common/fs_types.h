@@ -54,6 +54,11 @@ struct DirEntryInfo {
 };
 
 // Operation counters kept by each file system.
+//
+// The name-resolution counters obey an accounting invariant checked by
+// obs::MetricsSnapshot::CheckInvariants: every Lookup is answered exactly
+// once, so lookups == dentry_hits + dentry_neg_hits + dentry_misses.
+// ("." and "..", which never enter the dentry cache, count as misses.)
 struct FsOpStats {
   uint64_t creates = 0;
   uint64_t unlinks = 0;
@@ -63,6 +68,18 @@ struct FsOpStats {
   uint64_t mkdirs = 0;
   uint64_t sync_metadata_writes = 0;  // synchronous writes actually issued
   uint64_t group_reads = 0;           // C-FFS group fetches triggered
+
+  // Name-resolution acceleration (see fs/common/name_cache.h).
+  uint64_t dentry_hits = 0;      // Lookup answered by a positive entry
+  uint64_t dentry_neg_hits = 0;  // Lookup answered by a negative entry
+  uint64_t dentry_misses = 0;    // Lookup that had to consult the directory
+  uint64_t dir_block_reads = 0;  // directory blocks fetched by DirFind
+  uint64_t dir_index_builds = 0;   // full scans that built a hash index
+  uint64_t dir_index_probes = 0;   // DirFind calls answered via the index
+  uint64_t inode_cache_hits = 0;   // GetInode served from the inode cache
+  uint64_t inode_cache_misses = 0; // GetInode that decoded from a buffer
+  uint64_t readdir_inode_loads_saved = 0;  // ReadDir type fills cache-hit
+
   void Reset() { *this = FsOpStats{}; }
 };
 

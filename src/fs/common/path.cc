@@ -20,8 +20,8 @@ Result<InodeNum> PathOps::Resolve(std::string_view path) {
   for (std::string_view part : SplitPath(path)) {
     if (part == ".") continue;
     if (part == "..") {
-      ASSIGN_OR_RETURN(Attr attr, fs_->GetAttr(cur));
-      if (attr.type != FileType::kDirectory) return NotDirectory(std::string(part));
+      // Lookup itself rejects non-directories, so no GetAttr pre-check —
+      // one inode load per component instead of two.
       ASSIGN_OR_RETURN(InodeNum parent, fs_->Lookup(cur, ".."));
       cur = parent;
       continue;

@@ -144,8 +144,8 @@ Result<InodeData> FfsFileSystem::LoadInode(InodeNum num) {
   return ino;
 }
 
-Status FfsFileSystem::StoreInode(InodeNum num, const InodeData& ino,
-                                 bool order_critical) {
+Status FfsFileSystem::StoreInodeImpl(InodeNum num, const InodeData& ino,
+                                     bool order_critical) {
   uint32_t bno = 0, off = 0;
   RETURN_IF_ERROR(LocateInode(num, &bno, &off));
   ASSIGN_OR_RETURN(cache::BufferRef buf, cache_->Get(bno));
@@ -220,7 +220,7 @@ Status FfsFileSystem::FreeBlock(uint32_t bno) { return alloc_->Free(bno); }
 Result<InodeNum> FfsFileSystem::Create(InodeNum dir, std::string_view name) {
   ++op_stats_.creates;
   OpScope scope(this, obs::FsOp::kCreate, dir);
-  ASSIGN_OR_RETURN(InodeData d, LoadInode(dir));
+  ASSIGN_OR_RETURN(InodeData d, GetInode(dir));
   if (!d.is_dir()) return NotDirectory("create in non-directory");
   if (DirFind(d, name).ok()) return Exists(std::string(name));
 
@@ -251,7 +251,7 @@ Result<InodeNum> FfsFileSystem::Create(InodeNum dir, std::string_view name) {
 Result<InodeNum> FfsFileSystem::Mkdir(InodeNum dir, std::string_view name) {
   ++op_stats_.mkdirs;
   OpScope scope(this, obs::FsOp::kMkdir, dir);
-  ASSIGN_OR_RETURN(InodeData d, LoadInode(dir));
+  ASSIGN_OR_RETURN(InodeData d, GetInode(dir));
   if (!d.is_dir()) return NotDirectory("mkdir in non-directory");
   if (DirFind(d, name).ok()) return Exists(std::string(name));
 
@@ -279,15 +279,15 @@ Result<InodeNum> FfsFileSystem::Mkdir(InodeNum dir, std::string_view name) {
 Status FfsFileSystem::Unlink(InodeNum dir, std::string_view name) {
   ++op_stats_.unlinks;
   OpScope scope(this, obs::FsOp::kUnlink, dir);
-  ASSIGN_OR_RETURN(InodeData d, LoadInode(dir));
+  ASSIGN_OR_RETURN(InodeData d, GetInode(dir));
   if (!d.is_dir()) return NotDirectory("unlink in non-directory");
   ASSIGN_OR_RETURN(DirSlot slot, DirFind(d, name));
   const InodeNum inum = slot.rec.inum;
-  ASSIGN_OR_RETURN(InodeData ino, LoadInode(inum));
+  ASSIGN_OR_RETURN(InodeData ino, GetInode(inum));
   if (ino.is_dir()) return IsDirectory(std::string(name));
 
   // Ordered update #1: remove the name before freeing the inode.
-  RETURN_IF_ERROR(DirRemove(slot.bno, slot.rec.offset));
+  RETURN_IF_ERROR(DirRemove(dir, name, slot.bno, slot.rec.offset));
   RETURN_IF_ERROR(SyncMetaBlock(slot.bno, /*order_critical=*/true));
 
   if (ino.nlink > 1) {
@@ -308,16 +308,16 @@ Status FfsFileSystem::Unlink(InodeNum dir, std::string_view name) {
 }
 
 Status FfsFileSystem::Rmdir(InodeNum dir, std::string_view name) {
-  ASSIGN_OR_RETURN(InodeData d, LoadInode(dir));
+  ASSIGN_OR_RETURN(InodeData d, GetInode(dir));
   if (!d.is_dir()) return NotDirectory("rmdir in non-directory");
   ASSIGN_OR_RETURN(DirSlot slot, DirFind(d, name));
   const InodeNum inum = slot.rec.inum;
-  ASSIGN_OR_RETURN(InodeData ino, LoadInode(inum));
+  ASSIGN_OR_RETURN(InodeData ino, GetInode(inum));
   if (!ino.is_dir()) return NotDirectory(std::string(name));
   ASSIGN_OR_RETURN(bool empty, DirIsEmpty(ino));
   if (!empty) return NotEmpty(std::string(name));
 
-  RETURN_IF_ERROR(DirRemove(slot.bno, slot.rec.offset));
+  RETURN_IF_ERROR(DirRemove(dir, name, slot.bno, slot.rec.offset));
   RETURN_IF_ERROR(SyncMetaBlock(slot.bno, /*order_critical=*/true));
 
   BmapOps ops = MakeBmapOps(inum, &ino);
@@ -325,15 +325,18 @@ Status FfsFileSystem::Rmdir(InodeNum dir, std::string_view name) {
   InodeData cleared;
   cleared.self = inum;
   RETURN_IF_ERROR(StoreInode(inum, cleared, /*order_critical=*/true));
+  // The directory's inum is free for reuse: drop every dentry and the
+  // index keyed under it.
+  NoteDirGone(inum);
   return FreeInode(inum);
 }
 
 Status FfsFileSystem::Link(InodeNum dir, std::string_view name,
                            InodeNum target) {
-  ASSIGN_OR_RETURN(InodeData d, LoadInode(dir));
+  ASSIGN_OR_RETURN(InodeData d, GetInode(dir));
   if (!d.is_dir()) return NotDirectory("link in non-directory");
   if (DirFind(d, name).ok()) return Exists(std::string(name));
-  ASSIGN_OR_RETURN(InodeData tino, LoadInode(target));
+  ASSIGN_OR_RETURN(InodeData tino, GetInode(target));
   if (tino.is_dir()) return IsDirectory("hard link to directory");
 
   ++tino.nlink;
@@ -353,16 +356,16 @@ Status FfsFileSystem::Link(InodeNum dir, std::string_view name,
 
 Status FfsFileSystem::Rename(InodeNum old_dir, std::string_view old_name,
                              InodeNum new_dir, std::string_view new_name) {
-  ASSIGN_OR_RETURN(InodeData od, LoadInode(old_dir));
+  ASSIGN_OR_RETURN(InodeData od, GetInode(old_dir));
   if (!od.is_dir()) return NotDirectory("rename source dir");
-  ASSIGN_OR_RETURN(InodeData nd, LoadInode(new_dir));
+  ASSIGN_OR_RETURN(InodeData nd, GetInode(new_dir));
   if (!nd.is_dir()) return NotDirectory("rename target dir");
   ASSIGN_OR_RETURN(DirSlot src, DirFind(od, old_name));
   if (DirFind(nd, new_name).ok()) return Exists(std::string(new_name));
 
   const InodeNum inum = src.rec.inum;
   {
-    ASSIGN_OR_RETURN(InodeData moved, LoadInode(inum));
+    ASSIGN_OR_RETURN(InodeData moved, GetInode(inum));
     if (moved.is_dir()) RETURN_IF_ERROR(CheckRenameLoop(inum, new_dir));
   }
   // New name first (sync), then remove the old one — a crash in between
@@ -378,12 +381,12 @@ Status FfsFileSystem::Rename(InodeNum old_dir, std::string_view old_name,
   }
   // Re-find the source: DirAdd may have changed the source block if the
   // two directories are the same.
-  ASSIGN_OR_RETURN(InodeData od2, LoadInode(old_dir));
+  ASSIGN_OR_RETURN(InodeData od2, GetInode(old_dir));
   ASSIGN_OR_RETURN(DirSlot src2, DirFind(od2, old_name));
-  RETURN_IF_ERROR(DirRemove(src2.bno, src2.rec.offset));
+  RETURN_IF_ERROR(DirRemove(old_dir, old_name, src2.bno, src2.rec.offset));
   RETURN_IF_ERROR(SyncMetaBlock(src2.bno, /*order_critical=*/true));
 
-  ASSIGN_OR_RETURN(InodeData moved, LoadInode(inum));
+  ASSIGN_OR_RETURN(InodeData moved, GetInode(inum));
   if (moved.is_dir() && moved.parent != new_dir) {
     moved.parent = new_dir;
     RETURN_IF_ERROR(StoreInode(inum, moved, /*order_critical=*/false));

@@ -66,8 +66,8 @@ class FfsFileSystem : public FsBase {
   Result<bool> InodeIsAllocated(InodeNum num);
 
  protected:
-  Status StoreInode(InodeNum num, const InodeData& ino,
-                    bool order_critical) override;
+  Status StoreInodeImpl(InodeNum num, const InodeData& ino,
+                        bool order_critical) override;
   Result<uint32_t> AllocDataBlock(InodeNum num, InodeData* ino,
                                   uint64_t idx,
                                   uint64_t size_hint_blocks) override;

@@ -53,6 +53,15 @@ Json ToJson(const fs::FsOpStats& s) {
   j.Set("mkdirs", s.mkdirs);
   j.Set("sync_metadata_writes", s.sync_metadata_writes);
   j.Set("group_reads", s.group_reads);
+  j.Set("dentry_hits", s.dentry_hits);
+  j.Set("dentry_neg_hits", s.dentry_neg_hits);
+  j.Set("dentry_misses", s.dentry_misses);
+  j.Set("dir_block_reads", s.dir_block_reads);
+  j.Set("dir_index_builds", s.dir_index_builds);
+  j.Set("dir_index_probes", s.dir_index_probes);
+  j.Set("inode_cache_hits", s.inode_cache_hits);
+  j.Set("inode_cache_misses", s.inode_cache_misses);
+  j.Set("readdir_inode_loads_saved", s.readdir_inode_loads_saved);
   return j;
 }
 
@@ -145,6 +154,17 @@ std::vector<std::string> MetricsSnapshot::CheckInvariants() const {
     fail("block io: %llu write commands vs %llu disk write requests",
          static_cast<unsigned long long>(block_io.writes),
          static_cast<unsigned long long>(disk.write_requests));
+  }
+
+  // Every Lookup is answered exactly once: by a positive dentry hit, a
+  // negative dentry hit, or a miss that consulted the directory.
+  if (fs_ops.dentry_hits + fs_ops.dentry_neg_hits + fs_ops.dentry_misses !=
+      fs_ops.lookups) {
+    fail("dentry: hits (%llu) + neg_hits (%llu) + misses (%llu) != lookups (%llu)",
+         static_cast<unsigned long long>(fs_ops.dentry_hits),
+         static_cast<unsigned long long>(fs_ops.dentry_neg_hits),
+         static_cast<unsigned long long>(fs_ops.dentry_misses),
+         static_cast<unsigned long long>(fs_ops.lookups));
   }
 
   struct { const char* name; uint64_t ops; uint64_t samples; } pairs[] = {

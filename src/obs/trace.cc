@@ -109,6 +109,17 @@ void AppendEvent(std::string* out, const TraceEvent& e) {
       cat = "disk";
       tid = kDiskLane;
       break;
+    case EventKind::kDentryLookup:
+      name = e.flag ? (e.hit ? "dentry-neg-hit" : "dentry-hit")
+                    : "dentry-miss";
+      cat = "fs";
+      tid = kFsLane;
+      break;
+    case EventKind::kDirIndexBuild:
+      name = "dir-index-build";
+      cat = "fs";
+      tid = kFsLane;
+      break;
   }
 
   char head[192];
@@ -169,6 +180,17 @@ void AppendEvent(std::string* out, const TraceEvent& e) {
       break;
     case EventKind::kWriteBatch:
       std::snprintf(args, sizeof args, "\"blocks\":%llu,\"commands\":%llu",
+                    static_cast<unsigned long long>(e.a),
+                    static_cast<unsigned long long>(e.b));
+      *out += args;
+      break;
+    case EventKind::kDentryLookup:
+      std::snprintf(args, sizeof args, "\"dir\":%llu",
+                    static_cast<unsigned long long>(e.a));
+      *out += args;
+      break;
+    case EventKind::kDirIndexBuild:
+      std::snprintf(args, sizeof args, "\"dir\":%llu,\"entries\":%llu",
                     static_cast<unsigned long long>(e.a),
                     static_cast<unsigned long long>(e.b));
       *out += args;

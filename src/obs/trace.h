@@ -33,6 +33,8 @@ enum class EventKind : uint8_t {
   kGroupRead,      // whole-group fetch: one command, many blocks inserted
   kDiskIo,         // one disk command (flag = write, hit = on-board cache)
   kWriteBatch,     // scheduler-ordered write-back batch summary
+  kDentryLookup,   // dentry-cache consult (flag = hit, hit = negative)
+  kDirIndexBuild,  // lazy full-scan build of a per-directory name index
 };
 
 // File-system operations that are individually timed. The first five carry

@@ -30,6 +30,7 @@ Result<std::unique_ptr<SimEnv>> SimEnv::Create(FsKind kind,
     ASSIGN_OR_RETURN(auto fs, fs::FfsFileSystem::Format(
                                   env->cache_.get(), &env->clock_, params,
                                   config.metadata));
+    fs->set_name_cache_enabled(config.name_caches);
     env->fs_ = std::move(fs);
   } else {
     fs::CffsOptions options;
@@ -41,6 +42,7 @@ Result<std::unique_ptr<SimEnv>> SimEnv::Create(FsKind kind,
     ASSIGN_OR_RETURN(auto fs, fs::CffsFileSystem::Format(
                                   env->cache_.get(), &env->clock_, options,
                                   config.metadata));
+    fs->set_name_cache_enabled(config.name_caches);
     env->fs_ = std::move(fs);
   }
   env->path_ = std::make_unique<fs::PathOps>(env->fs_.get());
@@ -105,10 +107,12 @@ Result<size_t> SimEnv::CrashAndRemount() {
   if (kind_ == FsKind::kFfs) {
     ASSIGN_OR_RETURN(auto fs, fs::FfsFileSystem::Mount(
                                   cache_.get(), &clock_, config_.metadata));
+    fs->set_name_cache_enabled(config_.name_caches);
     fs_ = std::move(fs);
   } else {
     ASSIGN_OR_RETURN(auto fs, fs::CffsFileSystem::Mount(
                                   cache_.get(), &clock_, config_.metadata));
+    fs->set_name_cache_enabled(config_.name_caches);
     fs_ = std::move(fs);
   }
   path_ = std::make_unique<fs::PathOps>(fs_.get());
@@ -124,10 +128,12 @@ Status SimEnv::Remount() {
   if (kind_ == FsKind::kFfs) {
     ASSIGN_OR_RETURN(auto fs, fs::FfsFileSystem::Mount(
                                   cache_.get(), &clock_, config_.metadata));
+    fs->set_name_cache_enabled(config_.name_caches);
     fs_ = std::move(fs);
   } else {
     ASSIGN_OR_RETURN(auto fs, fs::CffsFileSystem::Mount(
                                   cache_.get(), &clock_, config_.metadata));
+    fs->set_name_cache_enabled(config_.name_caches);
     fs_ = std::move(fs);
   }
   path_ = std::make_unique<fs::PathOps>(fs_.get());

@@ -40,6 +40,9 @@ struct SimConfig {
   fs::MetadataPolicy metadata = fs::MetadataPolicy::kSynchronous;
   uint16_t group_blocks = 16;
   uint32_t blocks_per_cg = 2048;
+  // Name-resolution acceleration (dentry/inode caches + directory indexes).
+  // On by default; benchmarks flip it off to measure the ablation.
+  bool name_caches = true;
 
   // Host CPU model (1996-class machine): fixed per-file-system-call cost
   // plus a per-kilobyte copy cost. These create the inter-request gaps the

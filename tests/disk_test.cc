@@ -258,6 +258,41 @@ TEST(SchedulerTest, SstfPicksNearestNext) {
   EXPECT_EQ(order[2], 1u);
 }
 
+TEST(SchedulerTest, CLookRequestExactlyAtHeadGoesFirst) {
+  // The partition is `lba >= head`, so a request at the head LBA is "ahead"
+  // and must not be deferred to the wrap-around pass.
+  std::vector<PendingRequest> reqs = {{50, 8}, {80, 8}, {100, 8}};
+  auto order = ScheduleOrder(reqs, 80, SchedulerPolicy::kCLook);
+  EXPECT_EQ(order, (std::vector<size_t>{1, 2, 0}));
+}
+
+TEST(SchedulerTest, AllPoliciesHandleEmptyAndSingle) {
+  const SchedulerPolicy policies[] = {SchedulerPolicy::kFcfs,
+                                      SchedulerPolicy::kCLook,
+                                      SchedulerPolicy::kSstf};
+  std::vector<PendingRequest> empty;
+  std::vector<PendingRequest> one = {{42, 8}};
+  for (SchedulerPolicy p : policies) {
+    EXPECT_TRUE(ScheduleOrder(empty, 0, p).empty());
+    EXPECT_EQ(ScheduleOrder(one, 100, p), (std::vector<size_t>{0}));
+  }
+}
+
+TEST(SchedulerTest, SstfReturnsCompletePermutation) {
+  // Duplicate LBAs and a zero-distance candidate must not confuse the
+  // greedy walk: every index appears exactly once.
+  std::vector<PendingRequest> reqs = {{70, 4}, {70, 4}, {10, 4},
+                                      {70, 4}, {200, 4}, {10, 4}};
+  auto order = ScheduleOrder(reqs, 70, SchedulerPolicy::kSstf);
+  ASSERT_EQ(order.size(), reqs.size());
+  std::vector<bool> seen(reqs.size(), false);
+  for (size_t i : order) {
+    ASSERT_LT(i, reqs.size());
+    EXPECT_FALSE(seen[i]) << "index " << i << " scheduled twice";
+    seen[i] = true;
+  }
+}
+
 TEST(SchedulerTest, CLookReducesSeekDistanceVsFcfs) {
   Rng rng(5);
   std::vector<PendingRequest> reqs;

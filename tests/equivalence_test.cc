@@ -214,18 +214,25 @@ class EquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(EquivalenceTest, RandomOpsMatchReferenceOnAllConfigs) {
   const uint64_t seed = GetParam();
-  const FsKind kinds[] = {FsKind::kFfs, FsKind::kConventional,
-                          FsKind::kEmbedOnly, FsKind::kGroupOnly,
-                          FsKind::kCffs};
-
+  // The five configurations, plus cache-ablated runs of the two headline
+  // file systems: name-resolution caching must never change semantics.
+  const struct { FsKind kind; bool name_caches; } configs[] = {
+      {FsKind::kFfs, true},      {FsKind::kConventional, true},
+      {FsKind::kEmbedOnly, true}, {FsKind::kGroupOnly, true},
+      {FsKind::kCffs, true},     {FsKind::kFfs, false},
+      {FsKind::kCffs, false}};
+  std::vector<std::string> labels;
   std::vector<std::unique_ptr<sim::SimEnv>> envs;
-  for (FsKind kind : kinds) {
+  for (const auto& c : configs) {
     sim::SimConfig config;
     config.disk_spec = disk::TestDisk(512, 4, 64);
     config.blocks_per_cg = 1024;
-    auto env = sim::SimEnv::Create(kind, config);
+    config.name_caches = c.name_caches;
+    auto env = sim::SimEnv::Create(c.kind, config);
     ASSERT_TRUE(env.ok());
     envs.push_back(std::move(*env));
+    labels.push_back(sim::FsKindName(c.kind) +
+                     (c.name_caches ? "" : "+nocache"));
   }
 
   RefModel model;
@@ -236,19 +243,19 @@ TEST_P(EquivalenceTest, RandomOpsMatchReferenceOnAllConfigs) {
     for (size_t k = 0; k < envs.size(); ++k) {
       const bool got_ok = ApplyToFs(envs[k].get(), op);
       ASSERT_EQ(got_ok, expect_ok)
-          << sim::FsKindName(kinds[k]) << " step " << step << " op "
+          << labels[k] << " step " << step << " op "
           << op.kind << " a=" << op.a << " b=" << op.b;
     }
     if (step % 97 == 0) {
       for (size_t k = 0; k < envs.size(); ++k) {
-        ExpectSameState(model, envs[k].get(), sim::FsKindName(kinds[k]));
+        ExpectSameState(model, envs[k].get(), labels[k]);
       }
     }
   }
   // Remount everything mid-flight and compare final state.
   for (size_t k = 0; k < envs.size(); ++k) {
     ASSERT_TRUE(envs[k]->Remount().ok());
-    ExpectSameState(model, envs[k].get(), sim::FsKindName(kinds[k]));
+    ExpectSameState(model, envs[k].get(), labels[k]);
   }
 }
 

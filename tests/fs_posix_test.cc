@@ -386,6 +386,73 @@ TEST_P(PosixTest, FillDiskReturnsNoSpaceAndRecovers) {
   EXPECT_TRUE(path().WriteFile("/after", Bytes("works")).ok());
 }
 
+TEST_P(PosixTest, RepeatedLookupServedByDentryCacheWithoutBlockReads) {
+  ASSERT_TRUE(fs()->Create(fs()->root(), "f").ok());
+  ASSERT_TRUE(fs()->Lookup(fs()->root(), "f").ok());  // populates the cache
+
+  const auto before = fs()->op_stats();
+  ASSERT_TRUE(fs()->Lookup(fs()->root(), "f").ok());
+  const auto after = fs()->op_stats();
+  EXPECT_EQ(after.dentry_hits, before.dentry_hits + 1);
+  EXPECT_EQ(after.dir_block_reads, before.dir_block_reads);
+}
+
+TEST_P(PosixTest, LookupAfterUnlinkAnsweredByNegativeEntry) {
+  ASSERT_TRUE(fs()->Create(fs()->root(), "f").ok());
+  ASSERT_TRUE(fs()->Lookup(fs()->root(), "f").ok());
+  ASSERT_TRUE(fs()->Unlink(fs()->root(), "f").ok());
+
+  // Unlink converted the dentry to a negative entry: the lookup must fail
+  // without touching a single directory block.
+  const auto before = fs()->op_stats();
+  EXPECT_EQ(fs()->Lookup(fs()->root(), "f").status().code(),
+            ErrorCode::kNotFound);
+  const auto after = fs()->op_stats();
+  EXPECT_EQ(after.dentry_neg_hits, before.dentry_neg_hits + 1);
+  EXPECT_EQ(after.dir_block_reads, before.dir_block_reads);
+
+  // The negative entry must not mask a re-created name.
+  ASSERT_TRUE(fs()->Create(fs()->root(), "f").ok());
+  EXPECT_TRUE(fs()->Lookup(fs()->root(), "f").ok());
+}
+
+TEST_P(PosixTest, RenameInvalidatesStaleInodeNumber) {
+  // For C-FFS embedded files, rename assigns a NEW inode number (the number
+  // encodes the record's physical location); the old number must stop
+  // resolving even when its image sits in the inode cache.
+  auto f = fs()->Create(fs()->root(), "f");
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(fs()->GetAttr(*f).ok());  // warm the inode cache
+
+  ASSERT_TRUE(fs()->Rename(fs()->root(), "f", fs()->root(), "g").ok());
+  auto g = fs()->Lookup(fs()->root(), "g");
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(fs()->GetAttr(*g).ok());
+  EXPECT_EQ(fs()->Lookup(fs()->root(), "f").status().code(),
+            ErrorCode::kNotFound);
+  if (*g != *f) {
+    // Embedded rename changed the number: the stale one must be rejected.
+    EXPECT_FALSE(fs()->GetAttr(*f).ok());
+  }
+}
+
+TEST_P(PosixTest, RemountStartsWithColdNameCaches) {
+  ASSERT_TRUE(path().WriteFile("/f", Bytes("x")).ok());
+  ASSERT_TRUE(fs()->Lookup(fs()->root(), "f").ok());
+  ASSERT_TRUE(fs()->Lookup(fs()->root(), "f").ok());  // a dentry hit
+
+  ASSERT_TRUE(env_->Remount().ok());
+  // A remount constructs a fresh file system, so all name caches are
+  // dropped: the first lookup is a miss, only the repeat hits.
+  const auto before = fs()->op_stats();
+  EXPECT_EQ(before.dentry_hits, 0u);
+  ASSERT_TRUE(fs()->Lookup(fs()->root(), "f").ok());
+  ASSERT_TRUE(fs()->Lookup(fs()->root(), "f").ok());
+  const auto after = fs()->op_stats();
+  EXPECT_EQ(after.dentry_misses, before.dentry_misses + 1);
+  EXPECT_EQ(after.dentry_hits, before.dentry_hits + 1);
+}
+
 TEST_P(PosixTest, SyncThenRemountPreservesEverything) {
   ASSERT_TRUE(path().MkdirAll("/x/y").ok());
   ASSERT_TRUE(path().WriteFile("/x/y/one", Bytes("1")).ok());
