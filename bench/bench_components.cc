@@ -80,7 +80,10 @@ void BM_CffsCreateWriteDelete(benchmark::State& state) {
     return;
   }
   auto& p = (*env)->path();
-  (void)p.MkdirAll("/bm");
+  if (!p.MkdirAll("/bm").ok()) {
+    state.SkipWithError("mkdir /bm failed");
+    return;
+  }
   std::vector<uint8_t> data(1024, 0x11);
   uint64_t i = 0;
   for (auto _ : state) {
@@ -88,10 +91,15 @@ void BM_CffsCreateWriteDelete(benchmark::State& state) {
     benchmark::DoNotOptimize(p.WriteFile(path, data).ok());
     if (i % 64 == 0) {
       state.PauseTiming();
+      bool unlinked = true;
       for (int k = 0; k < 64; ++k) {
-        (void)p.Unlink("/bm/f" + std::to_string(k));
+        unlinked = p.Unlink("/bm/f" + std::to_string(k)).ok() && unlinked;
       }
       state.ResumeTiming();
+      if (!unlinked) {
+        state.SkipWithError("unlink failed");
+        return;
+      }
     }
   }
 }

@@ -4,6 +4,7 @@
 // grouping (a host reading adjacent 4 KB blocks one request at a time loses
 // most of a rotation per request).
 #include <cstdio>
+#include <cstdlib>
 
 #include "bench/report.h"
 #include "src/blockdev/block_device.h"
@@ -11,6 +12,18 @@
 #include "src/util/rng.h"
 
 using namespace cffs;
+
+namespace {
+
+// An undetected I/O error would silently corrupt the measured rates, so
+// any failure aborts the benchmark instead of being discarded.
+void Check(const Status& s, const char* what) {
+  if (s.ok()) return;
+  std::fprintf(stderr, "%s: %s\n", what, s.ToString().c_str());
+  std::exit(1);
+}
+
+}  // namespace
 
 int main() {
   const disk::DiskSpec spec = disk::SeagateSt31200();
@@ -60,7 +73,7 @@ int main() {
     const uint32_t run = 16;
     uint64_t blocks = 0;
     for (uint64_t bno = 1000; blocks < 4096; bno += run, blocks += run) {
-      (void)dev->ReadRun(bno, run, buf);
+      Check(dev->ReadRun(bno, run, buf), "sequential run read");
     }
     return static_cast<double>(blocks) * blk::kBlockSize / 1e6;
   });
@@ -68,7 +81,7 @@ int main() {
                                                 SimClock* clock) {
     uint64_t blocks = 0;
     for (uint64_t bno = 1000; blocks < 1024; ++bno, ++blocks) {
-      (void)dev->ReadBlock(bno, buf);
+      Check(dev->ReadBlock(bno, buf), "sequential block read");
       clock->AdvanceBy(SimTime::Micros(150));  // host turnaround
     }
     return static_cast<double>(blocks) * blk::kBlockSize / 1e6;
@@ -77,7 +90,7 @@ int main() {
     Rng rng(3);
     const uint64_t nblocks = dev->block_count();
     for (int i = 0; i < 1024; ++i) {
-      (void)dev->ReadBlock(rng.Below(nblocks - 16), buf);
+      Check(dev->ReadBlock(rng.Below(nblocks - 16), buf), "random block read");
     }
     return 1024.0 * blk::kBlockSize / 1e6;
   });
@@ -85,7 +98,7 @@ int main() {
                                                  SimClock* clock) {
     uint64_t blocks = 0;
     for (uint64_t bno = 1000; blocks < 1024; ++bno, ++blocks) {
-      (void)dev->WriteBlock(bno, buf);
+      Check(dev->WriteBlock(bno, buf), "sequential block write");
       clock->AdvanceBy(SimTime::Micros(150));
     }
     return static_cast<double>(blocks) * blk::kBlockSize / 1e6;

@@ -48,11 +48,32 @@ Status BlockDevice::WriteRun(uint64_t bno, uint32_t count,
   ++stats_.writes;
   stats_.blocks_written += count;
   head_lba_ = lba + count * kSectorsPerBlock;
+  if (!in_batch_) ++epoch_;
+  if (trace_) {
+    obs::TraceEvent e;
+    e.kind = obs::EventKind::kBlockWrite;
+    e.ts_ns = disk_->now().nanos();
+    e.a = bno;
+    e.b = count;
+    e.aux = epoch_;
+    trace_->Record(e);
+  }
   return OkStatus();
 }
 
+namespace {
+// Restores in_batch_ = false on every exit path (RETURN_IF_ERROR included).
+struct BatchScope {
+  explicit BatchScope(bool* flag) : flag_(flag) { *flag_ = true; }
+  ~BatchScope() { *flag_ = false; }
+  bool* flag_;
+};
+}  // namespace
+
 Status BlockDevice::WriteBatch(const std::vector<WriteOp>& ops) {
   if (ops.empty()) return OkStatus();
+  ++epoch_;  // the whole batch commits under one epoch
+  BatchScope scope(&in_batch_);
 
   std::vector<disk::PendingRequest> reqs;
   reqs.reserve(ops.size());

@@ -67,9 +67,15 @@ class BlockDevice {
   BlockIoStats& stats() { return stats_; }
   const BlockIoStats& stats() const { return stats_; }
 
-  // Emits one kWriteBatch trace event per WriteBatch call, summarizing how
-  // many blocks the scheduler coalesced into how many disk commands.
+  // Emits one kWriteBatch trace event per WriteBatch call (how many blocks
+  // coalesced into how many commands) plus one kBlockWrite event per write
+  // command issued, carrying the commit epoch: every command of one
+  // WriteBatch shares an epoch (the batch commits as a unit as far as
+  // ordering analysis is concerned), while standalone writes get their own.
   void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
+
+  // Commit epoch of the most recent write command (0 = none yet).
+  uint64_t commit_epoch() const { return epoch_; }
 
  private:
   disk::DiskModel* disk_;
@@ -78,6 +84,8 @@ class BlockDevice {
   uint64_t head_lba_ = 0;  // scheduler's notion of the head position
   BlockIoStats stats_;
   obs::TraceRecorder* trace_ = nullptr;
+  uint64_t epoch_ = 0;      // monotonic commit-epoch counter
+  bool in_batch_ = false;   // WriteRun calls share the batch's epoch
 };
 
 }  // namespace cffs::blk

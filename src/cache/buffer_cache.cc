@@ -332,6 +332,23 @@ size_t BufferCache::CrashDropAll() {
   return lost;
 }
 
+std::vector<BufferCache::DirtyBlock> BufferCache::DirtyBlocks() const {
+  std::vector<DirtyBlock> out;
+  out.reserve(dirty_count_);
+  for (const auto& [bno, buf] : buffers_) {
+    if (!buf->dirty_) continue;
+    DirtyBlock d;
+    d.bno = bno;
+    d.data.assign(buf->data_.get(), buf->data_.get() + blk::kBlockSize);
+    out.push_back(std::move(d));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const DirtyBlock& a, const DirtyBlock& b) {
+              return a.bno < b.bno;
+            });
+  return out;
+}
+
 void BufferCache::InvalidateAll() {
   assert(dirty_count_ == 0 && "sync before invalidating the whole cache");
   for (auto& [bno, buf] : buffers_) {

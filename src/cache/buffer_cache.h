@@ -183,6 +183,17 @@ class BufferCache {
   // blocks were lost. Used by the crash-consistency harness.
   size_t CrashDropAll();
 
+  // Snapshot of one dirty block: its address and a copy of its contents.
+  struct DirtyBlock {
+    uint64_t bno = 0;
+    std::vector<uint8_t> data;  // kBlockSize bytes
+  };
+
+  // Copies of every dirty resident block, sorted by block number. Used by
+  // the crash-state enumerator to materialize "these updates reached the
+  // disk, those didn't" images without disturbing the cache.
+  std::vector<DirtyBlock> DirtyBlocks() const;
+
  private:
   Buffer* FindResident(uint64_t bno);
   // Ensures capacity for one more buffer; evicts LRU unpinned buffers.

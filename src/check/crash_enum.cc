@@ -1,0 +1,217 @@
+#include "src/check/crash_enum.h"
+
+#include <algorithm>
+#include <memory>
+#include <span>
+#include <utility>
+
+#include "src/disk/scheduler.h"
+#include "src/fsck/fsck.h"
+#include "src/obs/json.h"
+#include "src/util/rng.h"
+
+namespace cffs::check {
+
+namespace {
+
+Result<fsck::FsckReport> RunFsck(fs::FileSystem* fs, bool is_ffs,
+                                 bool repair) {
+  if (is_ffs) {
+    return fsck::CheckFfs(static_cast<fs::FfsFileSystem*>(fs),
+                          {.repair = repair});
+  }
+  return fsck::CheckCffs(static_cast<fs::CffsFileSystem*>(fs),
+                         {.repair = repair});
+}
+
+// Evenly-spaced sample of 0..n inclusive, always containing 0 and n.
+std::vector<size_t> SampleLengths(size_t n, size_t cap) {
+  std::vector<size_t> out;
+  if (cap == 0) cap = 1;
+  if (n + 1 <= cap) {
+    for (size_t l = 0; l <= n; ++l) out.push_back(l);
+    return out;
+  }
+  for (size_t k = 0; k < cap; ++k) {
+    out.push_back(k * n / (cap - 1));
+  }
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace
+
+std::string CrashEnumReport::ToJson(int indent) const {
+  obs::Json doc = obs::Json::Object();
+  doc.Set("format", "cffs-crashenum-v1");
+  doc.Set("dirty_blocks", dirty_blocks);
+  doc.Set("states", states);
+  doc.Set("unclean_images", unclean_images);
+  doc.Set("unmountable", unmountable);
+  doc.Set("repair_failures", repair_failures);
+  doc.Set("all_recoverable", all_recoverable());
+  obs::Json list = obs::Json::Array();
+  for (const std::string& f : failures) list.Push(f);
+  doc.Set("failures", std::move(list));
+  return doc.Dump(indent);
+}
+
+CrashStateEnumerator::CrashStateEnumerator(sim::SimEnv* env,
+                                           CrashEnumOptions options)
+    : env_(env), options_(options) {
+  if (options_.quick) {
+    options_.max_prefixes = std::min<size_t>(options_.max_prefixes, 6);
+    options_.max_dropouts = std::min<size_t>(options_.max_dropouts, 4);
+    options_.max_subsets = std::min<size_t>(options_.max_subsets, 6);
+  }
+}
+
+Status CrashStateEnumerator::ExploreState(
+    const std::vector<cache::BufferCache::DirtyBlock>& dirty,
+    const std::vector<bool>& selected, const std::string& label,
+    CrashEnumReport* report) {
+  ++report->states;
+
+  // Materialize the crash image on a clone; the live disk is untouched.
+  SimClock clock;
+  auto clone =
+      std::make_unique<disk::DiskModel>(env_->disk().spec(), &clock);
+  env_->disk().ForEachChunk(
+      [&](uint64_t chunk_index, std::span<const uint8_t> data) {
+        clone->RestoreChunk(chunk_index, data);
+      });
+  for (size_t i = 0; i < dirty.size(); ++i) {
+    if (!selected[i]) continue;
+    const auto& d = dirty[i];
+    for (uint32_t s = 0; s < blk::kSectorsPerBlock; ++s) {
+      clone->PokeSector(
+          d.bno * blk::kSectorsPerBlock + s,
+          std::span(d.data.data() + s * disk::kSectorSize, disk::kSectorSize));
+    }
+  }
+
+  blk::BlockDevice dev(clone.get(), env_->config().scheduler);
+  cache::BufferCache cache(&dev, options_.scratch_cache_blocks);
+  const bool is_ffs = env_->kind() == sim::FsKind::kFfs;
+  std::unique_ptr<fs::FsBase> fs;
+  if (is_ffs) {
+    auto mounted = fs::FfsFileSystem::Mount(&cache, &clock,
+                                            env_->config().metadata);
+    if (!mounted.ok()) {
+      ++report->unmountable;
+      report->failures.push_back(label + ": mount failed: " +
+                                 mounted.status().ToString());
+      return OkStatus();
+    }
+    fs = std::move(*mounted);
+  } else {
+    auto mounted = fs::CffsFileSystem::Mount(&cache, &clock,
+                                             env_->config().metadata);
+    if (!mounted.ok()) {
+      ++report->unmountable;
+      report->failures.push_back(label + ": mount failed: " +
+                                 mounted.status().ToString());
+      return OkStatus();
+    }
+    fs = std::move(*mounted);
+  }
+
+  auto readonly = RunFsck(fs.get(), is_ffs, /*repair=*/false);
+  if (!readonly.ok()) {
+    ++report->unclean_images;
+    ++report->repair_failures;
+    report->failures.push_back(label + ": fsck errored: " +
+                               readonly.status().ToString());
+    return OkStatus();
+  }
+  if (!readonly->clean) ++report->unclean_images;
+  if (!options_.repair) return OkStatus();
+
+  // Repair until the image converges. One round can expose new damage
+  // (clearing an orphaned directory orphans its children), so re-run like
+  // classic fsck does — but bound the rounds so a non-converging repair
+  // is reported instead of looping.
+  constexpr int kMaxRepairRounds = 3;
+  for (int round = 0; round < kMaxRepairRounds; ++round) {
+    auto repaired = RunFsck(fs.get(), is_ffs, /*repair=*/true);
+    if (!repaired.ok()) {
+      ++report->repair_failures;
+      report->failures.push_back(label + ": repair errored: " +
+                                 repaired.status().ToString());
+      return OkStatus();
+    }
+    if (Status s = fs->Sync(); !s.ok()) {
+      ++report->repair_failures;
+      report->failures.push_back(label + ": post-repair sync failed: " +
+                                 s.ToString());
+      return OkStatus();
+    }
+    auto verify = RunFsck(fs.get(), is_ffs, /*repair=*/false);
+    if (!verify.ok()) {
+      ++report->repair_failures;
+      report->failures.push_back(label + ": verify errored: " +
+                                 verify.status().ToString());
+      return OkStatus();
+    }
+    if (verify->clean) return OkStatus();
+    if (round + 1 == kMaxRepairRounds) {
+      ++report->repair_failures;
+      report->failures.push_back(
+          label + ": not clean after repair: " +
+          (verify->problems.empty() ? std::string("unknown")
+                                    : verify->problems.front()));
+    }
+  }
+  return OkStatus();
+}
+
+Result<CrashEnumReport> CrashStateEnumerator::Run() {
+  CrashEnumReport report;
+  const std::vector<cache::BufferCache::DirtyBlock> dirty =
+      env_->cache().DirtyBlocks();
+  const size_t n = dirty.size();
+  report.dirty_blocks = n;
+
+  // The order the scheduler would drain the queue in: prefixes of this are
+  // the crash points a well-behaved disk actually passes through.
+  std::vector<disk::PendingRequest> reqs;
+  reqs.reserve(n);
+  for (const auto& d : dirty) {
+    reqs.push_back({d.bno * blk::kSectorsPerBlock, blk::kSectorsPerBlock});
+  }
+  const std::vector<size_t> order =
+      disk::ScheduleOrder(reqs, /*head_lba=*/0, env_->config().scheduler);
+
+  std::vector<bool> selected(n, false);
+
+  for (size_t len : SampleLengths(n, options_.max_prefixes)) {
+    std::fill(selected.begin(), selected.end(), false);
+    for (size_t k = 0; k < len; ++k) selected[order[k]] = true;
+    RETURN_IF_ERROR(ExploreState(dirty, selected,
+                                 "prefix[" + std::to_string(len) + "]",
+                                 &report));
+  }
+
+  if (n > 0) {
+    for (size_t len : SampleLengths(n - 1, options_.max_dropouts)) {
+      const size_t victim = order[len];
+      std::fill(selected.begin(), selected.end(), true);
+      selected[victim] = false;
+      RETURN_IF_ERROR(
+          ExploreState(dirty, selected,
+                       "dropout[bno=" + std::to_string(dirty[victim].bno) + "]",
+                       &report));
+    }
+  }
+
+  Rng rng(options_.seed);
+  for (size_t k = 0; n > 0 && k < options_.max_subsets; ++k) {
+    for (size_t i = 0; i < n; ++i) selected[i] = (rng.Next() & 1) != 0;
+    RETURN_IF_ERROR(ExploreState(dirty, selected,
+                                 "subset[" + std::to_string(k) + "]",
+                                 &report));
+  }
+  return report;
+}
+
+}  // namespace cffs::check

@@ -229,6 +229,13 @@ Status CffsFileSystem::StoreInodeImpl(InodeNum num, const InodeData& ino,
     if (!existing.is_free() && existing.self != num) {
       return BadHandle("stale embedded inode number on store");
     }
+    if (trace_) {
+      const obs::MetaUpdateKind kind =
+          ino.is_free()        ? obs::MetaUpdateKind::kInodeFree
+          : existing.is_free() ? obs::MetaUpdateKind::kInodeInit
+                               : obs::MetaUpdateKind::kInodeUpdate;
+      TraceMeta(kind, bno, num);
+    }
     ino.Encode(buf.data(), off);
     return MetaDirty(buf, order_critical);
   }
@@ -237,8 +244,27 @@ Status CffsFileSystem::StoreInodeImpl(InodeNum num, const InodeData& ino,
   }
   ASSIGN_OR_RETURN(uint32_t bno, IfileBlockFor(num, /*allocate=*/false));
   ASSIGN_OR_RETURN(cache::BufferRef buf, cache_->Get(bno));
-  ino.Encode(buf.data(), (num * kInodeSize) % kBlockSize);
+  const uint32_t off = (num * kInodeSize) % kBlockSize;
+  if (trace_) {
+    const bool was_free = InodeData::Decode(buf.data(), off).is_free();
+    const obs::MetaUpdateKind kind =
+        ino.is_free() ? obs::MetaUpdateKind::kInodeFree
+        : was_free    ? obs::MetaUpdateKind::kInodeInit
+                      : obs::MetaUpdateKind::kInodeUpdate;
+    TraceMeta(kind, bno, num);
+  }
+  ino.Encode(buf.data(), off);
   return MetaDirty(buf, order_critical);
+}
+
+Result<uint32_t> CffsFileSystem::InodeHomeBlock(InodeNum num) {
+  if (IsEmbedded(num)) return EmbeddedBlock(num);
+  return IfileBlockFor(num, /*allocate=*/false);
+}
+
+void CffsFileSystem::set_trace(obs::TraceRecorder* trace) {
+  FsBase::set_trace(trace);
+  alloc_->set_trace(trace, &op_seq_, clock_);
 }
 
 // ---------------------------------------------------------------------------
@@ -517,7 +543,12 @@ Result<InodeNum> CffsFileSystem::CreateCommon(InodeNum dir,
       cache_->MarkDirty(buf);
     }
     // The image was encoded straight into the directory block, bypassing
-    // StoreInode — keep the inode cache coherent by hand.
+    // StoreInode — keep the inode cache coherent by hand. Both ordering
+    // annotations land on the SAME home block: this is the paper's claim
+    // (name+inode share a sector), which the checker verifies (R-EMBED).
+    TraceMeta(obs::MetaUpdateKind::kInodeInit, slot.bno, inum);
+    TraceMeta(obs::MetaUpdateKind::kDentryAdd, slot.bno, inum, dir,
+              /*flag=*/true);
     NoteInodeWritten(inum, ino);
     RETURN_IF_ERROR(SyncMetaBlock(slot.bno, /*order_critical=*/true));
   } else {
@@ -567,7 +598,8 @@ Status CffsFileSystem::Unlink(InodeNum dir, std::string_view name) {
     // Name and inode vanish in one atomic sector update — the single
     // ordered write. The image died with the record: drop it from the
     // inode cache so a stale number cannot validate from memory.
-    RETURN_IF_ERROR(DirRemove(dir, name, slot.bno, slot.rec.offset));
+    RETURN_IF_ERROR(DirRemove(dir, name, slot.bno, slot.rec.offset, inum));
+    TraceMeta(obs::MetaUpdateKind::kInodeFree, slot.bno, inum);
     NoteInodeGone(inum);
     RETURN_IF_ERROR(SyncMetaBlock(slot.bno, /*order_critical=*/true));
     BmapOps ops = MakeBmapOps(inum, &ino);
@@ -577,7 +609,7 @@ Status CffsFileSystem::Unlink(InodeNum dir, std::string_view name) {
 
   // Externalized: the conventional ordered writes (name removal, truncate-
   // time inode update, inode deallocation — as in 4.4BSD).
-  RETURN_IF_ERROR(DirRemove(dir, name, slot.bno, slot.rec.offset));
+  RETURN_IF_ERROR(DirRemove(dir, name, slot.bno, slot.rec.offset, inum));
   RETURN_IF_ERROR(SyncMetaBlock(slot.bno, /*order_critical=*/true));
   if (ino.nlink > 1) {
     --ino.nlink;
@@ -604,7 +636,7 @@ Status CffsFileSystem::Rmdir(InodeNum dir, std::string_view name) {
   ASSIGN_OR_RETURN(bool empty, DirIsEmpty(ino));
   if (!empty) return NotEmpty(std::string(name));
 
-  RETURN_IF_ERROR(DirRemove(dir, name, slot.bno, slot.rec.offset));
+  RETURN_IF_ERROR(DirRemove(dir, name, slot.bno, slot.rec.offset, inum));
   RETURN_IF_ERROR(SyncMetaBlock(slot.bno, /*order_critical=*/true));
 
   BmapOps ops = MakeBmapOps(inum, &ino);
@@ -659,6 +691,11 @@ Status CffsFileSystem::Link(InodeNum dir, std::string_view name,
     if (!rewritten) return Corrupt("embedded inode record not found");
     cache_->MarkDirty(buf);
     buf.Release();
+    // One block write retargets the record: the embedded name dies and an
+    // external reference appears. The externalized inode was stored (and
+    // annotated) above, giving the R-CREATE edge its initialization side.
+    TraceMeta(obs::MetaUpdateKind::kDentryRemove, bno, target, tino.parent);
+    TraceMeta(obs::MetaUpdateKind::kDentryAdd, bno, final_target, tino.parent);
     // The embedded number is dead (its image was cleared above); the
     // externalized number was cached by StoreInode. The dentry mapping the
     // original name to the embedded number must go too. The directory
@@ -718,6 +755,9 @@ Status CffsFileSystem::Rename(InodeNum old_dir, std::string_view old_name,
     // The inode changed number: the new image was encoded in place
     // (bypassing StoreInode) and the old number is about to die with the
     // source record. Keep the inode cache coherent by hand.
+    TraceMeta(obs::MetaUpdateKind::kInodeInit, dst.bno, new_inum);
+    TraceMeta(obs::MetaUpdateKind::kDentryAdd, dst.bno, new_inum, new_dir,
+              /*flag=*/true);
     NoteInodeWritten(new_inum, ino);
     NoteInodeGone(inum);
     RETURN_IF_ERROR(SyncMetaBlock(dst.bno, /*order_critical=*/true));
@@ -739,7 +779,8 @@ Status CffsFileSystem::Rename(InodeNum old_dir, std::string_view old_name,
   // Remove the old name (re-find: the add may have reshaped blocks).
   ASSIGN_OR_RETURN(InodeData od2, GetInode(old_dir));
   ASSIGN_OR_RETURN(DirSlot src2, DirFind(od2, old_name));
-  RETURN_IF_ERROR(DirRemove(old_dir, old_name, src2.bno, src2.rec.offset));
+  RETURN_IF_ERROR(DirRemove(old_dir, old_name, src2.bno, src2.rec.offset,
+                            inum));
   return SyncMetaBlock(src2.bno, /*order_critical=*/true);
 }
 

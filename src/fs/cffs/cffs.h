@@ -84,6 +84,10 @@ class CffsFileSystem : public FsBase {
 
   Result<InodeData> LoadInode(InodeNum num) override;
 
+  // Also forwards the recorder to the block allocator so free-map updates
+  // carry ordering annotations.
+  void set_trace(obs::TraceRecorder* trace) override;
+
   const CffsOptions& options() const { return options_; }
   CgAllocator* allocator() { return alloc_.get(); }
   const InodeData& ifile_inode() const { return ifile_; }
@@ -93,6 +97,11 @@ class CffsFileSystem : public FsBase {
   Result<InodeData> LoadExternalInode(uint64_t slot);
   uint64_t external_slot_count() const {
     return ifile_.size / kInodeSize;
+  }
+  // Physical IFILE block holding a slot's inode image, so fsck can clear
+  // unreachable slots in place.
+  Result<uint32_t> ExternalSlotBlock(uint64_t slot) {
+    return IfileBlockFor(slot, /*allocate=*/false);
   }
 
  protected:
@@ -107,6 +116,7 @@ class CffsFileSystem : public FsBase {
   Status AfterBlocksFreed(InodeNum num, InodeData* ino) override;
   uint64_t FlushUnitFor(InodeNum num, const InodeData& ino,
                         uint32_t bno) override;
+  Result<uint32_t> InodeHomeBlock(InodeNum num) override;
 
  private:
   CffsFileSystem(cache::BufferCache* cache, SimClock* clock,

@@ -17,6 +17,26 @@ CgAllocator::CgAllocator(cache::BufferCache* cache, std::vector<CgLayout> groups
   }
 }
 
+void CgAllocator::set_trace(obs::TraceRecorder* trace, const uint64_t* op_id,
+                            SimClock* clock) {
+  trace_ = trace;
+  op_id_ = op_id;
+  clock_ = clock;
+}
+
+void CgAllocator::TraceMapBit(obs::MetaUpdateKind kind, uint32_t bitmap_block,
+                              uint32_t bno) {
+  if (!trace_) return;
+  obs::TraceEvent e;
+  e.kind = obs::EventKind::kMetaUpdate;
+  e.ts_ns = clock_ ? clock_->now().nanos() : 0;
+  e.meta = kind;
+  e.a = bitmap_block;
+  e.b = bno;
+  e.op_id = op_id_ ? *op_id_ : 0;
+  trace_->Record(e);
+}
+
 uint32_t CgAllocator::CgOf(uint32_t bno) const {
   for (uint32_t cg = 0; cg < groups_.size(); ++cg) {
     const CgLayout& g = groups_[cg];
@@ -77,6 +97,8 @@ Result<uint32_t> CgAllocator::AllocInCg(uint32_t cg, uint32_t goal_abs,
     if (!resv.empty() && BitGet(resv, bit)) continue;
     BitSet(bm.data(), bit);
     cache_->MarkDirty(bm);
+    TraceMapBit(obs::MetaUpdateKind::kFreeMapAlloc, g.bitmap_block,
+                g.first_block + bit);
     assert(free_blocks_ > 0);
     --free_blocks_;
     return g.first_block + bit;
@@ -183,6 +205,8 @@ Result<uint32_t> CgAllocator::AllocInExtent(uint32_t start, uint32_t len) {
     if (!BitGet(bm.data(), bit)) {
       BitSet(bm.data(), bit);
       cache_->MarkDirty(bm);
+      TraceMapBit(obs::MetaUpdateKind::kFreeMapAlloc, g.bitmap_block,
+                  start + i);
       assert(free_blocks_ > 0);
       --free_blocks_;
       return start + i;
@@ -237,7 +261,8 @@ Status CgAllocator::Free(uint32_t bno) {
   const uint32_t bit = bno - g.first_block;
   if (!BitGet(bm.data(), bit)) return Corrupt("double free of block");
   BitClear(bm.data(), bit);
-  cache_->MarkDirty(bm);
+  if (!skip_free_write_) cache_->MarkDirty(bm);
+  TraceMapBit(obs::MetaUpdateKind::kFreeMapFree, g.bitmap_block, bno);
   ++free_blocks_;
   return OkStatus();
 }

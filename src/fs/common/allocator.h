@@ -17,6 +17,8 @@
 
 #include "src/cache/buffer_cache.h"
 #include "src/fs/common/fs_types.h"
+#include "src/obs/trace.h"
+#include "src/util/sim_time.h"
 #include "src/util/status.h"
 
 namespace cffs::fs {
@@ -81,15 +83,33 @@ class CgAllocator {
   Status MarkUsed(uint32_t bno);
   Result<bool> IsFree(uint32_t bno);
 
+  // Ordering-annotation wiring (see obs::MetaUpdateKind): every free-map
+  // bit flip is reported against the bitmap block that carries it. op_id
+  // points at the owning file system's operation counter; clock stamps
+  // the events. Set by FsBase::set_trace overrides; nullptr disables.
+  void set_trace(obs::TraceRecorder* trace, const uint64_t* op_id,
+                 SimClock* clock);
+
+  // Self-test mutation: Free() clears the in-memory bit and emits its
+  // annotation but never marks the bitmap buffer dirty, so the update can
+  // never reach the disk — the lost-update shape the analyzer must flag.
+  void set_skip_free_write_for_test(bool skip) { skip_free_write_ = skip; }
+
  private:
   Result<uint32_t> AllocInCg(uint32_t cg, uint32_t goal_abs,
                              bool ignore_reservations);
   Result<uint32_t> AllocNearPass(uint32_t goal, bool ignore_reservations);
+  void TraceMapBit(obs::MetaUpdateKind kind, uint32_t bitmap_block,
+                   uint32_t bno);
 
   cache::BufferCache* cache_;
   std::vector<CgLayout> groups_;
   uint64_t free_blocks_ = 0;
   uint32_t rotor_ = 0;  // round-robin over cylinder groups
+  obs::TraceRecorder* trace_ = nullptr;
+  const uint64_t* op_id_ = nullptr;
+  SimClock* clock_ = nullptr;
+  bool skip_free_write_ = false;
 };
 
 }  // namespace cffs::fs

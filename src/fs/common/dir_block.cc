@@ -81,7 +81,8 @@ Result<DirRecord> FindDirEntry(std::span<const uint8_t> block,
 Result<DirRecord> ReadDirRecordAt(std::span<const uint8_t> block,
                                   uint16_t offset) {
   assert(block.size() == kBlockSize);
-  if (offset % 8 != 0 || offset + kDirRecordHeader > kBlockSize) {
+  if (offset % 8 != 0 ||
+      static_cast<uint32_t>(offset) + kDirRecordHeader > kBlockSize) {
     return NotFound("bad record offset");
   }
   const uint16_t rec_len = GetU16(block, offset);

@@ -46,6 +46,17 @@ struct DirRecord {
 
 inline constexpr uint16_t kDirRecordHeader = 16;
 
+// The record format is hand-packed at fixed offsets (rec_len at +0, kind at
+// +2, inum at +8, name at +16); pin the invariants the packing relies on.
+static_assert(kDirRecordHeader == 16, "name bytes start at byte 16");
+static_assert(kDirRecordHeader % 8 == 0, "records stay 8-byte aligned");
+static_assert(sizeof(InodeNum) == 8, "record inum field is a u64 at +8");
+static_assert(kBlockSize % 8 == 0, "records tile the block in 8-byte units");
+// An embedded record for the longest legal name must still fit one block.
+static_assert(kDirRecordHeader + ((kMaxNameLen + 7u) & ~7u) + kInodeSize <=
+                  kBlockSize,
+              "max-name embedded record fits in a directory block");
+
 inline uint16_t Pad8(size_t n) {
   return static_cast<uint16_t>((n + 7) & ~size_t{7});
 }

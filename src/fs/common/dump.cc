@@ -77,7 +77,8 @@ Result<std::string> DumpTree(FsBase* fs) {
   std::string out;
   std::function<Status(InodeNum, const std::string&, int)> walk =
       [&](InodeNum dir, const std::string& name, int depth) -> Status {
-    ASSIGN_OR_RETURN(InodeData ino, fs->LoadInode(dir));
+    // Load purely to validate the directory inode before printing it.
+    RETURN_IF_ERROR(fs->LoadInode(dir).status());
     out += std::string(static_cast<size_t>(depth) * 2, ' ');
     out += Sprintf("%s/ (%s)\n", name.c_str(), InumString(dir).c_str());
     ASSIGN_OR_RETURN(std::vector<DirEntryInfo> entries, fs->ReadDir(dir));

@@ -5,6 +5,21 @@
 
 namespace cffs::fs {
 
+void FsBase::TraceMeta(obs::MetaUpdateKind kind, uint64_t home_bno,
+                       uint64_t subject, uint64_t aux, bool flag) {
+  if (!trace_) return;
+  obs::TraceEvent e;
+  e.kind = obs::EventKind::kMetaUpdate;
+  e.ts_ns = NowNs();
+  e.meta = kind;
+  e.a = home_bno;
+  e.b = subject;
+  e.aux = aux;
+  e.flag = flag;
+  e.op_id = op_seq_;
+  trace_->Record(e);
+}
+
 FsBase::OpScope::~OpScope() {
   const int64_t end_ns = fs_->NowNs();
   if (LatencyHistogram* h = fs_->latencies_.ForOp(op_)) {
@@ -308,6 +323,20 @@ Result<uint64_t> FsBase::Write(InodeNum num, uint64_t off,
     }
     const uint32_t bno = *bno_or;
 
+    // Annotate a fresh direct-map attach: the pointer to `bno` lives in
+    // the inode image itself, so it commits when the inode's home block
+    // does. (Indirect-mapped attaches commit via the indirect block and
+    // are outside the grouped-small-file rule the checker enforces.)
+    if (trace_ && was_hole && idx < kDirectBlocks) {
+      const bool grouped = ino.group_start != 0 && bno >= ino.group_start &&
+                           bno < static_cast<uint64_t>(ino.group_start) +
+                                     ino.group_len;
+      Result<uint32_t> home = InodeHomeBlock(num);
+      if (home.ok()) {
+        TraceMeta(obs::MetaUpdateKind::kMapUpdate, *home, num, bno, grouped);
+      }
+    }
+
     // Avoid the read-modify-write disk read when the write covers all the
     // valid bytes of the block.
     const uint64_t block_start = idx * kBlockSize;
@@ -489,6 +518,13 @@ Result<FsBase::DirSlot> FsBase::DirAdd(InodeNum dir_num, InodeData* dir,
     if (rec.ok()) {
       cache_->MarkDirty(buf);
       cache_->SetFlushUnit(buf, FlushUnitFor(dir_num, *dir, bno));
+      // Embedded creates pass kInvalidInode here (the inum is derived from
+      // the slot and patched in afterwards); those paths annotate
+      // themselves once the final number is known.
+      if (inum != kInvalidInode) {
+        TraceMeta(obs::MetaUpdateKind::kDentryAdd, bno, inum, dir_num,
+                  kind == kEmbeddedRecord);
+      }
       if (name_cache_enabled_) {
         name_cache_.dir_indexes.Add(dir_num, name,
                                     DirEntryLoc{i, bno, rec->offset});
@@ -515,6 +551,10 @@ Result<FsBase::DirSlot> FsBase::DirAdd(InodeNum dir_num, InodeData* dir,
                    AddDirEntry(buf.data(), name, kind, inum, embedded));
   cache_->MarkDirty(buf);
   cache_->SetFlushUnit(buf, FlushUnitFor(dir_num, *dir, bno));
+  if (inum != kInvalidInode) {
+    TraceMeta(obs::MetaUpdateKind::kDentryAdd, bno, inum, dir_num,
+              kind == kEmbeddedRecord);
+  }
   dir->size = (nblocks + 1) * kBlockSize;
   dir->mtime_ns = NowNs();
   if (dir_dirtied) *dir_dirtied = true;
@@ -532,10 +572,11 @@ Result<FsBase::DirSlot> FsBase::DirAdd(InodeNum dir_num, InodeData* dir,
 }
 
 Status FsBase::DirRemove(InodeNum dir_num, std::string_view name, uint32_t bno,
-                         uint16_t offset) {
+                         uint16_t offset, InodeNum inum) {
   ASSIGN_OR_RETURN(cache::BufferRef buf, cache_->Get(bno));
   RETURN_IF_ERROR(RemoveDirEntry(buf.data(), offset));
   cache_->MarkDirty(buf);
+  TraceMeta(obs::MetaUpdateKind::kDentryRemove, bno, inum, dir_num);
   if (name_cache_enabled_) {
     name_cache_.dir_indexes.Remove(dir_num, name);
     // A lookup-after-unlink answers kNotFound without touching the

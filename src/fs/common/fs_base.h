@@ -44,9 +44,29 @@ class FsBase : public FileSystem {
   // each public operation (including the synchronous disk waits inside).
   obs::OpLatencies& op_latencies() { return latencies_; }
 
-  // Emits fs-op complete events and sync-metadata-write instants into the
-  // recorder. nullptr disables.
-  void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
+  // Emits fs-op complete events, sync-metadata-write instants and
+  // kMetaUpdate ordering annotations into the recorder. nullptr disables.
+  // Virtual so concrete file systems can forward the recorder to helpers
+  // that also annotate (the block allocator's free-map updates).
+  virtual void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
+
+  // Deliberate ordering-discipline breakage for the analyzer's
+  // false-negative self-test (see check::OrderingChecker). kNone in any
+  // real configuration.
+  enum class OrderingMutation : uint8_t {
+    kNone,
+    // FFS create writes the dirent before the inode it names — the exact
+    // corruption window the paper's rule #1 (and soft updates) exists to
+    // prevent.
+    kDeferInodeInit,
+  };
+  void set_ordering_mutation_for_test(OrderingMutation m) { mutation_ = m; }
+  OrderingMutation ordering_mutation() const { return mutation_; }
+
+  // Monotonic id of the fs operation currently in flight (OpScope bumps
+  // it). Annotations carry it so the checker can associate the writes of
+  // one logical operation.
+  uint64_t current_op_id() const { return op_seq_; }
 
   // Loads an inode image straight from the buffer cache (uncached); public
   // for fsck and tests. Operation paths go through GetInode() instead.
@@ -84,6 +104,12 @@ class FsBase : public FileSystem {
   virtual Result<uint32_t> AllocMetaBlock(InodeNum num, const InodeData& ino) = 0;
   virtual Status FreeBlock(uint32_t bno) = 0;
 
+  // Physical block holding `num`'s on-disk image: the static table slot
+  // for FFS, the directory block (embedded) or IFILE block (external) for
+  // C-FFS. The ordering checker treats a direct-map attach as committed
+  // when this block reaches the disk.
+  virtual Result<uint32_t> InodeHomeBlock(InodeNum num) = 0;
+
   // Called before reading data block `bno` of `ino`; C-FFS uses this to
   // fetch the whole group with one disk request.
   virtual Status PrepareDataRead(const InodeData& ino, uint32_t bno) {
@@ -119,7 +145,9 @@ class FsBase : public FileSystem {
   class OpScope {
    public:
     OpScope(FsBase* fs, obs::FsOp op, InodeNum ino = kInvalidInode)
-        : fs_(fs), op_(op), ino_(ino), start_ns_(fs->NowNs()) {}
+        : fs_(fs), op_(op), ino_(ino), start_ns_(fs->NowNs()) {
+      ++fs->op_seq_;
+    }
     OpScope(const OpScope&) = delete;
     OpScope& operator=(const OpScope&) = delete;
     ~OpScope();
@@ -188,8 +216,11 @@ class FsBase : public FileSystem {
   // Removes the record for `name` at (bno, offset); marks the block dirty.
   // Maintains the directory index and installs a NEGATIVE dentry so a
   // lookup-after-unlink answers kNotFound without touching the directory.
+  // `inum` is the inode the record named — carried on the kDentryRemove
+  // ordering annotation so the checker can pair the removal with the
+  // subsequent inode/block frees of the same operation.
   Status DirRemove(InodeNum dir_num, std::string_view name, uint32_t bno,
-                   uint16_t offset);
+                   uint16_t offset, InodeNum inum);
 
   Result<bool> DirIsEmpty(const InodeData& dir);
 
@@ -200,6 +231,12 @@ class FsBase : public FileSystem {
   // Write-through one metadata block if the policy demands it.
   Status SyncMetaBlock(uint32_t bno, bool order_critical);
 
+  // Emits one kMetaUpdate ordering annotation: the mutation of `kind`
+  // about `subject` now sits dirty in cached block `home_bno`. See
+  // obs::MetaUpdateKind for the field conventions.
+  void TraceMeta(obs::MetaUpdateKind kind, uint64_t home_bno,
+                 uint64_t subject, uint64_t aux = 0, bool flag = false);
+
   int64_t NowNs() const { return clock_->now().nanos(); }
 
   cache::BufferCache* cache_;
@@ -208,6 +245,8 @@ class FsBase : public FileSystem {
   FsOpStats op_stats_;
   obs::OpLatencies latencies_;
   obs::TraceRecorder* trace_ = nullptr;
+  OrderingMutation mutation_ = OrderingMutation::kNone;
+  uint64_t op_seq_ = 0;
 
  private:
   // Fetches one directory block for DirFind/BuildDirIndex (counts it and

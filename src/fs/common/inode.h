@@ -43,6 +43,20 @@ struct InodeData {
   static InodeData Decode(std::span<const uint8_t> buf, size_t off);
 };
 
+// The image is hand-packed by Encode/Decode with fixed byte offsets, so a
+// drive-by change to these constants would silently shift the on-disk
+// layout and corrupt every existing image. Pin them.
+static_assert(kInodeSize == 128, "on-disk inode image is exactly 128 bytes");
+static_assert(sizeof(InodeNum) == 8, "inode numbers serialize as u64");
+static_assert(kDirectBlocks == 12,
+              "direct array size fixes the indirect pointer at byte 88");
+// Fixed fields end at byte 40, direct pointers at 40 + 12*4 = 88, and the
+// grouping fields at byte 108; everything beyond is reserved padding.
+static_assert(40 + kDirectBlocks * 4 + 4 + 4 + 4 + 2 + 2 + 4 <= kInodeSize,
+              "encoded fields fit inside the inode image");
+static_assert(kBlockSize % kInodeSize == 0,
+              "inode images tile table/IFILE blocks exactly");
+
 }  // namespace cffs::fs
 
 #endif  // CFFS_FS_COMMON_INODE_H_

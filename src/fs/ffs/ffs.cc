@@ -149,8 +149,29 @@ Status FfsFileSystem::StoreInodeImpl(InodeNum num, const InodeData& ino,
   uint32_t bno = 0, off = 0;
   RETURN_IF_ERROR(LocateInode(num, &bno, &off));
   ASSIGN_OR_RETURN(cache::BufferRef buf, cache_->Get(bno));
+  if (trace_) {
+    // Classify the write by the allocated/free transition it performs —
+    // the distinction the ordering rules are phrased in.
+    const bool was_free = InodeData::Decode(buf.data(), off).is_free();
+    const obs::MetaUpdateKind kind =
+        ino.is_free() ? obs::MetaUpdateKind::kInodeFree
+        : was_free    ? obs::MetaUpdateKind::kInodeInit
+                      : obs::MetaUpdateKind::kInodeUpdate;
+    TraceMeta(kind, bno, num);
+  }
   ino.Encode(buf.data(), off);
   return MetaDirty(buf, order_critical);
+}
+
+Result<uint32_t> FfsFileSystem::InodeHomeBlock(InodeNum num) {
+  uint32_t bno = 0, off = 0;
+  RETURN_IF_ERROR(LocateInode(num, &bno, &off));
+  return bno;
+}
+
+void FfsFileSystem::set_trace(obs::TraceRecorder* trace) {
+  FsBase::set_trace(trace);
+  alloc_->set_trace(trace, &op_seq_, clock_);
 }
 
 Result<bool> FfsFileSystem::InodeIsAllocated(InodeNum num) {
@@ -231,6 +252,22 @@ Result<InodeNum> FfsFileSystem::Create(InodeNum dir, std::string_view name) {
   ino.self = inum;
   ino.parent = dir;
   ino.mtime_ns = NowNs();
+
+  if (ordering_mutation() == OrderingMutation::kDeferInodeInit) {
+    // Self-test mutation: commit the name FIRST, then the inode — the
+    // broken ordering the analyzer must flag (rule R-CREATE). A crash
+    // between the two writes leaves a name pointing at a free inode.
+    bool dir_dirty = false;
+    ASSIGN_OR_RETURN(DirSlot slot, DirAdd(dir, &d, name, kExternalRecord,
+                                          inum, nullptr, &dir_dirty));
+    RETURN_IF_ERROR(SyncMetaBlock(slot.bno, /*order_critical=*/true));
+    RETURN_IF_ERROR(StoreInode(inum, ino, /*order_critical=*/true));
+    if (dir_dirty) {
+      RETURN_IF_ERROR(StoreInode(dir, d, /*order_critical=*/true));
+    }
+    return inum;
+  }
+
   // Ordered update #1: the inode must be on disk before the name that
   // references it.
   RETURN_IF_ERROR(StoreInode(inum, ino, /*order_critical=*/true));
@@ -287,7 +324,7 @@ Status FfsFileSystem::Unlink(InodeNum dir, std::string_view name) {
   if (ino.is_dir()) return IsDirectory(std::string(name));
 
   // Ordered update #1: remove the name before freeing the inode.
-  RETURN_IF_ERROR(DirRemove(dir, name, slot.bno, slot.rec.offset));
+  RETURN_IF_ERROR(DirRemove(dir, name, slot.bno, slot.rec.offset, inum));
   RETURN_IF_ERROR(SyncMetaBlock(slot.bno, /*order_critical=*/true));
 
   if (ino.nlink > 1) {
@@ -317,7 +354,7 @@ Status FfsFileSystem::Rmdir(InodeNum dir, std::string_view name) {
   ASSIGN_OR_RETURN(bool empty, DirIsEmpty(ino));
   if (!empty) return NotEmpty(std::string(name));
 
-  RETURN_IF_ERROR(DirRemove(dir, name, slot.bno, slot.rec.offset));
+  RETURN_IF_ERROR(DirRemove(dir, name, slot.bno, slot.rec.offset, inum));
   RETURN_IF_ERROR(SyncMetaBlock(slot.bno, /*order_critical=*/true));
 
   BmapOps ops = MakeBmapOps(inum, &ino);
@@ -383,7 +420,8 @@ Status FfsFileSystem::Rename(InodeNum old_dir, std::string_view old_name,
   // two directories are the same.
   ASSIGN_OR_RETURN(InodeData od2, GetInode(old_dir));
   ASSIGN_OR_RETURN(DirSlot src2, DirFind(od2, old_name));
-  RETURN_IF_ERROR(DirRemove(old_dir, old_name, src2.bno, src2.rec.offset));
+  RETURN_IF_ERROR(DirRemove(old_dir, old_name, src2.bno, src2.rec.offset,
+                            inum));
   RETURN_IF_ERROR(SyncMetaBlock(src2.bno, /*order_critical=*/true));
 
   ASSIGN_OR_RETURN(InodeData moved, GetInode(inum));

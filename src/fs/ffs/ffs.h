@@ -54,6 +54,10 @@ class FfsFileSystem : public FsBase {
 
   Result<InodeData> LoadInode(InodeNum num) override;
 
+  // Also forwards the recorder to the block allocator so free-map updates
+  // carry ordering annotations.
+  void set_trace(obs::TraceRecorder* trace) override;
+
   // Layout introspection for fsck and tests.
   static constexpr InodeNum kRootInum = 1;
   uint32_t cg_count() const { return ncg_; }
@@ -73,6 +77,7 @@ class FfsFileSystem : public FsBase {
                                   uint64_t size_hint_blocks) override;
   Result<uint32_t> AllocMetaBlock(InodeNum num, const InodeData& ino) override;
   Status FreeBlock(uint32_t bno) override;
+  Result<uint32_t> InodeHomeBlock(InodeNum num) override;
 
  private:
   FfsFileSystem(cache::BufferCache* cache, SimClock* clock,

@@ -41,6 +41,15 @@ class RefMap {
                       " referenced by multiple inodes");
     }
   }
+  void Remove(uint32_t bno) {
+    auto it = refs_.find(bno);
+    if (it == refs_.end()) return;
+    if (it->second <= 1) {
+      refs_.erase(it);
+    } else {
+      --it->second;
+    }
+  }
   bool Contains(uint32_t bno) const { return refs_.count(bno) != 0; }
   size_t size() const { return refs_.size(); }
 
@@ -54,6 +63,17 @@ Status CollectBlocks(cache::BufferCache* cache, const InodeData& ino,
   const BmapOps ops = ReadOnlyOps(cache);
   return BmapForEach(ops, ino, [&](uint64_t, uint32_t bno) -> Status {
     refs->Add(bno, report);
+    return OkStatus();
+  });
+}
+
+// Drops every block mapped by an inode from the ref map; used when an
+// orphaned inode is cleared so the bitmap audit frees its blocks.
+Status DropBlocks(cache::BufferCache* cache, const InodeData& ino,
+                  RefMap* refs) {
+  const BmapOps ops = ReadOnlyOps(cache);
+  return BmapForEach(ops, ino, [&](uint64_t, uint32_t bno) -> Status {
+    refs->Remove(bno);
     return OkStatus();
   });
 }
@@ -154,7 +174,6 @@ Result<FsckReport> CheckFfs(fs::FfsFileSystem* ffs, const FsckOptions& options) 
     }
     RETURN_IF_ERROR(CollectBlocks(cache, ino, &refs, &report));
   }
-  report.referenced_blocks = refs.size();
 
   // Pass 2: walk directories, validating format and counting name refs.
   const BmapOps ops = ReadOnlyOps(cache);
@@ -164,13 +183,30 @@ Result<FsckReport> CheckFfs(fs::FfsFileSystem* ffs, const FsckOptions& options) 
       ASSIGN_OR_RETURN(uint32_t bno, fs::BmapRead(ops, dino, i));
       if (bno == 0) continue;
       ASSIGN_OR_RETURN(cache::BufferRef buf, cache->Get(bno));
+      std::vector<fs::DirRecord> records;
       Status s = fs::ForEachDirRecord(buf.data(), [&](const fs::DirRecord& r) {
-        if (r.kind == fs::kExternalRecord) ++name_refs[r.inum];
+        if (r.kind == fs::kExternalRecord) records.push_back(r);
         return true;
       });
       if (!s.ok()) {
         report.Problem("directory " + std::to_string(dnum) + " block " +
                        std::to_string(bno) + ": " + s.ToString());
+        continue;
+      }
+      for (const fs::DirRecord& r : records) {
+        // A name whose inode slot is free or out of range is dangling
+        // (the directory block committed but the inode write was lost).
+        if (!ffs->LoadInode(r.inum).ok()) {
+          report.Problem("dangling name in directory " + std::to_string(dnum) +
+                         " for inode " + std::to_string(r.inum));
+          if (options.repair) {
+            RETURN_IF_ERROR(fs::RemoveDirEntry(buf.data(), r.offset));
+            cache->MarkDirty(buf);
+            ++report.repaired;
+          }
+          continue;
+        }
+        ++name_refs[r.inum];
       }
     }
   }
@@ -183,6 +219,29 @@ Result<FsckReport> CheckFfs(fs::FfsFileSystem* ffs, const FsckOptions& options) 
     const uint32_t expected = name_refs.count(num) ? name_refs[num] : 0;
     if (expected == 0) {
       report.Problem("inode " + std::to_string(num) + " has no name");
+      if (options.repair) {
+        // Clear the orphan: the inode-table block committed but every
+        // directory entry naming it was lost. Drop its blocks from the
+        // ref set (pass 4 then frees them in the bitmap), zero the
+        // on-disk inode, and release its allocation bit. Clearing an
+        // orphaned directory can orphan its children; callers re-run
+        // fsck until it converges, as classic fsck does.
+        RETURN_IF_ERROR(DropBlocks(cache, *ino, &refs));
+        uint32_t bno = 0, off = 0;
+        RETURN_IF_ERROR(ffs->LocateInode(num, &bno, &off));
+        ASSIGN_OR_RETURN(cache::BufferRef buf, cache->Get(bno));
+        InodeData().Encode(buf.data(), off);
+        cache->MarkDirty(buf);
+        buf.Release();
+        ASSIGN_OR_RETURN(cache::BufferRef bm,
+                         cache->Get(ffs->InodeBitmapBlock(
+                             static_cast<uint32_t>((num - 1) /
+                                                   ffs->inodes_per_cg()))));
+        fs::BitClear(bm.data(),
+                     static_cast<uint32_t>((num - 1) % ffs->inodes_per_cg()));
+        cache->MarkDirty(bm);
+        ++report.repaired;
+      }
     } else if (ino->nlink != expected) {
       report.Problem("inode " + std::to_string(num) + " nlink " +
                      std::to_string(ino->nlink) + " != " +
@@ -199,6 +258,7 @@ Result<FsckReport> CheckFfs(fs::FfsFileSystem* ffs, const FsckOptions& options) 
       }
     }
   }
+  report.referenced_blocks = refs.size();
 
   // Pass 4: block bitmaps.
   for (uint32_t cg = 0; cg < ffs->cg_count(); ++cg) {
@@ -274,6 +334,14 @@ Result<FsckReport> CheckCffs(fs::CffsFileSystem* cfs,
           if (!child.ok() || child->is_free()) {
             report.Problem("dangling external reference to slot " +
                            std::to_string(r.inum));
+            if (options.repair) {
+              // The directory block committed but the IFILE write was
+              // lost; drop the name so the tree stays consistent.
+              RETURN_IF_ERROR(fs::RemoveDirEntry(buf.data(), r.offset));
+              cache->MarkDirty(buf);
+              --ext_refs[r.inum];
+              ++report.repaired;
+            }
             continue;
           }
           if (child->is_dir()) {
@@ -306,8 +374,14 @@ Result<FsckReport> CheckCffs(fs::CffsFileSystem* cfs,
                      " allocated but unreachable");
       if (options.repair) {
         // An unreachable inode's blocks are not collected, so the bitmap
-        // audit frees them; clear the slot itself too.
-        // (Matches fsck's clearing of unreferenced inodes.)
+        // audit frees them; clear the slot itself so a re-run (and the
+        // mount-time free-slot scan) sees it free.
+        ASSIGN_OR_RETURN(uint32_t bno, cfs->ExternalSlotBlock(slot));
+        ASSIGN_OR_RETURN(cache::BufferRef buf, cache->Get(bno));
+        InodeData().Encode(
+            buf.data(),
+            static_cast<uint32_t>((slot * fs::kInodeSize) % kBlockSize));
+        cache->MarkDirty(buf);
         ++report.repaired;
       }
       continue;

@@ -3,7 +3,24 @@
 #include <cassert>
 #include <cstdio>
 
+#include "src/obs/json.h"
+
 namespace cffs::obs {
+
+const char* MetaUpdateName(MetaUpdateKind kind) {
+  switch (kind) {
+    case MetaUpdateKind::kNone: return "none";
+    case MetaUpdateKind::kInodeInit: return "inode-init";
+    case MetaUpdateKind::kInodeUpdate: return "inode-update";
+    case MetaUpdateKind::kInodeFree: return "inode-free";
+    case MetaUpdateKind::kDentryAdd: return "dentry-add";
+    case MetaUpdateKind::kDentryRemove: return "dentry-remove";
+    case MetaUpdateKind::kFreeMapAlloc: return "freemap-alloc";
+    case MetaUpdateKind::kFreeMapFree: return "freemap-free";
+    case MetaUpdateKind::kMapUpdate: return "map-update";
+  }
+  return "none";
+}
 
 const char* FsOpName(FsOp op) {
   switch (op) {
@@ -120,6 +137,16 @@ void AppendEvent(std::string* out, const TraceEvent& e) {
       cat = "fs";
       tid = kFsLane;
       break;
+    case EventKind::kMetaUpdate:
+      name = MetaUpdateName(e.meta);
+      cat = "order";
+      tid = kFsLane;
+      break;
+    case EventKind::kBlockWrite:
+      name = "block-write";
+      cat = "order";
+      tid = kDiskLane;
+      break;
   }
 
   char head[192];
@@ -195,6 +222,23 @@ void AppendEvent(std::string* out, const TraceEvent& e) {
                     static_cast<unsigned long long>(e.b));
       *out += args;
       break;
+    case EventKind::kMetaUpdate:
+      std::snprintf(args, sizeof args,
+                    "\"bno\":%llu,\"subject\":%llu,\"aux\":%llu,\"op\":%llu",
+                    static_cast<unsigned long long>(e.a),
+                    static_cast<unsigned long long>(e.b),
+                    static_cast<unsigned long long>(e.aux),
+                    static_cast<unsigned long long>(e.op_id));
+      *out += args;
+      break;
+    case EventKind::kBlockWrite:
+      std::snprintf(args, sizeof args,
+                    "\"bno\":%llu,\"blocks\":%llu,\"epoch\":%llu",
+                    static_cast<unsigned long long>(e.a),
+                    static_cast<unsigned long long>(e.b),
+                    static_cast<unsigned long long>(e.aux));
+      *out += args;
+      break;
   }
   *out += "}}";
 }
@@ -228,6 +272,116 @@ std::string TraceRecorder::ToChromeJson() const {
   out += std::to_string(dropped_);
   out += "}}";
   return out;
+}
+
+namespace {
+
+// Record-format field order. Every field is written even when zero so the
+// schema stays self-describing; Parse tolerates missing keys (default 0)
+// to keep old dumps loadable.
+Json EventToRecord(const TraceEvent& e) {
+  Json rec = Json::Object();
+  rec.Set("kind", static_cast<uint64_t>(e.kind));
+  rec.Set("ts_ns", e.ts_ns);
+  rec.Set("dur_ns", e.dur_ns);
+  rec.Set("op", static_cast<uint64_t>(e.op));
+  rec.Set("flag", e.flag);
+  rec.Set("hit", e.hit);
+  rec.Set("a", e.a);
+  rec.Set("b", e.b);
+  rec.Set("meta", static_cast<uint64_t>(e.meta));
+  rec.Set("op_id", e.op_id);
+  rec.Set("aux", e.aux);
+  rec.Set("seek_ns", e.seek_ns);
+  rec.Set("rotation_ns", e.rotation_ns);
+  rec.Set("transfer_ns", e.transfer_ns);
+  rec.Set("overhead_ns", e.overhead_ns);
+  return rec;
+}
+
+int64_t IntField(const Json& rec, std::string_view key) {
+  const Json* v = rec.Find(key);
+  return (v != nullptr && v->is_number()) ? v->as_int() : 0;
+}
+
+bool BoolField(const Json& rec, std::string_view key) {
+  const Json* v = rec.Find(key);
+  return v != nullptr && v->is_bool() && v->as_bool();
+}
+
+Result<TraceEvent> EventFromRecord(const Json& rec) {
+  if (!rec.is_object()) return InvalidArgument("trace record is not an object");
+  TraceEvent e;
+  const int64_t kind = IntField(rec, "kind");
+  if (kind < 0 || kind > static_cast<int64_t>(EventKind::kBlockWrite)) {
+    return InvalidArgument("trace record has unknown event kind " +
+                           std::to_string(kind));
+  }
+  e.kind = static_cast<EventKind>(kind);
+  e.ts_ns = IntField(rec, "ts_ns");
+  e.dur_ns = IntField(rec, "dur_ns");
+  const int64_t op = IntField(rec, "op");
+  if (op < 0 || op > static_cast<int64_t>(FsOp::kOther)) {
+    return InvalidArgument("trace record has unknown fs op " +
+                           std::to_string(op));
+  }
+  e.op = static_cast<FsOp>(op);
+  e.flag = BoolField(rec, "flag");
+  e.hit = BoolField(rec, "hit");
+  e.a = static_cast<uint64_t>(IntField(rec, "a"));
+  e.b = static_cast<uint64_t>(IntField(rec, "b"));
+  const int64_t meta = IntField(rec, "meta");
+  if (meta < 0 || meta > static_cast<int64_t>(MetaUpdateKind::kMapUpdate)) {
+    return InvalidArgument("trace record has unknown meta kind " +
+                           std::to_string(meta));
+  }
+  e.meta = static_cast<MetaUpdateKind>(meta);
+  e.op_id = static_cast<uint64_t>(IntField(rec, "op_id"));
+  e.aux = static_cast<uint64_t>(IntField(rec, "aux"));
+  e.seek_ns = IntField(rec, "seek_ns");
+  e.rotation_ns = IntField(rec, "rotation_ns");
+  e.transfer_ns = IntField(rec, "transfer_ns");
+  e.overhead_ns = IntField(rec, "overhead_ns");
+  return e;
+}
+
+}  // namespace
+
+std::string TraceRecorder::ToRecordJson() const {
+  Json doc = Json::Object();
+  doc.Set("format", "cffs-trace-v1");
+  doc.Set("dropped", dropped_);
+  Json events = Json::Array();
+  const size_t first = (next_ + ring_.size() - count_) % ring_.size();
+  for (size_t i = 0; i < count_; ++i) {
+    events.Push(EventToRecord(ring_[(first + i) % ring_.size()]));
+  }
+  doc.Set("events", std::move(events));
+  return doc.Dump();
+}
+
+Result<TraceRecorder> TraceRecorder::FromRecordJson(std::string_view text) {
+  ASSIGN_OR_RETURN(Json doc, Json::Parse(text));
+  if (!doc.is_object()) return InvalidArgument("trace dump is not an object");
+  const Json* format = doc.Find("format");
+  if (format == nullptr || !format->is_string() ||
+      format->as_string() != "cffs-trace-v1") {
+    return InvalidArgument("not a cffs-trace-v1 dump");
+  }
+  const Json* events = doc.Find("events");
+  if (events == nullptr || !events->is_array()) {
+    return InvalidArgument("trace dump has no events array");
+  }
+  TraceRecorder rec(events->size() > 0 ? events->size() : 1);
+  for (const Json& item : events->elements()) {
+    ASSIGN_OR_RETURN(TraceEvent e, EventFromRecord(item));
+    rec.Record(e);
+  }
+  const Json* dropped = doc.Find("dropped");
+  if (dropped != nullptr && dropped->is_number()) {
+    rec.dropped_ = static_cast<uint64_t>(dropped->as_int());
+  }
+  return rec;
 }
 
 }  // namespace cffs::obs

@@ -22,6 +22,8 @@
 #include <string>
 #include <vector>
 
+#include "src/util/status.h"
+
 namespace cffs::obs {
 
 enum class EventKind : uint8_t {
@@ -35,7 +37,28 @@ enum class EventKind : uint8_t {
   kWriteBatch,     // scheduler-ordered write-back batch summary
   kDentryLookup,   // dentry-cache consult (flag = hit, hit = negative)
   kDirIndexBuild,  // lazy full-scan build of a per-directory name index
+  kMetaUpdate,     // logical metadata mutation landed in a cached block
+  kBlockWrite,     // one write command committed blocks [a, a+b) to disk
 };
+
+// What a kMetaUpdate event dirtied. Together with the home block number
+// this gives each buffered metadata mutation a logical identity, which is
+// what lets check::OrderingChecker replay the write stream like a race
+// detector: it joins these annotations against the kBlockWrite commit
+// stream and verifies the FFS/C-FFS happens-before rules.
+enum class MetaUpdateKind : uint8_t {
+  kNone,
+  kInodeInit,     // inode transitioned free -> allocated (b = inum)
+  kInodeUpdate,   // allocated inode rewritten in place (b = inum)
+  kInodeFree,     // inode transitioned allocated -> free (b = inum)
+  kDentryAdd,     // directory entry naming inode b added (aux = dir inum)
+  kDentryRemove,  // directory entry naming inode b removed (aux = dir inum)
+  kFreeMapAlloc,  // free-map bit set for block b (a = bitmap block)
+  kFreeMapFree,   // free-map bit cleared for block b (a = bitmap block)
+  kMapUpdate,     // block aux attached to inode b's map (flag = grouped)
+};
+
+const char* MetaUpdateName(MetaUpdateKind kind);
 
 // File-system operations that are individually timed. The first five carry
 // latency histograms (see obs/metrics.h); the rest appear in traces only.
@@ -58,10 +81,22 @@ struct TraceEvent {
   int64_t ts_ns = 0;   // simulated begin time
   int64_t dur_ns = 0;  // 0 for instants
   FsOp op = FsOp::kOther;
-  bool flag = false;   // kDiskIo: is-write; kCacheEvict: victim dirty
+  bool flag = false;   // kDiskIo: is-write; kCacheEvict: victim dirty;
+                       // kMetaUpdate kDentryAdd: names an embedded inode;
+                       // kMetaUpdate kMapUpdate: block is inside a group
   bool hit = false;    // kDiskIo: served by the on-board segment cache
-  uint64_t a = 0;      // lba / bno / inode — primary subject
-  uint64_t b = 0;      // sectors / block count — size of the subject
+  uint64_t a = 0;      // lba / bno / inode — primary subject.
+                       // kMetaUpdate: home block the mutation lives in.
+                       // kBlockWrite: first block of the command.
+  uint64_t b = 0;      // sectors / block count — size of the subject.
+                       // kMetaUpdate: subject inum (or bno for free-map).
+                       // kBlockWrite: number of blocks committed.
+  // Ordering-analysis payload.
+  MetaUpdateKind meta = MetaUpdateKind::kNone;  // kMetaUpdate only
+  uint64_t op_id = 0;  // kMetaUpdate: fs operation sequence number
+  uint64_t aux = 0;    // kMetaUpdate: kind-specific extra subject
+                       // (dir inum / attached bno); kBlockWrite: commit
+                       // epoch — commands in one scheduler batch share it
   // Per-command disk time breakdown (kDiskIo only).
   int64_t seek_ns = 0;
   int64_t rotation_ns = 0;
@@ -88,6 +123,17 @@ class TraceRecorder {
   // Chrome trace-event JSON: {"traceEvents": [...], ...}. Loadable in
   // perfetto and chrome://tracing. `ts` is microseconds of simulated time.
   std::string ToChromeJson() const;
+
+  // Lossless record-format JSON: every TraceEvent field serialized
+  // verbatim, so a dumped trace can be re-loaded and fed to the offline
+  // analyzers (tools/cffs_ordercheck). Chrome JSON is for humans; this
+  // is for machines.
+  std::string ToRecordJson() const;
+
+  // Parses ToRecordJson output back into the event stream. The returned
+  // recorder's capacity is max(event count, 1) and dropped() reflects the
+  // drop count recorded at dump time.
+  static Result<TraceRecorder> FromRecordJson(std::string_view text);
 
  private:
   std::vector<TraceEvent> ring_;

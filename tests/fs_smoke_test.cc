@@ -91,8 +91,8 @@ INSTANTIATE_TEST_SUITE_P(
     AllFs, FsSmokeTest,
     ::testing::Values(FsKind::kFfs, FsKind::kConventional, FsKind::kEmbedOnly,
                       FsKind::kGroupOnly, FsKind::kCffs),
-    [](const ::testing::TestParamInfo<FsKind>& info) {
-      std::string n = sim::FsKindName(info.param);
+    [](const ::testing::TestParamInfo<FsKind>& param_info) {
+      std::string n = sim::FsKindName(param_info.param);
       for (char& c : n) {
         if (c == '-') c = '_';
       }

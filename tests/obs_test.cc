@@ -214,8 +214,8 @@ INSTANTIATE_TEST_SUITE_P(AllConfigs, ObsWorkloadTest,
                          ::testing::Values(sim::FsKind::kFfs,
                                            sim::FsKind::kConventional,
                                            sim::FsKind::kCffs),
-                         [](const auto& info) {
-                           switch (info.param) {
+                         [](const auto& param_info) {
+                           switch (param_info.param) {
                              case sim::FsKind::kFfs: return "Ffs";
                              case sim::FsKind::kConventional:
                                return "Conventional";

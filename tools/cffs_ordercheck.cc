@@ -1,0 +1,221 @@
+// cffs_ordercheck: verify metadata write-ordering rules over a recorded
+// trace, or over a freshly traced in-process workload.
+//
+// Offline mode (the normal one — analyze a dump made by cffs_trace
+// --record-out):
+//
+//   cffs_ordercheck --trace=PATH [--report-out=PATH]
+//
+// In-process mode (trace a workload and check it in one step):
+//
+//   cffs_ordercheck --run [--fs=KIND] [--policy=sync|delayed]
+//                   [--workload=smallfile|postmark]
+//                   [--files=N] [--dirs=N] [--bytes=N] [--txns=N]
+//                   [--mutate=defer-inode-init] [--report-out=PATH]
+//
+// KIND: ffs | conventional | embedded | grouping | cffs (default cffs).
+// --workload=postmark replays a PostMark-style transaction mix
+// (create/delete paired with read/append) instead of the small-file
+// sweep; --files then sets the initial pool and --txns the transaction
+// count.
+// --mutate=defer-inode-init flips the FFS create path into its
+// deliberately-misordered self-test variant (name committed before inode);
+// the tool is then expected to exit nonzero with an R-CREATE violation.
+//
+// Exit status: 0 when the trace is clean, 1 on violations or errors.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/check/ordering_checker.h"
+#include "src/fs/common/fs_base.h"
+#include "src/workload/smallfile.h"
+#include "src/workload/trace.h"
+
+using namespace cffs;
+
+namespace {
+
+bool ParseKind(const char* s, sim::FsKind* out) {
+  if (std::strcmp(s, "ffs") == 0) *out = sim::FsKind::kFfs;
+  else if (std::strcmp(s, "conventional") == 0) *out = sim::FsKind::kConventional;
+  else if (std::strcmp(s, "embedded") == 0) *out = sim::FsKind::kEmbedOnly;
+  else if (std::strcmp(s, "grouping") == 0) *out = sim::FsKind::kGroupOnly;
+  else if (std::strcmp(s, "cffs") == 0) *out = sim::FsKind::kCffs;
+  else return false;
+  return true;
+}
+
+Result<std::string> ReadWholeFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return NotFound("cannot open " + path);
+  std::string text;
+  char buf[4096];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, got);
+  }
+  std::fclose(f);
+  return text;
+}
+
+bool WriteWholeFile(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  return true;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --trace=PATH [--report-out=PATH]\n"
+               "       %s --run [--fs=KIND] [--policy=sync|delayed]\n"
+               "          [--workload=smallfile|postmark]\n"
+               "          [--files=N] [--dirs=N] [--bytes=N] [--txns=N]\n"
+               "          [--mutate=defer-inode-init] [--report-out=PATH]\n",
+               argv0, argv0);
+  return 1;
+}
+
+int Report(const check::OrderingReport& report,
+           const std::string& report_out) {
+  const std::string json = report.ToJson(2);
+  if (!report_out.empty()) {
+    if (!WriteWholeFile(report_out, json)) {
+      std::fprintf(stderr, "cannot write %s\n", report_out.c_str());
+      return 1;
+    }
+    std::printf("report: %s\n", report_out.c_str());
+  } else {
+    std::printf("%s\n", json.c_str());
+  }
+  for (const check::Violation& v : report.violations) {
+    std::fprintf(stderr, "%s op=%llu bno=%llu subject=%llu: %s\n",
+                 check::RuleName(v.rule),
+                 static_cast<unsigned long long>(v.op_id),
+                 static_cast<unsigned long long>(v.bno),
+                 static_cast<unsigned long long>(v.subject),
+                 v.detail.c_str());
+  }
+  return report.clean() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool run = false;
+  sim::FsKind kind = sim::FsKind::kCffs;
+  fs::MetadataPolicy policy = fs::MetadataPolicy::kSynchronous;
+  workload::SmallFileParams params;
+  params.num_files = 100;
+  params.num_dirs = 4;
+  bool postmark = false;
+  uint32_t txns = 400;
+  std::string trace_path, report_out, mutate;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--run") == 0) {
+      run = true;
+    } else if (std::strncmp(arg, "--trace=", 8) == 0) {
+      trace_path = arg + 8;
+    } else if (std::strncmp(arg, "--report-out=", 13) == 0) {
+      report_out = arg + 13;
+    } else if (std::strncmp(arg, "--fs=", 5) == 0) {
+      if (!ParseKind(arg + 5, &kind)) return Usage(argv[0]);
+    } else if (std::strncmp(arg, "--policy=", 9) == 0) {
+      if (std::strcmp(arg + 9, "sync") == 0) {
+        policy = fs::MetadataPolicy::kSynchronous;
+      } else if (std::strcmp(arg + 9, "delayed") == 0) {
+        policy = fs::MetadataPolicy::kDelayed;
+      } else {
+        return Usage(argv[0]);
+      }
+    } else if (std::strncmp(arg, "--files=", 8) == 0) {
+      params.num_files = static_cast<uint32_t>(std::atoi(arg + 8));
+    } else if (std::strncmp(arg, "--dirs=", 7) == 0) {
+      params.num_dirs = static_cast<uint32_t>(std::atoi(arg + 7));
+    } else if (std::strncmp(arg, "--bytes=", 8) == 0) {
+      params.file_bytes = static_cast<uint32_t>(std::atoi(arg + 8));
+    } else if (std::strncmp(arg, "--txns=", 7) == 0) {
+      txns = static_cast<uint32_t>(std::atoi(arg + 7));
+    } else if (std::strncmp(arg, "--workload=", 11) == 0) {
+      if (std::strcmp(arg + 11, "postmark") == 0) {
+        postmark = true;
+      } else if (std::strcmp(arg + 11, "smallfile") == 0) {
+        postmark = false;
+      } else {
+        return Usage(argv[0]);
+      }
+    } else if (std::strncmp(arg, "--mutate=", 9) == 0) {
+      mutate = arg + 9;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  if (!run && trace_path.empty()) return Usage(argv[0]);
+  if (run && !trace_path.empty()) return Usage(argv[0]);
+  if (!mutate.empty() && mutate != "defer-inode-init") return Usage(argv[0]);
+
+  if (!trace_path.empty()) {
+    auto text = ReadWholeFile(trace_path);
+    if (!text.ok()) {
+      std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+      return 1;
+    }
+    auto trace = obs::TraceRecorder::FromRecordJson(*text);
+    if (!trace.ok()) {
+      std::fprintf(stderr, "parse %s: %s\n", trace_path.c_str(),
+                   trace.status().ToString().c_str());
+      return 1;
+    }
+    return Report(check::OrderingChecker::CheckTrace(*trace), report_out);
+  }
+
+  sim::SimConfig config;
+  config.metadata = policy;
+  auto env_or = sim::SimEnv::Create(kind, config);
+  if (!env_or.ok()) {
+    std::fprintf(stderr, "env: %s\n", env_or.status().ToString().c_str());
+    return 1;
+  }
+  sim::SimEnv* env = env_or->get();
+  env->EnableTrace();
+  if (mutate == "defer-inode-init") {
+    static_cast<fs::FsBase*>(env->fs())->set_ordering_mutation_for_test(
+        fs::FsBase::OrderingMutation::kDeferInodeInit);
+  }
+
+  if (postmark) {
+    // Keep the working set well inside the cache: a mid-run eviction is a
+    // single-block write the delayed policy cannot order, and the gate is
+    // about the file system's discipline, not the cache's sizing.
+    workload::PostmarkParams pm;
+    pm.initial_files = params.num_files;
+    pm.transactions = txns;
+    pm.num_dirs = params.num_dirs;
+    pm.max_bytes = 4096;
+    auto replayed = workload::ReplayTrace(env, workload::GeneratePostmark(pm));
+    if (!replayed.ok()) {
+      std::fprintf(stderr, "run: %s\n",
+                   replayed.status().ToString().c_str());
+      return 1;
+    }
+  } else {
+    auto result = workload::RunSmallFile(env, params);
+    if (!result.ok()) {
+      std::fprintf(stderr, "run: %s\n", result.status().ToString().c_str());
+      return 1;
+    }
+  }
+  if (Status s = env->fs()->Sync(); !s.ok()) {
+    std::fprintf(stderr, "sync: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  return Report(check::OrderingChecker::CheckTrace(*env->trace()),
+                report_out);
+}

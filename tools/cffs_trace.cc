@@ -3,10 +3,13 @@
 //
 //   cffs_trace [--fs=KIND] [--files=N] [--dirs=N] [--bytes=N]
 //              [--trace-out=PATH] [--snapshot-out=PATH] [--capacity=N]
+//              [--record-out=PATH]
 //
 // KIND: ffs | conventional | embedded | grouping | cffs (default cffs).
 // Writes a Chrome trace-event JSON (open in perfetto / chrome://tracing)
 // and a MetricsSnapshot JSON with every counter and latency histogram.
+// --record-out additionally dumps the lossless record-format trace
+// (cffs-trace-v1) that cffs_ordercheck --trace consumes.
 // Counter invariants are checked after the run; violations go to stderr and
 // fail the tool.
 #include <cstdio>
@@ -56,7 +59,7 @@ int main(int argc, char** argv) {
   params.num_files = 100;
   params.num_dirs = 4;
   size_t capacity = obs::TraceRecorder::kDefaultCapacity;
-  std::string trace_out, snapshot_out;
+  std::string trace_out, snapshot_out, record_out;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -74,6 +77,8 @@ int main(int argc, char** argv) {
       trace_out = arg + 12;
     } else if (std::strncmp(arg, "--snapshot-out=", 15) == 0) {
       snapshot_out = arg + 15;
+    } else if (std::strncmp(arg, "--record-out=", 13) == 0) {
+      record_out = arg + 13;
     } else {
       return Usage(argv[0]);
     }
@@ -109,6 +114,13 @@ int main(int argc, char** argv) {
   if (!WriteFile(snapshot_out, snap.ToJsonString())) {
     std::fprintf(stderr, "cannot write %s\n", snapshot_out.c_str());
     return 1;
+  }
+  if (!record_out.empty()) {
+    if (!WriteFile(record_out, trace->ToRecordJson())) {
+      std::fprintf(stderr, "cannot write %s\n", record_out.c_str());
+      return 1;
+    }
+    std::printf("record:   %s\n", record_out.c_str());
   }
 
   std::printf("%s: %u files x %u B in %u dirs, %.3f simulated seconds\n",
