@@ -49,6 +49,11 @@ class BlockDevice {
   disk::DiskModel* disk() { return disk_; }
   disk::SchedulerPolicy policy() const { return policy_; }
   void set_policy(disk::SchedulerPolicy p) { policy_ = p; }
+  // Scheduler's notion of the head position: where the next batch's service
+  // order starts. Exposed so flush-plan previews (crash enumeration of a
+  // syncer epoch) can reproduce the exact service order a WriteBatch would
+  // use without issuing it.
+  uint64_t head_lba() const { return head_lba_; }
 
   // Single-block transfers.
   Status ReadBlock(uint64_t bno, std::span<uint8_t> out);

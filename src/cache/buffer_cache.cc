@@ -75,10 +75,39 @@ void BufferCache::SetDirty(Buffer* buf, bool dirty) {
   buf->dirty_ = dirty;
   if (dirty) {
     ++dirty_count_;
+    buf->dirty_since_ns_ = dev_->disk()->now().nanos();
+    dirty_fifo_.emplace_back(buf->bno_, buf->dirty_since_ns_);
   } else {
     assert(dirty_count_ > 0);
     --dirty_count_;
   }
+}
+
+void BufferCache::NoteDemand(Buffer* buf) {
+  if (!buf->staged_) return;
+  buf->staged_ = false;
+  ++stats_.readahead_hits;
+}
+
+void BufferCache::NoteStagedDropped(Buffer* buf) {
+  if (!buf->staged_) return;
+  buf->staged_ = false;
+  ++stats_.readahead_wasted;
+}
+
+int64_t BufferCache::oldest_dirty_ns() {
+  while (!dirty_fifo_.empty()) {
+    const auto& [bno, since] = dirty_fifo_.front();
+    Buffer* buf = FindResident(bno);
+    // The entry is live only if that buffer is still dirty from the same
+    // transition; otherwise it was cleaned (possibly re-dirtied later, in
+    // which case a younger entry exists further back).
+    if (buf != nullptr && buf->dirty_ && buf->dirty_since_ns_ == since) {
+      return since;
+    }
+    dirty_fifo_.pop_front();
+  }
+  return -1;
 }
 
 Status BufferCache::EvictIfNeeded() {
@@ -117,6 +146,7 @@ Status BufferCache::EvictIfNeeded() {
       ++stats_.writebacks;
       SetDirty(victim, false);
     }
+    NoteStagedDropped(victim);
     ++stats_.evictions;
     if (victim->has_lid_) logical_index_.erase(victim->lid_);
     lru_.erase(victim->lru_pos_);
@@ -140,6 +170,7 @@ Result<BufferRef> BufferCache::Get(uint64_t bno) {
   }
   if (Buffer* buf = FindResident(bno)) {
     NoteLookup(bno, /*hit=*/true);
+    NoteDemand(buf);
     return Pin(buf);
   }
   NoteLookup(bno, /*hit=*/false);
@@ -164,6 +195,8 @@ Result<BufferRef> BufferCache::GetZero(uint64_t bno) {
     // The caller is (re)initializing this block: any resident contents are
     // stale (e.g. inserted by a group read while the block was still
     // free) and must not leak into the fresh block — zero unconditionally.
+    // A staged buffer's prefetched contents were therefore never used.
+    NoteStagedDropped(buf);
     std::memset(buf->data().data(), 0, blk::kBlockSize);
     return Pin(buf);
   }
@@ -177,6 +210,7 @@ Result<BufferRef> BufferCache::GetZero(uint64_t bno) {
 Result<BufferRef> BufferCache::Lookup(uint64_t bno) {
   if (Buffer* buf = FindResident(bno)) {
     NoteLookup(bno, /*hit=*/true);
+    NoteDemand(buf);
     return Pin(buf);
   }
   NoteLookup(bno, /*hit=*/false);
@@ -253,17 +287,15 @@ Status BufferCache::SyncBlock(uint64_t bno) {
   return OkStatus();
 }
 
-Status BufferCache::SyncAll() {
+std::vector<blk::WriteOp> BufferCache::BuildFlushPlan() {
   std::vector<blk::WriteOp> ops;
-  std::vector<Buffer*> dirty;
   ops.reserve(dirty_count_);
   for (auto& [bno, buf] : buffers_) {
     if (buf->dirty_) {
       ops.push_back({bno, buf->data().data(), buf->flush_unit_});
-      dirty.push_back(buf.get());
     }
   }
-  if (ops.empty()) return OkStatus();
+  if (ops.empty()) return ops;
 
   // Group write units go to disk whole: when two dirty blocks of the same
   // unit have a small gap between them and every gap block is resident
@@ -300,11 +332,76 @@ Status BufferCache::SyncAll() {
             [](const blk::WriteOp& a, const blk::WriteOp& b) {
               return a.bno < b.bno;
             });
+  return ops;
+}
 
-  RETURN_IF_ERROR(dev_->WriteBatch(ops));
-  for (Buffer* buf : dirty) {
+size_t BufferCache::NoteFlushed(const std::vector<blk::WriteOp>& plan) {
+  size_t cleaned = 0;
+  for (const blk::WriteOp& op : plan) {
+    Buffer* buf = FindResident(op.bno);
+    if (buf == nullptr || !buf->dirty_) continue;  // clean gap-filler
     ++stats_.writebacks;
     SetDirty(buf, false);
+    ++cleaned;
+  }
+  return cleaned;
+}
+
+Status BufferCache::SyncAll() {
+  std::vector<blk::WriteOp> ops = BuildFlushPlan();
+  if (ops.empty()) return OkStatus();
+  RETURN_IF_ERROR(dev_->WriteBatch(ops));
+  NoteFlushed(ops);
+  return OkStatus();
+}
+
+std::vector<BufferCache::DirtyBlock> BufferCache::FlushPlanBlocks() {
+  std::vector<blk::WriteOp> plan = BuildFlushPlan();
+  std::vector<disk::PendingRequest> reqs;
+  reqs.reserve(plan.size());
+  for (const blk::WriteOp& op : plan) {
+    reqs.push_back({op.bno * blk::kSectorsPerBlock, blk::kSectorsPerBlock});
+  }
+  std::vector<size_t> order =
+      disk::ScheduleOrder(reqs, dev_->head_lba(), dev_->policy());
+  std::vector<DirtyBlock> out;
+  out.reserve(plan.size());
+  for (size_t idx : order) {
+    DirtyBlock d;
+    d.bno = plan[idx].bno;
+    d.data.assign(plan[idx].data, plan[idx].data + blk::kBlockSize);
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+Status BufferCache::InsertRun(uint64_t start_bno, uint32_t count,
+                              std::span<const uint8_t> data,
+                              uint64_t demand_bno, bool count_as_group) {
+  if (count == 0) return InvalidArgument("empty run insert");
+  if (data.size() < static_cast<size_t>(count) * blk::kBlockSize) {
+    return InvalidArgument("run insert data too short");
+  }
+  if (count_as_group) ++stats_.group_reads;
+  for (uint32_t i = 0; i < count; ++i) {
+    const uint64_t bno = start_bno + i;
+    if (FindResident(bno) != nullptr) {
+      continue;  // resident copy is as new or newer (possibly dirty)
+    }
+    RETURN_IF_ERROR(EvictIfNeeded());
+    Buffer* buf = InsertNew(bno);
+    std::memcpy(buf->data().data(),
+                data.data() + static_cast<size_t>(i) * blk::kBlockSize,
+                blk::kBlockSize);
+    if (count_as_group) {
+      // Blocks fetched as a group also flush as that group.
+      buf->flush_unit_ = start_bno;
+      ++stats_.group_blocks;
+    }
+    if (bno != demand_bno) {
+      buf->staged_ = true;
+      ++stats_.readahead_staged;
+    }
   }
   return OkStatus();
 }
@@ -313,6 +410,7 @@ void BufferCache::Invalidate(uint64_t bno) {
   Buffer* buf = FindResident(bno);
   if (buf == nullptr) return;
   assert(buf->pins_ == 0 && "cannot invalidate a pinned buffer");
+  NoteStagedDropped(buf);
   if (buf->dirty_) SetDirty(buf, false);
   if (buf->has_lid_) logical_index_.erase(buf->lid_);
   lru_.erase(buf->lru_pos_);
@@ -323,12 +421,14 @@ size_t BufferCache::CrashDropAll() {
   const size_t lost = dirty_count_;
   for (auto& [bno, buf] : buffers_) {
     assert(buf->pins_ == 0);
+    NoteStagedDropped(buf.get());
     (void)bno;
   }
   buffers_.clear();
   logical_index_.clear();
   lru_.clear();
   dirty_count_ = 0;
+  dirty_fifo_.clear();
   return lost;
 }
 
@@ -353,11 +453,13 @@ void BufferCache::InvalidateAll() {
   assert(dirty_count_ == 0 && "sync before invalidating the whole cache");
   for (auto& [bno, buf] : buffers_) {
     assert(buf->pins_ == 0);
+    NoteStagedDropped(buf.get());
     (void)bno;
   }
   buffers_.clear();
   logical_index_.clear();
   lru_.clear();
+  dirty_fifo_.clear();
 }
 
 }  // namespace cffs::cache

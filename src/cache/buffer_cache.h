@@ -18,8 +18,10 @@
 
 #include <cassert>
 #include <cstdint>
+#include <deque>
 #include <list>
 #include <memory>
+#include <utility>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -46,17 +48,26 @@ struct LogicalIdHash {
   }
 };
 
-// Counter invariant (checked by obs::MetricsSnapshot::CheckInvariants):
-// every lookup is either a hit or a miss, so hits + misses == lookups.
+// Counter invariants (checked by obs::MetricsSnapshot::CheckInvariants):
+// every lookup is either a hit or a miss, so hits + misses == lookups; and
+// every staged block is eventually demanded or wasted, so
+// readahead_hits + readahead_wasted <= readahead_staged (the remainder is
+// still resident, awaiting its first demand access).
 struct CacheStats {
   uint64_t lookups = 0;
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t logical_hits = 0;
-  uint64_t group_reads = 0;       // ReadGroup disk commands
-  uint64_t group_blocks = 0;      // blocks inserted by group reads
+  uint64_t group_reads = 0;       // group fetch commands (ReadGroup/staged)
+  uint64_t group_blocks = 0;      // blocks inserted by group fetches
   uint64_t writebacks = 0;        // blocks written by Sync*/eviction
   uint64_t evictions = 0;
+  // Readahead accuracy (see io/readahead.h). Staged = inserted ahead of
+  // demand; hit = first demand access found it resident; wasted = evicted,
+  // invalidated or overwritten before any demand access.
+  uint64_t readahead_staged = 0;
+  uint64_t readahead_hits = 0;
+  uint64_t readahead_wasted = 0;
   void Reset() { *this = CacheStats{}; }
 };
 
@@ -78,6 +89,11 @@ class Buffer {
   bool dirty() const { return dirty_; }
   bool has_logical_id() const { return has_lid_; }
   LogicalId logical_id() const { return lid_; }
+  // When this buffer last transitioned clean -> dirty (sim ns); meaningful
+  // only while dirty(). The syncer ages dirty buffers off this.
+  int64_t dirty_since_ns() const { return dirty_since_ns_; }
+  // True for a readahead-staged block that no demand access has touched yet.
+  bool staged() const { return staged_; }
 
  private:
   friend class BufferCache;
@@ -88,8 +104,10 @@ class Buffer {
   std::unique_ptr<uint8_t[]> data_;
   LogicalId lid_;
   uint64_t flush_unit_ = kNoFlushUnit;
+  int64_t dirty_since_ns_ = 0;
   bool has_lid_ = false;
   bool dirty_ = false;
+  bool staged_ = false;
   int pins_ = 0;
   std::list<uint64_t>::iterator lru_pos_;
   bool in_lru_ = false;
@@ -158,6 +176,16 @@ class BufferCache {
   // their cached (possibly dirty, newer) contents.
   Status ReadGroup(uint64_t start_bno, uint32_t count);
 
+  // Insert `count` blocks of already-read data (count * kBlockSize bytes,
+  // e.g. from an IoEngine read completion) by physical identity. Blocks
+  // already resident keep their cached contents. Inserted blocks other than
+  // `demand_bno` are marked staged for readahead accuracy accounting.
+  // When count_as_group is set the insertion is counted like a ReadGroup
+  // (one group fetch command) in stats().
+  Status InsertRun(uint64_t start_bno, uint32_t count,
+                   std::span<const uint8_t> data, uint64_t demand_bno,
+                   bool count_as_group);
+
   void MarkDirty(BufferRef& ref);
 
   // Tags the buffer's write-clustering unit (see kNoFlushUnit above).
@@ -168,7 +196,24 @@ class BufferCache {
   Status SyncBlock(uint64_t bno);
 
   // Flush every dirty block, scheduler-ordered and run-coalesced.
+  // Equivalent to WriteBatch(BuildFlushPlan()) + NoteFlushed(plan).
   Status SyncAll();
+
+  // The write plan covering every dirty resident block: dirty blocks plus
+  // clean gap-fillers that bridge small same-flush-unit gaps (so physically
+  // near writes coalesce into one disk command), sorted by block number.
+  // Shared by SyncAll() and the syncer's engine-submitted flush epochs.
+  // The WriteOps alias buffer memory: the plan is invalidated by any cache
+  // mutation and must be issued (or dropped) before the next operation.
+  std::vector<blk::WriteOp> BuildFlushPlan();
+
+  // Mark the dirty blocks covered by an issued plan clean and count the
+  // writebacks. Returns how many dirty buffers were cleaned.
+  size_t NoteFlushed(const std::vector<blk::WriteOp>& plan);
+
+  // Sim time at which the oldest currently-dirty buffer became dirty, or
+  // -1 if nothing is dirty. Drives the syncer's age deadline.
+  int64_t oldest_dirty_ns();
 
   // Drop a resident block (when its disk space is freed). Dirty contents
   // are discarded. The block must not be pinned.
@@ -194,6 +239,13 @@ class BufferCache {
   // disk, those didn't" images without disturbing the cache.
   std::vector<DirtyBlock> DirtyBlocks() const;
 
+  // Copies of the blocks a syncer flush epoch would write (BuildFlushPlan,
+  // gap-fillers included), in the device scheduler's service order — i.e.
+  // the order the blocks would reach the platter if the epoch's command
+  // queue were interrupted mid-flight. Crash-enumerator input for
+  // syncer-generated dirty queues.
+  std::vector<DirtyBlock> FlushPlanBlocks();
+
  private:
   Buffer* FindResident(uint64_t bno);
   // Ensures capacity for one more buffer; evicts LRU unpinned buffers.
@@ -205,6 +257,11 @@ class BufferCache {
   void SetDirty(Buffer* buf, bool dirty);
   // Counts the hit/miss in stats_ and emits the matching trace instant.
   void NoteLookup(uint64_t bno, bool hit);
+  // Demand access touched this buffer: clear staged, count the hit.
+  void NoteDemand(Buffer* buf);
+  // Buffer is leaving the cache (or being zero-overwritten) while still
+  // staged: its prefetched contents were never used.
+  void NoteStagedDropped(Buffer* buf);
 
   friend class BufferRef;
 
@@ -217,6 +274,9 @@ class BufferCache {
   std::unordered_map<uint64_t, std::unique_ptr<Buffer>> buffers_;
   std::unordered_map<LogicalId, uint64_t, LogicalIdHash> logical_index_;
   std::list<uint64_t> lru_;  // front = most recent
+  // Clean->dirty transitions in order, drained lazily by oldest_dirty_ns():
+  // an entry is stale if its buffer is gone, clean, or re-dirtied later.
+  std::deque<std::pair<uint64_t, int64_t>> dirty_fifo_;
 };
 
 }  // namespace cffs::cache

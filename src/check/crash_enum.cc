@@ -167,20 +167,28 @@ Status CrashStateEnumerator::ExploreState(
 
 Result<CrashEnumReport> CrashStateEnumerator::Run() {
   CrashEnumReport report;
-  const std::vector<cache::BufferCache::DirtyBlock> dirty =
-      env_->cache().DirtyBlocks();
+  std::vector<cache::BufferCache::DirtyBlock> dirty;
+  std::vector<size_t> order;
+  if (options_.syncer_plan) {
+    // The exact sequence the next syncer epoch would put on the platter:
+    // FlushPlanBlocks() returns the flush plan already in the device
+    // scheduler's service order, so the drain order is the identity.
+    dirty = env_->cache().FlushPlanBlocks();
+    order.resize(dirty.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  } else {
+    dirty = env_->cache().DirtyBlocks();
+    // The order the scheduler would drain the queue in: prefixes of this
+    // are the crash points a well-behaved disk actually passes through.
+    std::vector<disk::PendingRequest> reqs;
+    reqs.reserve(dirty.size());
+    for (const auto& d : dirty) {
+      reqs.push_back({d.bno * blk::kSectorsPerBlock, blk::kSectorsPerBlock});
+    }
+    order = disk::ScheduleOrder(reqs, /*head_lba=*/0, env_->config().scheduler);
+  }
   const size_t n = dirty.size();
   report.dirty_blocks = n;
-
-  // The order the scheduler would drain the queue in: prefixes of this are
-  // the crash points a well-behaved disk actually passes through.
-  std::vector<disk::PendingRequest> reqs;
-  reqs.reserve(n);
-  for (const auto& d : dirty) {
-    reqs.push_back({d.bno * blk::kSectorsPerBlock, blk::kSectorsPerBlock});
-  }
-  const std::vector<size_t> order =
-      disk::ScheduleOrder(reqs, /*head_lba=*/0, env_->config().scheduler);
 
   std::vector<bool> selected(n, false);
 

@@ -47,6 +47,13 @@ struct CrashEnumOptions {
   bool repair = true;
   // Buffer-cache blocks for each scratch mount.
   size_t scratch_cache_blocks = 1024;
+  // Enumerate the blocks the NEXT syncer flush epoch would write — the
+  // cache's flush plan (clean gap-fillers included), in the device
+  // scheduler's service order from the real head position — instead of the
+  // raw dirty set from head 0. This is the crash surface of a
+  // syncer-generated write-back queue: a power cut mid-epoch leaves some
+  // prefix of exactly this sequence on the platter.
+  bool syncer_plan = false;
 };
 
 struct CrashEnumReport {

@@ -483,6 +483,11 @@ Status CffsFileSystem::PrepareDataRead(const InodeData& ino, uint32_t bno) {
   Result<cache::BufferRef> resident = cache_->Lookup(bno);
   if (resident.ok()) return OkStatus();
   ++op_stats_.group_reads;
+  if (readahead_ != nullptr) {
+    // Stage-on-miss via the I/O engine: same single command, but sibling
+    // blocks are tracked as staged for readahead-accuracy accounting.
+    return readahead_->StageGroup(extent, options_.group_blocks, bno);
+  }
   return cache_->ReadGroup(extent, options_.group_blocks);
 }
 
@@ -523,7 +528,7 @@ Result<InodeNum> CffsFileSystem::CreateCommon(InodeNum dir,
   ino.type = type;
   ino.nlink = 1;
   ino.parent = dir;
-  ino.mtime_ns = NowNs();
+  ino.mtime_ns = MtimeNs();
 
   const bool embed = options_.embed_inodes && type == FileType::kRegular;
   bool dir_dirty = false;

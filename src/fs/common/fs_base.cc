@@ -265,14 +265,25 @@ Result<uint64_t> FsBase::Read(InodeNum num, uint64_t off,
         if (!cache_->Lookup(bno).ok()) {
           // Cluster read ([Peacock88, McVoy91]): if the file's next blocks
           // are physically contiguous, fetch up to 64 KB with one command.
+          // With readahead attached the window ramps on sequential streaks
+          // (io::Readahead doubles it up to its max) and the fetch is
+          // staged through the I/O engine; otherwise the legacy fixed
+          // window and inline group read apply.
+          const uint32_t cap = readahead_ ? readahead_->WindowFor(num, idx)
+                                          : 16;
           uint32_t run = 1;
           const uint64_t nblocks = ino.BlockCount();
-          while (run < 16 && idx + run < nblocks) {
+          while (run < cap && idx + run < nblocks) {
             Result<uint32_t> next = BmapRead(ops, ino, idx + run);
             if (!next.ok() || *next != bno + run) break;
             ++run;
           }
-          if (run > 1) {
+          if (readahead_) {
+            readahead_->NoteRun(num, idx, run);
+            if (run > 1) {
+              RETURN_IF_ERROR(readahead_->StageRun(bno, run, bno));
+            }
+          } else if (run > 1) {
             RETURN_IF_ERROR(cache_->ReadGroup(bno, run));
           }
         }
@@ -363,7 +374,7 @@ Result<uint64_t> FsBase::Write(InodeNum num, uint64_t off,
     ino.size = off + want;
     inode_dirty = true;
   }
-  ino.mtime_ns = NowNs();
+  ino.mtime_ns = MtimeNs();
   // File-data inode updates (size/mtime) are delayed writes in FFS.
   RETURN_IF_ERROR(StoreInode(num, ino, /*order_critical=*/false));
   (void)inode_dirty;
@@ -392,7 +403,7 @@ Status FsBase::Truncate(InodeNum num, uint64_t new_size) {
     RETURN_IF_ERROR(AfterBlocksFreed(num, &ino));
   }
   ino.size = new_size;
-  ino.mtime_ns = NowNs();
+  ino.mtime_ns = MtimeNs();
   return StoreInode(num, ino, /*order_critical=*/false);
 }
 
@@ -556,7 +567,7 @@ Result<FsBase::DirSlot> FsBase::DirAdd(InodeNum dir_num, InodeData* dir,
               kind == kEmbeddedRecord);
   }
   dir->size = (nblocks + 1) * kBlockSize;
-  dir->mtime_ns = NowNs();
+  dir->mtime_ns = MtimeNs();
   if (dir_dirtied) *dir_dirtied = true;
   if (name_cache_enabled_) {
     name_cache_.dir_indexes.Add(dir_num, name,

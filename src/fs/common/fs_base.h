@@ -17,6 +17,7 @@
 #include "src/fs/common/dir_block.h"
 #include "src/fs/common/file_system.h"
 #include "src/fs/common/name_cache.h"
+#include "src/io/readahead.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/util/sim_time.h"
@@ -78,6 +79,20 @@ class FsBase : public FileSystem {
   // cached state.
   void set_name_cache_enabled(bool enabled);
   bool name_cache_enabled() const { return name_cache_enabled_; }
+
+  // Engine-routed readahead (C-FFS group staging + the sequential ramp for
+  // both file systems). nullptr falls back to the legacy inline cluster /
+  // group reads — the readahead=false ablation. SimEnv wires this.
+  void set_readahead(io::Readahead* ra) { readahead_ = ra; }
+  io::Readahead* readahead() { return readahead_; }
+
+  // Derive mtimes from the operation sequence number instead of the
+  // simulated clock, making on-disk images a function of operation order
+  // alone. Allocation already depends only on op order, so two runs of the
+  // same workload produce byte-identical disks even when their timing
+  // differs (sync vs. delayed write-back) — the determinism test's lever.
+  void set_deterministic_mtime(bool on) { deterministic_mtime_ = on; }
+  bool deterministic_mtime() const { return deterministic_mtime_; }
 
  protected:
   FsBase(cache::BufferCache* cache, SimClock* clock, MetadataPolicy policy)
@@ -238,6 +253,10 @@ class FsBase : public FileSystem {
                  uint64_t subject, uint64_t aux = 0, bool flag = false);
 
   int64_t NowNs() const { return clock_->now().nanos(); }
+  // What to stamp into an inode's mtime field (see set_deterministic_mtime).
+  int64_t MtimeNs() const {
+    return deterministic_mtime_ ? static_cast<int64_t>(op_seq_) : NowNs();
+  }
 
   cache::BufferCache* cache_;
   SimClock* clock_;
@@ -245,8 +264,10 @@ class FsBase : public FileSystem {
   FsOpStats op_stats_;
   obs::OpLatencies latencies_;
   obs::TraceRecorder* trace_ = nullptr;
+  io::Readahead* readahead_ = nullptr;
   OrderingMutation mutation_ = OrderingMutation::kNone;
   uint64_t op_seq_ = 0;
+  bool deterministic_mtime_ = false;
 
  private:
   // Fetches one directory block for DirFind/BuildDirIndex (counts it and

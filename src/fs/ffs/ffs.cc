@@ -251,7 +251,7 @@ Result<InodeNum> FfsFileSystem::Create(InodeNum dir, std::string_view name) {
   ino.nlink = 1;
   ino.self = inum;
   ino.parent = dir;
-  ino.mtime_ns = NowNs();
+  ino.mtime_ns = MtimeNs();
 
   if (ordering_mutation() == OrderingMutation::kDeferInodeInit) {
     // Self-test mutation: commit the name FIRST, then the inode — the
@@ -298,7 +298,7 @@ Result<InodeNum> FfsFileSystem::Mkdir(InodeNum dir, std::string_view name) {
   ino.nlink = 1;
   ino.self = inum;
   ino.parent = dir;
-  ino.mtime_ns = NowNs();
+  ino.mtime_ns = MtimeNs();
   RETURN_IF_ERROR(StoreInode(inum, ino, /*order_critical=*/true));
 
   bool dir_dirty = false;

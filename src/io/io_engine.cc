@@ -1,0 +1,123 @@
+#include "src/io/io_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace cffs::io {
+
+IoEngine::IoEngine(blk::BlockDevice* dev, size_t batch_window)
+    : dev_(dev), batch_window_(batch_window > 0 ? batch_window : 1) {}
+
+void IoEngine::NoteQueued() {
+  stats_.max_queue_depth = std::max<uint64_t>(stats_.max_queue_depth, queued());
+}
+
+void IoEngine::MaybeAutoKick() {
+  if (queued() >= batch_window_) {
+    ++stats_.auto_kicks;
+    Kick();
+  }
+}
+
+uint64_t IoEngine::SubmitRead(uint64_t bno, uint32_t count,
+                              std::span<uint8_t> out, IoCallback on_complete) {
+  ReadReq req;
+  req.id = next_id_++;
+  req.bno = bno;
+  req.count = count;
+  req.out = out;
+  req.cb = std::move(on_complete);
+  sq_reads_.push_back(std::move(req));
+  ++stats_.submitted_reads;
+  ++stats_.inflight;
+  NoteQueued();
+  const uint64_t id = next_id_ - 1;
+  MaybeAutoKick();
+  return id;
+}
+
+uint64_t IoEngine::SubmitWrite(const blk::WriteOp& op, IoCallback on_complete) {
+  return SubmitWriteBatch({op}, std::move(on_complete));
+}
+
+uint64_t IoEngine::SubmitWriteBatch(const std::vector<blk::WriteOp>& ops,
+                                    IoCallback on_complete) {
+  WriteReq req;
+  req.id = next_id_++;
+  req.ops = ops;
+  req.cb = std::move(on_complete);
+  sq_writes_.push_back(std::move(req));
+  ++stats_.submitted_writes;
+  ++stats_.inflight;
+  NoteQueued();
+  const uint64_t id = next_id_ - 1;
+  MaybeAutoKick();
+  return id;
+}
+
+size_t IoEngine::Kick() {
+  if (sq_reads_.empty() && sq_writes_.empty()) return 0;
+  ++stats_.kicks;
+  size_t issued = 0;
+
+  // Reads first: demand-critical stages ahead of background write-back.
+  while (!sq_reads_.empty()) {
+    ReadReq req = std::move(sq_reads_.front());
+    sq_reads_.pop_front();
+    Status s = dev_->ReadRun(req.bno, req.count, req.out);
+    ++stats_.read_commands;
+    cq_.push_back({req.id, std::move(s), std::move(req.cb)});
+    ++issued;
+  }
+
+  if (!sq_writes_.empty()) {
+    // Merge every queued write request into one scheduler-ordered batch:
+    // a single commit epoch, however many submitters contributed.
+    std::vector<blk::WriteOp> merged;
+    for (const WriteReq& req : sq_writes_) {
+      merged.insert(merged.end(), req.ops.begin(), req.ops.end());
+    }
+    Status s = dev_->WriteBatch(merged);
+    ++stats_.write_epochs;
+    while (!sq_writes_.empty()) {
+      WriteReq req = std::move(sq_writes_.front());
+      sq_writes_.pop_front();
+      cq_.push_back({req.id, s, std::move(req.cb)});
+      ++issued;
+    }
+  }
+  return issued;
+}
+
+size_t IoEngine::Poll(size_t max) {
+  size_t delivered = 0;
+  while (delivered < max && !cq_.empty()) {
+    Completion c = std::move(cq_.front());
+    cq_.pop_front();
+    ++stats_.completed;
+    --stats_.inflight;
+    ++delivered;
+    if (c.cb) c.cb(c.status);
+  }
+  return delivered;
+}
+
+Status IoEngine::Drain() {
+  Status first = OkStatus();
+  while (queued() > 0 || !cq_.empty()) {
+    Kick();
+    const size_t before = cq_.size();
+    // Callbacks may submit follow-up requests; keep looping until quiet.
+    for (size_t i = 0; i < before; ++i) {
+      Completion c = std::move(cq_.front());
+      cq_.pop_front();
+      ++stats_.completed;
+      --stats_.inflight;
+      if (!c.status.ok() && first.ok()) first = c.status;
+      if (c.cb) c.cb(c.status);
+    }
+  }
+  return first;
+}
+
+}  // namespace cffs::io

@@ -1,0 +1,46 @@
+// Plain counter structs for the async I/O subsystem (engine, syncer,
+// readahead). Kept in a dependency-free header so obs::MetricsSnapshot can
+// embed them without linking against cffs_io.
+#ifndef CFFS_IO_IO_STATS_H_
+#define CFFS_IO_IO_STATS_H_
+
+#include <cstdint>
+
+namespace cffs::io {
+
+// Invariant (checked by obs::MetricsSnapshot::CheckInvariants): every
+// submitted request is either completed or still in flight, so
+// completed + inflight == submitted_reads + submitted_writes.
+struct IoEngineStats {
+  uint64_t submitted_reads = 0;
+  uint64_t submitted_writes = 0;
+  uint64_t completed = 0;
+  uint64_t inflight = 0;      // gauge: submitted, completion not yet polled
+  uint64_t kicks = 0;         // explicit + automatic issue rounds
+  uint64_t auto_kicks = 0;    // kicks forced by a full submission queue
+  uint64_t write_epochs = 0;  // WriteBatch commands issued (one epoch each)
+  uint64_t read_commands = 0; // ReadRun commands issued
+  uint64_t max_queue_depth = 0;
+  void Reset() { *this = IoEngineStats{}; }
+};
+
+struct SyncerStats {
+  uint64_t flushes = 0;           // write-back epochs emitted
+  uint64_t deadline_flushes = 0;  // triggered by dirty-buffer age
+  uint64_t throttle_flushes = 0;  // triggered by the dirty high-watermark
+  uint64_t blocks_flushed = 0;    // dirty blocks cleaned by syncer epochs
+  uint64_t ticks = 0;
+  void Reset() { *this = SyncerStats{}; }
+};
+
+struct ReadaheadStats {
+  uint64_t group_stages = 0;   // whole-group stage-on-miss fetches
+  uint64_t ramp_stages = 0;    // sequential-ramp prefetch commands
+  uint64_t blocks_requested = 0;  // blocks covered by stage decisions
+  uint64_t ramp_resets = 0;    // sequential streaks broken by a random access
+  void Reset() { *this = ReadaheadStats{}; }
+};
+
+}  // namespace cffs::io
+
+#endif  // CFFS_IO_IO_STATS_H_

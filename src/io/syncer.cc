@@ -1,0 +1,79 @@
+#include "src/io/syncer.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace cffs::io {
+
+Syncer::Syncer(cache::BufferCache* cache, IoEngine* engine,
+               SyncerOptions options)
+    : cache_(cache), engine_(engine), options_(options) {}
+
+int64_t Syncer::now_ns() const {
+  return engine_->device()->disk()->now().nanos();
+}
+
+Status Syncer::Tick() {
+  ++stats_.ticks;
+  const size_t watermark = static_cast<size_t>(
+      options_.dirty_high_watermark * static_cast<double>(cache_->capacity()));
+  if (watermark > 0 && cache_->dirty_count() >= watermark) {
+    if (trace_) {
+      obs::TraceEvent e;
+      e.kind = obs::EventKind::kIoThrottle;
+      e.ts_ns = now_ns();
+      e.a = cache_->dirty_count();
+      trace_->Record(e);
+    }
+    return FlushNow(FlushTrigger::kThrottle);
+  }
+  if (now_ns() - last_flush_ns_ < options_.interval.nanos()) return OkStatus();
+  const int64_t oldest = cache_->oldest_dirty_ns();
+  if (oldest < 0 || now_ns() - oldest < options_.max_age.nanos()) {
+    return OkStatus();
+  }
+  return FlushNow(FlushTrigger::kDeadline);
+}
+
+Status Syncer::FlushNow(FlushTrigger trigger) {
+  std::vector<blk::WriteOp> plan = cache_->BuildFlushPlan();
+  last_flush_ns_ = now_ns();
+  if (plan.empty()) return OkStatus();
+
+  Status status = OkStatus();
+  if (mutation_ == SyncerMutation::kSyncerReorder) {
+    // Buggy variant (see header): per-block epochs, descending block number.
+    std::vector<blk::WriteOp> reversed = plan;
+    std::sort(reversed.begin(), reversed.end(),
+              [](const blk::WriteOp& a, const blk::WriteOp& b) {
+                return a.bno > b.bno;
+              });
+    for (const blk::WriteOp& op : reversed) {
+      engine_->SubmitWriteBatch({op});
+      Status s = engine_->Drain();  // each drain issues its own epoch
+      if (!s.ok() && status.ok()) status = s;
+    }
+  } else {
+    engine_->SubmitWriteBatch(plan);
+    status = engine_->Drain();
+  }
+  RETURN_IF_ERROR(status);
+
+  const size_t cleaned = cache_->NoteFlushed(plan);
+  ++stats_.flushes;
+  if (trigger == FlushTrigger::kDeadline) ++stats_.deadline_flushes;
+  if (trigger == FlushTrigger::kThrottle) ++stats_.throttle_flushes;
+  stats_.blocks_flushed += cleaned;
+  if (trace_) {
+    obs::TraceEvent e;
+    e.kind = obs::EventKind::kSyncerFlush;
+    e.ts_ns = now_ns();
+    e.a = cleaned;
+    e.b = plan.size();
+    e.aux = static_cast<uint64_t>(trigger);
+    trace_->Record(e);
+  }
+  return OkStatus();
+}
+
+}  // namespace cffs::io

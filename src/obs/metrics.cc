@@ -75,6 +75,42 @@ Json ToJson(const cache::CacheStats& s) {
   j.Set("group_blocks", s.group_blocks);
   j.Set("writebacks", s.writebacks);
   j.Set("evictions", s.evictions);
+  j.Set("readahead_staged", s.readahead_staged);
+  j.Set("readahead_hits", s.readahead_hits);
+  j.Set("readahead_wasted", s.readahead_wasted);
+  return j;
+}
+
+Json ToJson(const io::IoEngineStats& s) {
+  Json j = Json::Object();
+  j.Set("submitted_reads", s.submitted_reads);
+  j.Set("submitted_writes", s.submitted_writes);
+  j.Set("completed", s.completed);
+  j.Set("inflight", s.inflight);
+  j.Set("kicks", s.kicks);
+  j.Set("auto_kicks", s.auto_kicks);
+  j.Set("write_epochs", s.write_epochs);
+  j.Set("read_commands", s.read_commands);
+  j.Set("max_queue_depth", s.max_queue_depth);
+  return j;
+}
+
+Json ToJson(const io::SyncerStats& s) {
+  Json j = Json::Object();
+  j.Set("flushes", s.flushes);
+  j.Set("deadline_flushes", s.deadline_flushes);
+  j.Set("throttle_flushes", s.throttle_flushes);
+  j.Set("blocks_flushed", s.blocks_flushed);
+  j.Set("ticks", s.ticks);
+  return j;
+}
+
+Json ToJson(const io::ReadaheadStats& s) {
+  Json j = Json::Object();
+  j.Set("group_stages", s.group_stages);
+  j.Set("ramp_stages", s.ramp_stages);
+  j.Set("blocks_requested", s.blocks_requested);
+  j.Set("ramp_resets", s.ramp_resets);
   return j;
 }
 
@@ -112,6 +148,9 @@ Json MetricsSnapshot::ToJson() const {
   j.Set("cache", obs::ToJson(cache));
   j.Set("block_io", obs::ToJson(block_io));
   j.Set("disk", obs::ToJson(disk));
+  j.Set("io_engine", obs::ToJson(io_engine));
+  j.Set("syncer", obs::ToJson(syncer));
+  j.Set("readahead", obs::ToJson(readahead));
   return j;
 }
 
@@ -179,6 +218,26 @@ std::vector<std::string> MetricsSnapshot::CheckInvariants() const {
            static_cast<unsigned long long>(p.samples),
            static_cast<unsigned long long>(p.ops));
     }
+  }
+
+  if (io_engine.completed + io_engine.inflight !=
+      io_engine.submitted_reads + io_engine.submitted_writes) {
+    fail("io engine: completed (%llu) + inflight (%llu) != submitted (%llu)",
+         static_cast<unsigned long long>(io_engine.completed),
+         static_cast<unsigned long long>(io_engine.inflight),
+         static_cast<unsigned long long>(io_engine.submitted_reads +
+                                         io_engine.submitted_writes));
+  }
+  if (cache.readahead_hits + cache.readahead_wasted > cache.readahead_staged) {
+    fail("readahead: hits (%llu) + wasted (%llu) > staged (%llu)",
+         static_cast<unsigned long long>(cache.readahead_hits),
+         static_cast<unsigned long long>(cache.readahead_wasted),
+         static_cast<unsigned long long>(cache.readahead_staged));
+  }
+  if (syncer.blocks_flushed > cache.writebacks) {
+    fail("syncer: blocks_flushed (%llu) > cache writebacks (%llu)",
+         static_cast<unsigned long long>(syncer.blocks_flushed),
+         static_cast<unsigned long long>(cache.writebacks));
   }
   return bad;
 }

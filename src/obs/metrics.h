@@ -21,6 +21,7 @@
 #include "src/cache/buffer_cache.h"
 #include "src/disk/disk_model.h"
 #include "src/fs/common/fs_types.h"
+#include "src/io/io_stats.h"
 #include "src/obs/json.h"
 #include "src/obs/trace.h"
 #include "src/util/histogram.h"
@@ -52,6 +53,9 @@ struct MetricsSnapshot {
   cache::CacheStats cache;
   blk::BlockIoStats block_io;
   disk::DiskStats disk;
+  io::IoEngineStats io_engine;
+  io::SyncerStats syncer;
+  io::ReadaheadStats readahead;
 
   Json ToJson() const;
   std::string ToJsonString(int indent = 2) const { return ToJson().Dump(indent); }
@@ -63,6 +67,11 @@ struct MetricsSnapshot {
   //     breakdown including overhead, within per-request rounding)
   //   - one disk command per block-device command (reads and writes)
   //   - latency histogram sample counts match the op counters
+  //   - io engine: completed + inflight == submitted (reads + writes)
+  //   - readahead: staged blocks resolve to at most one of hit / wasted,
+  //     so hits + wasted <= staged
+  //   - syncer epochs only clean blocks the cache counted as writebacks,
+  //     so syncer blocks_flushed <= cache writebacks
   std::vector<std::string> CheckInvariants() const;
 };
 
@@ -71,6 +80,9 @@ Json ToJson(const fs::FsOpStats& s);
 Json ToJson(const cache::CacheStats& s);
 Json ToJson(const blk::BlockIoStats& s);
 Json ToJson(const disk::DiskStats& s);
+Json ToJson(const io::IoEngineStats& s);
+Json ToJson(const io::SyncerStats& s);
+Json ToJson(const io::ReadaheadStats& s);
 
 }  // namespace cffs::obs
 

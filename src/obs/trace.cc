@@ -68,6 +68,7 @@ namespace {
 constexpr int kFsLane = 1;
 constexpr int kCacheLane = 2;
 constexpr int kDiskLane = 3;
+constexpr int kIoLane = 4;
 
 void AppendUs(std::string* out, const char* key, int64_t ns) {
   char buf[64];
@@ -146,6 +147,21 @@ void AppendEvent(std::string* out, const TraceEvent& e) {
       name = "block-write";
       cat = "order";
       tid = kDiskLane;
+      break;
+    case EventKind::kSyncerFlush:
+      name = "syncer-flush";
+      cat = "io";
+      tid = kIoLane;
+      break;
+    case EventKind::kReadaheadStage:
+      name = e.flag ? "readahead-group" : "readahead-ramp";
+      cat = "io";
+      tid = kIoLane;
+      break;
+    case EventKind::kIoThrottle:
+      name = "io-throttle";
+      cat = "io";
+      tid = kIoLane;
       break;
   }
 
@@ -231,6 +247,25 @@ void AppendEvent(std::string* out, const TraceEvent& e) {
                     static_cast<unsigned long long>(e.op_id));
       *out += args;
       break;
+    case EventKind::kSyncerFlush:
+      std::snprintf(args, sizeof args,
+                    "\"dirty\":%llu,\"plan\":%llu,\"trigger\":%llu",
+                    static_cast<unsigned long long>(e.a),
+                    static_cast<unsigned long long>(e.b),
+                    static_cast<unsigned long long>(e.aux));
+      *out += args;
+      break;
+    case EventKind::kReadaheadStage:
+      std::snprintf(args, sizeof args, "\"start_bno\":%llu,\"blocks\":%llu",
+                    static_cast<unsigned long long>(e.a),
+                    static_cast<unsigned long long>(e.b));
+      *out += args;
+      break;
+    case EventKind::kIoThrottle:
+      std::snprintf(args, sizeof args, "\"dirty\":%llu",
+                    static_cast<unsigned long long>(e.a));
+      *out += args;
+      break;
     case EventKind::kBlockWrite:
       std::snprintf(args, sizeof args,
                     "\"bno\":%llu,\"blocks\":%llu,\"epoch\":%llu",
@@ -263,6 +298,8 @@ std::string TraceRecorder::ToChromeJson() const {
   AppendThreadName(&out, kCacheLane, "buffer cache");
   out += ',';
   AppendThreadName(&out, kDiskLane, "disk");
+  out += ',';
+  AppendThreadName(&out, kIoLane, "io engine");
   const size_t first = (next_ + ring_.size() - count_) % ring_.size();
   for (size_t i = 0; i < count_; ++i) {
     out += ',';
@@ -313,7 +350,7 @@ Result<TraceEvent> EventFromRecord(const Json& rec) {
   if (!rec.is_object()) return InvalidArgument("trace record is not an object");
   TraceEvent e;
   const int64_t kind = IntField(rec, "kind");
-  if (kind < 0 || kind > static_cast<int64_t>(EventKind::kBlockWrite)) {
+  if (kind < 0 || kind > static_cast<int64_t>(EventKind::kIoThrottle)) {
     return InvalidArgument("trace record has unknown event kind " +
                            std::to_string(kind));
   }

@@ -12,6 +12,8 @@
 //   tid 3  disk            one complete event per disk command, with the
 //                          seek / rotation / transfer / overhead breakdown
 //                          in args; write-batch summaries
+//   tid 4  io engine       syncer flush epochs, readahead stages, writer
+//                          throttle instants
 //
 // Timestamps are simulated time. Recording costs nothing when no recorder
 // is attached (all emit sites are `if (trace_)`-guarded).
@@ -39,6 +41,13 @@ enum class EventKind : uint8_t {
   kDirIndexBuild,  // lazy full-scan build of a per-directory name index
   kMetaUpdate,     // logical metadata mutation landed in a cached block
   kBlockWrite,     // one write command committed blocks [a, a+b) to disk
+  kSyncerFlush,    // background write-back epoch (a = dirty blocks cleaned,
+                   // b = plan size incl. gap fills, aux = trigger: 0 explicit,
+                   // 1 deadline, 2 throttle)
+  kReadaheadStage, // prefetch staged blocks [a, a+b) (flag = group stage,
+                   // else sequential ramp)
+  kIoThrottle,     // writer throttled at the dirty high-watermark
+                   // (a = dirty count at the time)
 };
 
 // What a kMetaUpdate event dirtied. Together with the home block number

@@ -19,6 +19,29 @@ SimEnv::SimEnv(FsKind kind, const SimConfig& config)
   device_ = std::make_unique<blk::BlockDevice>(disk_.get(), config.scheduler);
   cache_ = std::make_unique<cache::BufferCache>(device_.get(),
                                                 config.cache_blocks);
+  engine_ = std::make_unique<io::IoEngine>(device_.get(),
+                                           config.io_batch_window);
+  if (config.readahead) {
+    io::ReadaheadOptions ro;
+    ro.ramp = config.readahead_ramp;
+    ro.min_window = config.readahead_min_window;
+    ro.max_window = config.readahead_max_window;
+    readahead_ = std::make_unique<io::Readahead>(cache_.get(), engine_.get(),
+                                                 ro);
+  }
+  if (config.syncer) {
+    io::SyncerOptions so;
+    so.interval = config.syncer_interval;
+    so.max_age = config.syncer_max_age;
+    so.dirty_high_watermark = config.dirty_high_watermark;
+    syncer_ = std::make_unique<io::Syncer>(cache_.get(), engine_.get(), so);
+  }
+}
+
+void SimEnv::WireFs(fs::FsBase* fs) {
+  fs->set_name_cache_enabled(config_.name_caches);
+  fs->set_readahead(readahead_.get());
+  fs->set_deterministic_mtime(config_.deterministic_mtime);
 }
 
 Result<std::unique_ptr<SimEnv>> SimEnv::Create(FsKind kind,
@@ -30,7 +53,7 @@ Result<std::unique_ptr<SimEnv>> SimEnv::Create(FsKind kind,
     ASSIGN_OR_RETURN(auto fs, fs::FfsFileSystem::Format(
                                   env->cache_.get(), &env->clock_, params,
                                   config.metadata));
-    fs->set_name_cache_enabled(config.name_caches);
+    env->WireFs(fs.get());
     env->fs_ = std::move(fs);
   } else {
     fs::CffsOptions options;
@@ -42,7 +65,7 @@ Result<std::unique_ptr<SimEnv>> SimEnv::Create(FsKind kind,
     ASSIGN_OR_RETURN(auto fs, fs::CffsFileSystem::Format(
                                   env->cache_.get(), &env->clock_, options,
                                   config.metadata));
-    fs->set_name_cache_enabled(config.name_caches);
+    env->WireFs(fs.get());
     env->fs_ = std::move(fs);
   }
   env->path_ = std::make_unique<fs::PathOps>(env->fs_.get());
@@ -60,6 +83,9 @@ void SimEnv::AttachTrace() {
   disk_->set_trace(t);
   device_->set_trace(t);
   cache_->set_trace(t);
+  engine_->set_trace(t);
+  if (syncer_) syncer_->set_trace(t);
+  if (readahead_) readahead_->set_trace(t);
   if (fs_) fs_->set_trace(t);
 }
 
@@ -74,6 +100,9 @@ obs::MetricsSnapshot SimEnv::Snapshot() const {
   snap.cache = cache_->stats();
   snap.block_io = device_->stats();
   snap.disk = disk_->stats();
+  snap.io_engine = engine_->stats();
+  if (syncer_) snap.syncer = syncer_->stats();
+  if (readahead_) snap.readahead = readahead_->stats();
   return snap;
 }
 
@@ -84,11 +113,19 @@ void SimEnv::ChargeCpu(uint64_t bytes) {
                         static_cast<int64_t>((bytes + 1023) / 1024));
   }
   clock_.AdvanceBy(t);
+  // Op boundary: give the syncer a chance to age-flush or throttle. Running
+  // it here (never from inside a file-system call) means a flush epoch can
+  // never split an operation's metadata updates across commits.
+  if (syncer_) {
+    Status s = syncer_->Tick();
+    if (!s.ok() && syncer_status_.ok()) syncer_status_ = s;
+  }
 }
 
 Status SimEnv::ColdCache() {
   RETURN_IF_ERROR(fs_->Sync());
   cache_->InvalidateAll();
+  if (readahead_) readahead_->Reset();
   return OkStatus();
 }
 
@@ -98,21 +135,25 @@ void SimEnv::ResetStats() {
   cache_->stats().Reset();
   fs_->op_stats().Reset();
   fs_->op_latencies().Reset();
+  engine_->stats().Reset();
+  if (syncer_) syncer_->stats().Reset();
+  if (readahead_) readahead_->stats().Reset();
 }
 
 Result<size_t> SimEnv::CrashAndRemount() {
   path_.reset();
   fs_.reset();
   const size_t lost = cache_->CrashDropAll();
+  if (readahead_) readahead_->Reset();
   if (kind_ == FsKind::kFfs) {
     ASSIGN_OR_RETURN(auto fs, fs::FfsFileSystem::Mount(
                                   cache_.get(), &clock_, config_.metadata));
-    fs->set_name_cache_enabled(config_.name_caches);
+    WireFs(fs.get());
     fs_ = std::move(fs);
   } else {
     ASSIGN_OR_RETURN(auto fs, fs::CffsFileSystem::Mount(
                                   cache_.get(), &clock_, config_.metadata));
-    fs->set_name_cache_enabled(config_.name_caches);
+    WireFs(fs.get());
     fs_ = std::move(fs);
   }
   path_ = std::make_unique<fs::PathOps>(fs_.get());
@@ -125,15 +166,16 @@ Status SimEnv::Remount() {
   path_.reset();
   fs_.reset();
   cache_->InvalidateAll();
+  if (readahead_) readahead_->Reset();
   if (kind_ == FsKind::kFfs) {
     ASSIGN_OR_RETURN(auto fs, fs::FfsFileSystem::Mount(
                                   cache_.get(), &clock_, config_.metadata));
-    fs->set_name_cache_enabled(config_.name_caches);
+    WireFs(fs.get());
     fs_ = std::move(fs);
   } else {
     ASSIGN_OR_RETURN(auto fs, fs::CffsFileSystem::Mount(
                                   cache_.get(), &clock_, config_.metadata));
-    fs->set_name_cache_enabled(config_.name_caches);
+    WireFs(fs.get());
     fs_ = std::move(fs);
   }
   path_ = std::make_unique<fs::PathOps>(fs_.get());

@@ -14,6 +14,9 @@
 #include "src/fs/cffs/cffs.h"
 #include "src/fs/common/path.h"
 #include "src/fs/ffs/ffs.h"
+#include "src/io/io_engine.h"
+#include "src/io/readahead.h"
+#include "src/io/syncer.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/util/sim_time.h"
@@ -44,6 +47,38 @@ struct SimConfig {
   // On by default; benchmarks flip it off to measure the ablation.
   bool name_caches = true;
 
+  // --- async I/O subsystem (src/io) ---
+
+  // Background deadline syncer for delayed write-back. Off by default: it
+  // only matters under MetadataPolicy::kDelayed, where it bounds both the
+  // age of dirty data (interval/max_age — the classic 30 s update-daemon
+  // cadence) and the amount of it (dirty_high_watermark throttles writers).
+  // Every flush commits the FULL dirty set as one WriteBatch epoch; see
+  // io/syncer.h for why partial by-age flushing would be unsound.
+  bool syncer = false;
+  SimTime syncer_interval = SimTime::Seconds(30);
+  SimTime syncer_max_age = SimTime::Seconds(30);
+  double dirty_high_watermark = 0.75;
+
+  // Engine-routed readahead: C-FFS group stage-on-miss plus a sequential
+  // window ramp (min_window doubling to max_window on streaks) for both
+  // file systems. On by default; min_window matches the legacy inline
+  // cluster size, so disabling ramp+readahead reproduces the old read path
+  // exactly (the ablation).
+  bool readahead = true;
+  bool readahead_ramp = true;
+  uint32_t readahead_min_window = 16;
+  uint32_t readahead_max_window = 64;
+
+  // Submission-queue batching window of the I/O engine (requests queued
+  // before an automatic kick).
+  size_t io_batch_window = 64;
+
+  // Stamp mtimes from the op sequence number instead of the clock so the
+  // final disk image depends only on operation order (determinism tests
+  // compare sync vs. delayed images byte-for-byte).
+  bool deterministic_mtime = false;
+
   // Host CPU model (1996-class machine): fixed per-file-system-call cost
   // plus a per-kilobyte copy cost. These create the inter-request gaps the
   // drive's prefetch sees.
@@ -63,6 +98,13 @@ class SimEnv {
   cache::BufferCache& cache() { return *cache_; }
   fs::FileSystem* fs() { return fs_.get(); }
   fs::PathOps& path() { return *path_; }
+  io::IoEngine& engine() { return *engine_; }
+  // nullptr when the corresponding SimConfig flag is off (the ablations).
+  io::Syncer* syncer() { return syncer_.get(); }
+  io::Readahead* readahead() { return readahead_.get(); }
+  // First error a background syncer tick produced, sticky (ChargeCpu has
+  // no error channel). OkStatus when the syncer is off or healthy.
+  Status syncer_status() const { return syncer_status_; }
   const SimConfig& config() const { return config_; }
   FsKind kind() const { return kind_; }
 
@@ -107,15 +149,24 @@ class SimEnv {
   // Re-run after the file system is replaced by Remount/CrashAndRemount.
   void AttachTrace();
 
+  // Applies the config knobs that live on the file-system object
+  // (name caches, readahead, deterministic mtimes). Re-run whenever fs_ is
+  // replaced (Create/Remount/CrashAndRemount).
+  void WireFs(fs::FsBase* fs);
+
   FsKind kind_;
   SimConfig config_;
   SimClock clock_;
   std::unique_ptr<disk::DiskModel> disk_;
   std::unique_ptr<blk::BlockDevice> device_;
   std::unique_ptr<cache::BufferCache> cache_;
+  std::unique_ptr<io::IoEngine> engine_;
+  std::unique_ptr<io::Syncer> syncer_;
+  std::unique_ptr<io::Readahead> readahead_;
   std::unique_ptr<fs::FsBase> fs_;
   std::unique_ptr<fs::PathOps> path_;
   std::unique_ptr<obs::TraceRecorder> trace_;
+  Status syncer_status_;
 };
 
 }  // namespace cffs::sim

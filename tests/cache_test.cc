@@ -225,6 +225,104 @@ TEST_F(CacheTest, StatsTrackHitsAndMisses) {
   EXPECT_EQ(cache_.stats().hits, 1u);
 }
 
+// --- Flush-plan API shared by SyncAll and the syncer ----------------------
+
+TEST_F(CacheTest, BuildFlushPlanIsSortedAndNoteFlushedCleans) {
+  for (uint64_t b : {50, 10, 30}) {
+    auto r = cache_.GetZero(b);
+    cache_.MarkDirty(*r);
+  }
+  std::vector<blk::WriteOp> plan = cache_.BuildFlushPlan();
+  ASSERT_EQ(plan.size(), 3u);
+  EXPECT_EQ(plan[0].bno, 10u);
+  EXPECT_EQ(plan[1].bno, 30u);
+  EXPECT_EQ(plan[2].bno, 50u);
+  // NoteFlushed is the bookkeeping half of SyncAll: it cleans exactly the
+  // dirty blocks the plan covered and counts them as writebacks.
+  EXPECT_EQ(cache_.NoteFlushed(plan), 3u);
+  EXPECT_EQ(cache_.dirty_count(), 0u);
+  EXPECT_EQ(cache_.stats().writebacks, 3u);
+  // A second pass over the same (now clean) plan is a no-op.
+  EXPECT_EQ(cache_.NoteFlushed(plan), 0u);
+}
+
+TEST_F(CacheTest, FlushPlanIncludesCleanGapFillers) {
+  for (uint64_t b = 301; b <= 302; ++b) {
+    cache_.GetZero(b).value().Release();
+  }
+  for (uint64_t b : {300, 303}) {
+    auto r = cache_.GetZero(b);
+    cache_.MarkDirty(*r);
+    cache_.SetFlushUnit(*r, 300);
+  }
+  std::vector<blk::WriteOp> plan = cache_.BuildFlushPlan();
+  EXPECT_EQ(plan.size(), 4u);  // 2 dirty + 2 clean bridging blocks
+  EXPECT_EQ(cache_.NoteFlushed(plan), 2u);  // fillers are not writebacks
+  EXPECT_EQ(cache_.stats().writebacks, 2u);
+}
+
+TEST_F(CacheTest, OldestDirtyNsTracksAgingAndCleaning) {
+  EXPECT_EQ(cache_.oldest_dirty_ns(), -1);
+  {
+    auto a = cache_.GetZero(5);
+    cache_.MarkDirty(*a);
+  }
+  const int64_t first = cache_.oldest_dirty_ns();
+  ASSERT_GE(first, 0);
+  clock_.AdvanceBy(SimTime::Millis(5));
+  {
+    auto b = cache_.GetZero(6);
+    cache_.MarkDirty(*b);
+  }
+  // The older of the two transitions wins.
+  EXPECT_EQ(cache_.oldest_dirty_ns(), first);
+  ASSERT_TRUE(cache_.SyncAll().ok());
+  EXPECT_EQ(cache_.oldest_dirty_ns(), -1);
+  // Re-dirtying after the flush starts a fresh age.
+  clock_.AdvanceBy(SimTime::Millis(5));
+  {
+    auto c = cache_.GetZero(5);
+    cache_.MarkDirty(*c);
+  }
+  EXPECT_GT(cache_.oldest_dirty_ns(), first);
+}
+
+TEST_F(CacheTest, FlushPlanBlocksComeInServiceOrder) {
+  for (uint64_t b : {50, 10, 30}) {
+    auto r = cache_.GetZero(b);
+    cache_.MarkDirty(*r);
+  }
+  // C-LOOK from head 0: ascending block numbers.
+  const auto blocks = cache_.FlushPlanBlocks();
+  ASSERT_EQ(blocks.size(), 3u);
+  EXPECT_EQ(blocks[0].bno, 10u);
+  EXPECT_EQ(blocks[1].bno, 30u);
+  EXPECT_EQ(blocks[2].bno, 50u);
+  EXPECT_EQ(blocks[0].data.size(), blk::kBlockSize);
+  // Snapshotting the plan does not clean anything.
+  EXPECT_EQ(cache_.dirty_count(), 3u);
+}
+
+TEST_F(CacheTest, InsertRunStagesOnlyNonDemandBlocks) {
+  std::vector<uint8_t> raw(4 * blk::kBlockSize);
+  for (size_t i = 0; i < 4; ++i) raw[i * blk::kBlockSize] = static_cast<uint8_t>(i + 1);
+  // Block 202 is already resident and dirty: its newer copy must survive.
+  {
+    auto r = cache_.GetZero(202);
+    r->data()[0] = 0x77;
+    cache_.MarkDirty(*r);
+  }
+  ASSERT_TRUE(cache_.InsertRun(200, 4, raw, /*demand_bno=*/200,
+                               /*count_as_group=*/true).ok());
+  // 3 inserted (202 kept its resident copy), demand block 200 un-staged.
+  EXPECT_EQ(cache_.stats().readahead_staged, 2u);
+  EXPECT_EQ(cache_.stats().group_reads, 1u);
+  EXPECT_EQ(cache_.stats().group_blocks, 3u);
+  EXPECT_FALSE(cache_.Lookup(200).value()->staged());
+  EXPECT_EQ(cache_.Lookup(202).value()->data()[0], 0x77);
+  EXPECT_EQ(cache_.Lookup(201).value()->flush_unit(), 200u);
+}
+
 TEST(BlockDeviceTest, RunBoundsChecked) {
   SimClock clock;
   disk::DiskModel model(disk::TestDisk(64, 2, 32), &clock);

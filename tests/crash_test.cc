@@ -276,6 +276,29 @@ TEST(CrashEnumTest, EveryPartialDrainIsRepairableUnderDelayedPolicy) {
   }
 }
 
+TEST(CrashEnumTest, SyncerFlushPlanStatesAreRepairable) {
+  // The syncer_plan mode enumerates crash points of the NEXT syncer epoch:
+  // the cache's flush plan (clean gap-fillers included) in the device
+  // scheduler's real service order from the real head position. A power
+  // cut mid-epoch leaves a prefix of exactly this sequence, and every such
+  // image must still be repairable under both file systems.
+  for (FsKind kind : {FsKind::kFfs, FsKind::kCffs}) {
+    auto env = MakeEnv(kind, fs::MetadataPolicy::kDelayed);
+    Churn(env.get(), /*seed=*/29, /*ops=*/30);
+    check::CrashEnumOptions options;
+    options.max_prefixes = 8;
+    options.max_dropouts = 4;
+    options.max_subsets = 6;
+    options.syncer_plan = true;
+    check::CrashStateEnumerator enumerator(env.get(), options);
+    auto report = enumerator.Run();
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_GT(report->dirty_blocks, 0u) << sim::FsKindName(kind);
+    EXPECT_TRUE(report->all_recoverable())
+        << sim::FsKindName(kind) << ": " << report->ToJson();
+  }
+}
+
 TEST(CrashEnumTest, QuickModeBoundsTheStateCount) {
   // The sanitizer CI job runs quick mode; it must stay small.
   auto env = MakeEnv(FsKind::kCffs, fs::MetadataPolicy::kSynchronous);

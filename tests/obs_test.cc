@@ -115,8 +115,9 @@ TEST(TraceRecorderTest, ChromeJsonHasExpectedSchema) {
   ASSERT_NE(doc->Find("traceEvents"), nullptr);
   const obs::Json& events = *doc->Find("traceEvents");
   ASSERT_TRUE(events.is_array());
-  // 3 thread-name metadata records + our 3 events.
-  ASSERT_EQ(events.size(), 6u);
+  // 4 thread-name metadata records (fs / cache / disk / io lanes) + our
+  // 3 events.
+  ASSERT_EQ(events.size(), 7u);
 
   size_t metadata = 0, complete = 0, instant = 0;
   for (const obs::Json& e : events.elements()) {
@@ -137,7 +138,7 @@ TEST(TraceRecorderTest, ChromeJsonHasExpectedSchema) {
       ++instant;
     }
   }
-  EXPECT_EQ(metadata, 3u);
+  EXPECT_EQ(metadata, 4u);
   EXPECT_EQ(complete, 2u);  // the disk I/O and the fs op
   EXPECT_EQ(instant, 1u);   // the cache hit
   // The disk event carries the timing breakdown in args.
@@ -207,7 +208,7 @@ TEST_P(ObsWorkloadTest, InvariantsHoldAndSnapshotRoundTrips) {
   auto chrome = obs::Json::Parse(env->trace()->ToChromeJson());
   ASSERT_TRUE(chrome.ok()) << chrome.status().ToString();
   EXPECT_EQ(chrome->Find("traceEvents")->size(),
-            env->trace()->size() + 3);  // + thread metadata
+            env->trace()->size() + 4);  // + thread metadata
 }
 
 INSTANTIATE_TEST_SUITE_P(AllConfigs, ObsWorkloadTest,

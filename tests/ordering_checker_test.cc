@@ -7,6 +7,7 @@
 
 #include "src/check/ordering_checker.h"
 #include "src/fs/ffs/ffs.h"
+#include "src/io/syncer.h"
 #include "src/sim/sim_env.h"
 #include "src/workload/aging.h"
 #include "src/workload/smallfile.h"
@@ -405,6 +406,43 @@ TEST(OrderingCheckerEndToEnd, MutatedFfsCreateIsConvictedOfRCreate) {
   ASSERT_TRUE(control->fs()->Sync().ok());
   auto control_report = OrderingChecker::CheckTrace(*control->trace());
   EXPECT_TRUE(control_report.clean()) << control_report.ToJson();
+}
+
+TEST(OrderingCheckerEndToEnd, SyncerReorderFlushIsConvictedOfRCreate) {
+  // Third self-test, aimed at the background syncer: splitting its flush
+  // plan into per-block epochs issued in descending block order commits
+  // dirent blocks before the inode blocks they name. The checker must
+  // convict the run; the identical run with the atomic one-epoch flush
+  // must be clean.
+  auto make = [](io::SyncerMutation mutation) {
+    sim::SimConfig config;
+    config.disk_spec = disk::TestDisk(512, 4, 64);
+    config.blocks_per_cg = 1024;
+    config.metadata = fs::MetadataPolicy::kDelayed;
+    config.syncer = true;
+    config.syncer_interval = SimTime::Seconds(1000);  // flush explicitly
+    auto env_or = sim::SimEnv::Create(FsKind::kFfs, config);
+    EXPECT_TRUE(env_or.ok());
+    std::unique_ptr<sim::SimEnv> env = std::move(*env_or);
+    env->EnableTrace();
+    env->syncer()->set_mutation_for_test(mutation);
+    EXPECT_TRUE(env->path().MkdirAll("/d").ok());
+    const fs::InodeNum d = *env->path().Resolve("/d");
+    for (int i = 0; i < 12; ++i) {
+      EXPECT_TRUE(env->fs()->Create(d, "f" + std::to_string(i)).ok());
+    }
+    EXPECT_TRUE(env->syncer()->FlushNow().ok());
+    EXPECT_TRUE(env->fs()->Sync().ok());
+    return OrderingChecker::CheckTrace(*env->trace());
+  };
+
+  const auto convicted = make(io::SyncerMutation::kSyncerReorder);
+  EXPECT_GE(convicted.CountRule(RuleId::kCreateOrder), 1u)
+      << convicted.ToJson();
+  EXPECT_FALSE(convicted.clean());
+
+  const auto control = make(io::SyncerMutation::kNone);
+  EXPECT_TRUE(control.clean()) << control.ToJson();
 }
 
 TEST(OrderingCheckerEndToEnd, SuppressedFreeMapWriteIsConvictedOfRLost) {

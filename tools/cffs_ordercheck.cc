@@ -11,16 +11,26 @@
 //   cffs_ordercheck --run [--fs=KIND] [--policy=sync|delayed]
 //                   [--workload=smallfile|postmark]
 //                   [--files=N] [--dirs=N] [--bytes=N] [--txns=N]
-//                   [--mutate=defer-inode-init] [--report-out=PATH]
+//                   [--syncer] [--syncer-interval-ms=N]
+//                   [--mutate=defer-inode-init|syncer-reorder]
+//                   [--report-out=PATH]
 //
 // KIND: ffs | conventional | embedded | grouping | cffs (default cffs).
 // --workload=postmark replays a PostMark-style transaction mix
 // (create/delete paired with read/append) instead of the small-file
 // sweep; --files then sets the initial pool and --txns the transaction
 // count.
+// --syncer turns on the background deadline syncer with a short interval
+// (default 100 ms so flushes actually fire inside a short workload; tune
+// with --syncer-interval-ms), letting the checker gate syncer-emitted
+// commit epochs. Meaningful with --policy=delayed.
 // --mutate=defer-inode-init flips the FFS create path into its
 // deliberately-misordered self-test variant (name committed before inode);
 // the tool is then expected to exit nonzero with an R-CREATE violation.
+// --mutate=syncer-reorder (requires --syncer) makes the syncer issue its
+// flush plan as per-block epochs in descending block order instead of one
+// atomic epoch — dirent blocks commit before the inodes they name, so a
+// delayed-policy run must likewise be convicted of R-CREATE.
 //
 // Exit status: 0 when the trace is clean, 1 on violations or errors.
 #include <cstdio>
@@ -30,6 +40,7 @@
 
 #include "src/check/ordering_checker.h"
 #include "src/fs/common/fs_base.h"
+#include "src/io/syncer.h"
 #include "src/workload/smallfile.h"
 #include "src/workload/trace.h"
 
@@ -75,7 +86,9 @@ int Usage(const char* argv0) {
                "       %s --run [--fs=KIND] [--policy=sync|delayed]\n"
                "          [--workload=smallfile|postmark]\n"
                "          [--files=N] [--dirs=N] [--bytes=N] [--txns=N]\n"
-               "          [--mutate=defer-inode-init] [--report-out=PATH]\n",
+               "          [--syncer] [--syncer-interval-ms=N]\n"
+               "          [--mutate=defer-inode-init|syncer-reorder]\n"
+               "          [--report-out=PATH]\n",
                argv0, argv0);
   return 1;
 }
@@ -114,6 +127,8 @@ int main(int argc, char** argv) {
   params.num_dirs = 4;
   bool postmark = false;
   uint32_t txns = 400;
+  bool syncer = false;
+  uint32_t syncer_interval_ms = 100;
   std::string trace_path, report_out, mutate;
 
   for (int i = 1; i < argc; ++i) {
@@ -142,6 +157,10 @@ int main(int argc, char** argv) {
       params.file_bytes = static_cast<uint32_t>(std::atoi(arg + 8));
     } else if (std::strncmp(arg, "--txns=", 7) == 0) {
       txns = static_cast<uint32_t>(std::atoi(arg + 7));
+    } else if (std::strcmp(arg, "--syncer") == 0) {
+      syncer = true;
+    } else if (std::strncmp(arg, "--syncer-interval-ms=", 21) == 0) {
+      syncer_interval_ms = static_cast<uint32_t>(std::atoi(arg + 21));
     } else if (std::strncmp(arg, "--workload=", 11) == 0) {
       if (std::strcmp(arg + 11, "postmark") == 0) {
         postmark = true;
@@ -159,7 +178,14 @@ int main(int argc, char** argv) {
 
   if (!run && trace_path.empty()) return Usage(argv[0]);
   if (run && !trace_path.empty()) return Usage(argv[0]);
-  if (!mutate.empty() && mutate != "defer-inode-init") return Usage(argv[0]);
+  if (!mutate.empty() && mutate != "defer-inode-init" &&
+      mutate != "syncer-reorder") {
+    return Usage(argv[0]);
+  }
+  if (mutate == "syncer-reorder" && !syncer) {
+    std::fprintf(stderr, "--mutate=syncer-reorder requires --syncer\n");
+    return 1;
+  }
 
   if (!trace_path.empty()) {
     auto text = ReadWholeFile(trace_path);
@@ -178,6 +204,11 @@ int main(int argc, char** argv) {
 
   sim::SimConfig config;
   config.metadata = policy;
+  if (syncer) {
+    config.syncer = true;
+    config.syncer_interval = SimTime::Millis(syncer_interval_ms);
+    config.syncer_max_age = SimTime::Millis(syncer_interval_ms);
+  }
   auto env_or = sim::SimEnv::Create(kind, config);
   if (!env_or.ok()) {
     std::fprintf(stderr, "env: %s\n", env_or.status().ToString().c_str());
@@ -188,6 +219,8 @@ int main(int argc, char** argv) {
   if (mutate == "defer-inode-init") {
     static_cast<fs::FsBase*>(env->fs())->set_ordering_mutation_for_test(
         fs::FsBase::OrderingMutation::kDeferInodeInit);
+  } else if (mutate == "syncer-reorder") {
+    env->syncer()->set_mutation_for_test(io::SyncerMutation::kSyncerReorder);
   }
 
   if (postmark) {
@@ -209,6 +242,20 @@ int main(int argc, char** argv) {
     auto result = workload::RunSmallFile(env, params);
     if (!result.ok()) {
       std::fprintf(stderr, "run: %s\n", result.status().ToString().c_str());
+      return 1;
+    }
+  }
+  if (syncer) {
+    // Push the tail of the dirty set through the syncer path too, so the
+    // checked trace contains at least one syncer-emitted epoch even when
+    // the workload finished inside the first interval (and so the mutated
+    // self-test reliably produces its misordered epochs).
+    if (Status s = env->syncer()->FlushNow(); !s.ok()) {
+      std::fprintf(stderr, "syncer flush: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    if (Status s = env->syncer_status(); !s.ok()) {
+      std::fprintf(stderr, "syncer: %s\n", s.ToString().c_str());
       return 1;
     }
   }
