@@ -62,6 +62,8 @@ int main(int argc, char** argv) {
         row.Set("variant", v.name);
         report.AddRow(std::move(row));
       }
+      bench::AddSpans(&report, sim::FsKindName(kind) + "/" + v.name,
+                      (*env)->spans()->breakdown());
     }
   }
   report.Write();

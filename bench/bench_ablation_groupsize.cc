@@ -51,6 +51,8 @@ int main(int argc, char** argv) {
       row.Set("group_blocks", static_cast<uint64_t>(gb));
       report.AddRow(std::move(row));
     }
+    bench::AddSpans(&report, "group" + std::to_string(gb),
+                    (*env)->spans()->breakdown());
   }
   report.Write();
   return 0;

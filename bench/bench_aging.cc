@@ -69,6 +69,10 @@ int main(int argc, char** argv) {
         row.Set("aging_ops", aged->creates + aged->deletes);
         report.AddRow(std::move(row));
       }
+      char label[64];
+      std::snprintf(label, sizeof label, "%s/util%.0f",
+                    sim::FsKindName(kind).c_str(), 100 * util);
+      bench::AddSpans(&report, label, env->spans()->breakdown());
     }
   }
   report.Write();

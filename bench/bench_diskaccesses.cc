@@ -55,6 +55,8 @@ int main(int argc, char** argv) {
       row.Set("config", sim::FsKindName(kind));
       report.AddRow(std::move(row));
     }
+    bench::AddSpans(&report, sim::FsKindName(kind),
+                    (*env)->spans()->breakdown());
     if (kind == sim::FsKind::kConventional) conv = *result;
     if (kind == sim::FsKind::kCffs) cffs = *result;
   }

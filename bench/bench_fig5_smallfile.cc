@@ -93,6 +93,8 @@ int main(int argc, char** argv) {
       report.AddRow(std::move(row));
     }
     snapshots.Set(sim::FsKindName(kind), (*env)->Snapshot().ToJson());
+    bench::AddSpans(&report, sim::FsKindName(kind),
+                    (*env)->spans()->breakdown());
   }
   report.Set("snapshots", std::move(snapshots));
   report.Write();

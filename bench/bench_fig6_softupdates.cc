@@ -70,6 +70,8 @@ int main(int argc, char** argv) {
       row.Set("config", sim::FsKindName(kind));
       report.AddRow(std::move(row));
     }
+    bench::AddSpans(&report, sim::FsKindName(kind),
+                    (*env)->spans()->breakdown());
   }
   report.Write();
   return 0;

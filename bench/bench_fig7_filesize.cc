@@ -45,6 +45,10 @@ int main(int argc, char** argv) {
       }
       create_rate[k] = result->phase("create").files_per_sec;
       read_rate[k] = result->phase("read").files_per_sec;
+      bench::AddSpans(&report,
+                      sim::FsKindName(kinds[k]) + "/" + std::to_string(kb) +
+                          "K",
+                      (*env)->spans()->breakdown());
     }
     std::printf("%7uK %14.1f %14.1f %8.2fx %14.1f %14.1f %8.2fx\n", kb,
                 read_rate[0], read_rate[1], read_rate[1] / read_rate[0],

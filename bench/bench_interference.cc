@@ -56,6 +56,10 @@ int main(int argc, char** argv) {
       row.Set("foreground_read_latency",
               hist.ok() ? std::move(*hist) : obs::Json());
       report.AddRow(std::move(row));
+      bench::AddSpans(&report,
+                      sim::FsKindName(kind) + "/disturb" +
+                          std::to_string(disturb),
+                      (*env)->spans()->breakdown());
     }
   }
   report.Write();

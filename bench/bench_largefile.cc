@@ -65,6 +65,8 @@ int main() {
     row.Set("write_mb_per_sec", kFileBytes / wsecs / 1e6);
     row.Set("read_mb_per_sec", kFileBytes / rsecs / 1e6);
     report.AddRow(std::move(row));
+    bench::AddSpans(&report, sim::FsKindName(kind),
+                    env->spans()->breakdown());
   }
   report.Write();
   std::printf("\nAll configurations should be within a few percent: grouping "

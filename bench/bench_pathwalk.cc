@@ -221,6 +221,7 @@ int main(int argc, char** argv) {
                      st.ToString().c_str());
         return 1;
       }
+      bench::AddSpans(&report, config_name, env->spans()->breakdown());
     }
   }
 

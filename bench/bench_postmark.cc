@@ -57,6 +57,8 @@ int main(int argc, char** argv) {
     row.Set("disk_requests", stats->disk_requests);
     row.Set("ops_failed", stats->ops_failed);
     report.AddRow(std::move(row));
+    bench::AddSpans(&report, sim::FsKindName(kind),
+                    (*env)->spans()->breakdown());
   }
   report.Write();
   return 0;

@@ -16,7 +16,8 @@ struct AppTimes {
   double copy = 0, archive = 0, unarchive = 0, compile = 0;
 };
 
-Status RunApps(sim::FsKind kind, bool quick, AppTimes* out) {
+Status RunApps(sim::FsKind kind, bool quick, AppTimes* out,
+               bench::Report* report) {
   sim::SimConfig config;
   ASSIGN_OR_RETURN(auto env_owner, sim::SimEnv::Create(kind, config));
   sim::SimEnv* env = env_owner.get();
@@ -46,6 +47,7 @@ Status RunApps(sim::FsKind kind, bool quick, AppTimes* out) {
   RETURN_IF_ERROR(env->ColdCache());
   ASSIGN_OR_RETURN(auto compile, workload::RunCompile(env, tree));
   out->compile = compile.seconds;
+  bench::AddSpans(report, sim::FsKindName(kind), env->spans()->breakdown());
   return OkStatus();
 }
 
@@ -70,7 +72,7 @@ int main(int argc, char** argv) {
                                sim::FsKind::kCffs};
   for (sim::FsKind kind : kinds) {
     AppTimes t{};
-    Status s = RunApps(kind, quick, &t);
+    Status s = RunApps(kind, quick, &t, &report);
     if (!s.ok()) {
       std::fprintf(stderr, "%s: %s\n", sim::FsKindName(kind).c_str(),
                    s.ToString().c_str());

@@ -93,6 +93,7 @@ RunOutcome RunOne(const RunConfig& rc, const workload::SmallFileParams& params,
   extras.Set("config", rc.name);
   extras.Set("io", std::move(io));
   report->root().FindMutable("io_stats")->Push(std::move(extras));
+  bench::AddSpans(report, rc.name, snap.spans);
 
   if (rc.delayed && snap.syncer.flushes == 0) {
     std::fprintf(stderr, "%s: syncer never flushed — interval too long "

@@ -40,6 +40,9 @@ class Report {
     root_.Set("bench", name_);
     root_.Set("schema_version", 1);
     root_.Set("rows", obs::Json::Array());
+    // Per-config span attribution (see AddSpans below). Always present;
+    // stays empty for the pure-disk-model benches, which run no fs ops.
+    root_.Set("spans", obs::Json::Object());
   }
 
   obs::Json& root() { return root_; }
@@ -82,6 +85,15 @@ class Report {
   std::string name_;
   obs::Json root_;
 };
+
+// Records one configuration's cross-layer span attribution (per-op-type
+// count, end-to-end p50/p99/p999 and per-phase time breakdown — see
+// src/obs/span.h) under the report's top-level "spans" object. Covers the
+// ops since the env's last ResetStats, i.e. the measured section.
+inline void AddSpans(Report* report, const std::string& config,
+                     const obs::PhaseBreakdown& spans) {
+  report->root().FindMutable("spans")->Set(config, spans.ToJson());
+}
 
 // One phase of a smallfile-style workload as a report row.
 inline obs::Json PhaseJson(const workload::PhaseResult& p) {

@@ -58,6 +58,7 @@ void BufferCache::NoteLookup(uint64_t bno, bool hit) {
   ++stats_.lookups;
   if (hit) {
     ++stats_.hits;
+    if (spans_) spans_->CountHit();
   } else {
     ++stats_.misses;
   }

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "src/blockdev/block_device.h"
+#include "src/obs/span.h"
 #include "src/obs/trace.h"
 #include "src/util/status.h"
 
@@ -154,6 +155,10 @@ class BufferCache {
   // Emits hit/miss/eviction/group-read trace events. nullptr disables.
   void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
 
+  // Counts buffer hits against the operation in flight (the work-avoided
+  // column of the span attribution). nullptr disables.
+  void set_spans(obs::SpanTracker* spans) { spans_ = spans; }
+
   // Fetch by physical address, reading from disk on a miss.
   Result<BufferRef> Get(uint64_t bno);
 
@@ -270,6 +275,7 @@ class BufferCache {
   size_t dirty_count_ = 0;
   CacheStats stats_;
   obs::TraceRecorder* trace_ = nullptr;
+  obs::SpanTracker* spans_ = nullptr;
 
   std::unordered_map<uint64_t, std::unique_ptr<Buffer>> buffers_;
   std::unordered_map<LogicalId, uint64_t, LogicalIdHash> logical_index_;

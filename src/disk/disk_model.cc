@@ -240,6 +240,14 @@ Status DiskModel::Read(uint64_t lba, uint32_t nsectors, std::span<uint8_t> out) 
   stats_.sectors_read += nsectors;
   stats_.busy_time += done - start;
   clock_->AdvanceTo(done);
+  if (spans_) {
+    spans_->AttributeDisk(start.nanos(),
+                          (stats_.seek_time - before.seek_time).nanos(),
+                          (stats_.rotation_time - before.rotation_time).nanos(),
+                          (stats_.transfer_time - before.transfer_time).nanos(),
+                          (stats_.overhead_time - before.overhead_time).nanos(),
+                          lba);
+  }
   if (trace_) {
     RecordIoEvent(before, start, done, lba, nsectors, /*is_write=*/false,
                   segment_hit);
@@ -287,6 +295,14 @@ Status DiskModel::Write(uint64_t lba, uint32_t nsectors,
   stats_.sectors_written += nsectors;
   stats_.busy_time += done - start;
   clock_->AdvanceTo(done);
+  if (spans_) {
+    spans_->AttributeDisk(start.nanos(),
+                          (stats_.seek_time - before.seek_time).nanos(),
+                          (stats_.rotation_time - before.rotation_time).nanos(),
+                          (stats_.transfer_time - before.transfer_time).nanos(),
+                          (stats_.overhead_time - before.overhead_time).nanos(),
+                          lba);
+  }
   if (trace_) {
     RecordIoEvent(before, start, done, lba, nsectors, /*is_write=*/true,
                   /*segment_hit=*/false);

@@ -39,6 +39,7 @@
 #include "src/disk/disk_spec.h"
 #include "src/disk/geometry.h"
 #include "src/disk/seek_curve.h"
+#include "src/obs/span.h"
 #include "src/obs/trace.h"
 #include "src/util/sim_time.h"
 #include "src/util/status.h"
@@ -92,6 +93,10 @@ class DiskModel {
   // Emits one kDiskIo trace event per command, with the per-command
   // seek/rotation/transfer/overhead breakdown. nullptr disables tracing.
   void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
+
+  // Charges each command's seek/rotation/transfer/overhead time to the
+  // operation in flight (see obs/span.h). nullptr disables attribution.
+  void set_spans(obs::SpanTracker* spans) { spans_ = spans; }
 
   // --- fault injection (tests / fsck experiments) ---
   // Future reads of this LBA fail with kIoError until cleared.
@@ -149,6 +154,7 @@ class DiskModel {
   uint32_t current_cylinder_ = 0;
   DiskStats stats_;
   obs::TraceRecorder* trace_ = nullptr;
+  obs::SpanTracker* spans_ = nullptr;
 
   std::vector<CacheSegment> cache_;
   uint64_t cache_clock_ = 0;

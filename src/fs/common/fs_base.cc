@@ -22,6 +22,7 @@ void FsBase::TraceMeta(obs::MetaUpdateKind kind, uint64_t home_bno,
 
 FsBase::OpScope::~OpScope() {
   const int64_t end_ns = fs_->NowNs();
+  if (fs_->spans_) fs_->spans_->EndOp(end_ns);
   if (LatencyHistogram* h = fs_->latencies_.ForOp(op_)) {
     h->Record(SimTime::Nanos(end_ns - start_ns_));
   }
@@ -110,6 +111,7 @@ Result<InodeData> FsBase::GetInode(InodeNum num, bool* from_cache) {
   if (name_cache_enabled_) {
     if (const InodeData* hit = name_cache_.inodes.Lookup(num)) {
       ++op_stats_.inode_cache_hits;
+      if (spans_) spans_->CountHit();
       if (from_cache) *from_cache = true;
       return *hit;
     }
@@ -149,6 +151,7 @@ void FsBase::NoteDentryGone(InodeNum dir, std::string_view name) {
 }
 
 void FsBase::TraceDentry(InodeNum dir, bool hit, bool negative) {
+  if (hit && spans_) spans_->CountHit();
   if (!trace_) return;
   obs::TraceEvent e;
   e.kind = obs::EventKind::kDentryLookup;

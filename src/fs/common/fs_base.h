@@ -51,6 +51,12 @@ class FsBase : public FileSystem {
   // that also annotate (the block allocator's free-map updates).
   virtual void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
 
+  // Opens a span per public operation (OpScope drives BeginOp/EndOp) and
+  // counts dentry / inode-cache hits into it. nullptr disables. SimEnv
+  // wires this alongside the other layers' set_spans.
+  void set_spans(obs::SpanTracker* spans) { spans_ = spans; }
+  obs::SpanTracker* spans() { return spans_; }
+
   // Deliberate ordering-discipline breakage for the analyzer's
   // false-negative self-test (see check::OrderingChecker). kNone in any
   // real configuration.
@@ -162,6 +168,7 @@ class FsBase : public FileSystem {
     OpScope(FsBase* fs, obs::FsOp op, InodeNum ino = kInvalidInode)
         : fs_(fs), op_(op), ino_(ino), start_ns_(fs->NowNs()) {
       ++fs->op_seq_;
+      if (fs->spans_) fs->spans_->BeginOp(op, fs->op_seq_, start_ns_);
     }
     OpScope(const OpScope&) = delete;
     OpScope& operator=(const OpScope&) = delete;
@@ -264,6 +271,7 @@ class FsBase : public FileSystem {
   FsOpStats op_stats_;
   obs::OpLatencies latencies_;
   obs::TraceRecorder* trace_ = nullptr;
+  obs::SpanTracker* spans_ = nullptr;
   io::Readahead* readahead_ = nullptr;
   OrderingMutation mutation_ = OrderingMutation::kNone;
   uint64_t op_seq_ = 0;

@@ -23,6 +23,7 @@ uint64_t IoEngine::SubmitRead(uint64_t bno, uint32_t count,
                               std::span<uint8_t> out, IoCallback on_complete) {
   ReadReq req;
   req.id = next_id_++;
+  req.op_id = (spans_ && spans_->in_op()) ? spans_->current_op_id() : 0;
   req.bno = bno;
   req.count = count;
   req.out = out;
@@ -44,6 +45,7 @@ uint64_t IoEngine::SubmitWriteBatch(const std::vector<blk::WriteOp>& ops,
                                     IoCallback on_complete) {
   WriteReq req;
   req.id = next_id_++;
+  req.op_id = (spans_ && spans_->in_op()) ? spans_->current_op_id() : 0;
   req.ops = ops;
   req.cb = std::move(on_complete);
   sq_writes_.push_back(std::move(req));
@@ -64,6 +66,13 @@ size_t IoEngine::Kick() {
   while (!sq_reads_.empty()) {
     ReadReq req = std::move(sq_reads_.front());
     sq_reads_.pop_front();
+    // A request submitted by a different op (or by no op) but serviced
+    // inside this op's kick is time this op spent waiting on someone
+    // else's I/O — reclassify the whole command as queue_wait.
+    const bool foreign =
+        spans_ && spans_->in_op() && req.op_id != spans_->current_op_id();
+    obs::SpanTracker::OverrideScope ov(foreign ? spans_ : nullptr,
+                                       obs::Phase::kQueueWait);
     Status s = dev_->ReadRun(req.bno, req.count, req.out);
     ++stats_.read_commands;
     cq_.push_back({req.id, std::move(s), std::move(req.cb)});
@@ -74,9 +83,20 @@ size_t IoEngine::Kick() {
     // Merge every queued write request into one scheduler-ordered batch:
     // a single commit epoch, however many submitters contributed.
     std::vector<blk::WriteOp> merged;
+    bool any_ours = false;
     for (const WriteReq& req : sq_writes_) {
       merged.insert(merged.end(), req.ops.begin(), req.ops.end());
+      if (spans_ && spans_->in_op() &&
+          req.op_id == spans_->current_op_id()) {
+        any_ours = true;
+      }
     }
+    // The epoch is foreign only if NO contributing request belongs to the
+    // op in flight — a merged batch containing this op's own writes keeps
+    // its disk-phase breakdown.
+    const bool foreign = spans_ && spans_->in_op() && !any_ours;
+    obs::SpanTracker::OverrideScope ov(foreign ? spans_ : nullptr,
+                                       obs::Phase::kQueueWait);
     Status s = dev_->WriteBatch(merged);
     ++stats_.write_epochs;
     while (!sq_writes_.empty()) {

@@ -25,6 +25,7 @@
 
 #include "src/blockdev/block_device.h"
 #include "src/io/io_stats.h"
+#include "src/obs/span.h"
 #include "src/obs/trace.h"
 #include "src/util/status.h"
 
@@ -41,6 +42,11 @@ class IoEngine {
   blk::BlockDevice* device() { return dev_; }
   IoEngineStats& stats() { return stats_; }
   void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
+
+  // Tags each submitted request with the op in flight; at kick time, disk
+  // work done for a *different* op is reclassified as that op's queue_wait
+  // rather than charged seek/rotation/transfer. nullptr disables.
+  void set_spans(obs::SpanTracker* spans) { spans_ = spans; }
 
   // Enqueue one read of `count` blocks starting at `bno` into `out`
   // (count * kBlockSize bytes, caller-owned until the callback runs).
@@ -76,6 +82,7 @@ class IoEngine {
  private:
   struct ReadReq {
     uint64_t id = 0;
+    uint64_t op_id = 0;  // fs op in flight at submit time (0 = none)
     uint64_t bno = 0;
     uint32_t count = 0;
     std::span<uint8_t> out;
@@ -83,6 +90,7 @@ class IoEngine {
   };
   struct WriteReq {
     uint64_t id = 0;
+    uint64_t op_id = 0;  // fs op in flight at submit time (0 = none)
     std::vector<blk::WriteOp> ops;  // one entry for SubmitWrite
     IoCallback cb;
   };
@@ -100,6 +108,7 @@ class IoEngine {
   uint64_t next_id_ = 1;
   IoEngineStats stats_;
   obs::TraceRecorder* trace_ = nullptr;
+  obs::SpanTracker* spans_ = nullptr;
 
   std::deque<ReadReq> sq_reads_;
   std::deque<WriteReq> sq_writes_;

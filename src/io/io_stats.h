@@ -30,6 +30,9 @@ struct SyncerStats {
   uint64_t throttle_flushes = 0;  // triggered by the dirty high-watermark
   uint64_t blocks_flushed = 0;    // dirty blocks cleaned by syncer epochs
   uint64_t ticks = 0;
+  // Simulated time writers spent stalled at the dirty high-watermark while
+  // a throttle flush ran (the duration of every kIoThrottle event).
+  uint64_t throttle_stall_ns = 0;
   void Reset() { *this = SyncerStats{}; }
 };
 

@@ -18,20 +18,36 @@ Status Syncer::Tick() {
   const size_t watermark = static_cast<size_t>(
       options_.dirty_high_watermark * static_cast<double>(cache_->capacity()));
   if (watermark > 0 && cache_->dirty_count() >= watermark) {
+    // The writer that pushed the cache over the watermark is stalled for
+    // the full duration of this flush: measure it, count it, and charge it
+    // to the throttle_stall phase rather than the flush's disk breakdown.
+    const int64_t stall_start = now_ns();
+    const uint64_t dirty_before = cache_->dirty_count();
+    Status s;
+    {
+      obs::SpanTracker::OverrideScope ov(spans_, obs::Phase::kThrottleStall);
+      s = FlushNow(FlushTrigger::kThrottle);
+    }
+    const int64_t stall = now_ns() - stall_start;
+    stats_.throttle_stall_ns += static_cast<uint64_t>(stall);
     if (trace_) {
       obs::TraceEvent e;
       e.kind = obs::EventKind::kIoThrottle;
-      e.ts_ns = now_ns();
-      e.a = cache_->dirty_count();
+      e.ts_ns = stall_start;
+      e.dur_ns = stall;
+      e.a = dirty_before;
       trace_->Record(e);
     }
-    return FlushNow(FlushTrigger::kThrottle);
+    return s;
   }
   if (now_ns() - last_flush_ns_ < options_.interval.nanos()) return OkStatus();
   const int64_t oldest = cache_->oldest_dirty_ns();
   if (oldest < 0 || now_ns() - oldest < options_.max_age.nanos()) {
     return OkStatus();
   }
+  // A deadline flush that fires at an op boundary is background work the
+  // *next* op absorbs as queue_wait, not seek/rotation/transfer.
+  obs::SpanTracker::OverrideScope ov(spans_, obs::Phase::kQueueWait);
   return FlushNow(FlushTrigger::kDeadline);
 }
 

@@ -32,6 +32,7 @@
 #include "src/cache/buffer_cache.h"
 #include "src/io/io_engine.h"
 #include "src/io/io_stats.h"
+#include "src/obs/span.h"
 #include "src/obs/trace.h"
 #include "src/util/sim_time.h"
 #include "src/util/status.h"
@@ -66,6 +67,11 @@ class Syncer {
   void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
   void set_mutation_for_test(SyncerMutation m) { mutation_ = m; }
 
+  // Reclassifies flush time: throttle flushes as the stalled writer's
+  // throttle_stall, deadline flushes as absorbed queue_wait. nullptr
+  // disables.
+  void set_spans(obs::SpanTracker* spans) { spans_ = spans; }
+
   // Check both triggers and flush if one fires. Called at op boundaries.
   Status Tick();
 
@@ -82,6 +88,7 @@ class Syncer {
   SyncerStats stats_;
   SyncerMutation mutation_ = SyncerMutation::kNone;
   obs::TraceRecorder* trace_ = nullptr;
+  obs::SpanTracker* spans_ = nullptr;
   int64_t last_flush_ns_ = 0;
 };
 

@@ -102,6 +102,7 @@ Json ToJson(const io::SyncerStats& s) {
   j.Set("throttle_flushes", s.throttle_flushes);
   j.Set("blocks_flushed", s.blocks_flushed);
   j.Set("ticks", s.ticks);
+  j.Set("throttle_stall_ns", s.throttle_stall_ns);
   return j;
 }
 
@@ -151,6 +152,14 @@ Json MetricsSnapshot::ToJson() const {
   j.Set("io_engine", obs::ToJson(io_engine));
   j.Set("syncer", obs::ToJson(syncer));
   j.Set("readahead", obs::ToJson(readahead));
+  j.Set("spans", spans.ToJson());
+  Json trace = Json::Object();
+  trace.Set("events", trace_events);
+  trace.Set("dropped", trace_dropped);
+  j.Set("trace", std::move(trace));
+  Json series = Json::Array();
+  for (const TimeSample& s : time_series) series.Push(obs::ToJson(s));
+  j.Set("time_series", std::move(series));
   return j;
 }
 
@@ -238,6 +247,51 @@ std::vector<std::string> MetricsSnapshot::CheckInvariants() const {
     fail("syncer: blocks_flushed (%llu) > cache writebacks (%llu)",
          static_cast<unsigned long long>(syncer.blocks_flushed),
          static_cast<unsigned long long>(cache.writebacks));
+  }
+
+  // Span attribution. The residual check is per-op and exact: EndOp counts
+  // a violation whenever an op's phase times did not sum to its end-to-end
+  // latency. The aggregate equality re-checks the same books from the
+  // per-type totals. Skipped entirely when no spans were tracked (hand-
+  // assembled snapshots).
+  if (spans.ops_finished > 0) {
+    if (spans.invariant_violations > 0) {
+      fail("spans: %llu ops with phase-sum != end-to-end latency "
+           "(max residual %lld ns)",
+           static_cast<unsigned long long>(spans.invariant_violations),
+           static_cast<long long>(spans.max_residual_ns));
+    }
+    for (int i = 0; i < kTrackedOps; ++i) {
+      const OpTypeBreakdown& b = spans.per_op[i];
+      if (b.e2e_total_ns != b.totals.TotalNs()) {
+        fail("spans: %s phase total (%lld ns) != e2e total (%lld ns)",
+             FsOpName(TrackedOpAt(i)),
+             static_cast<long long>(b.totals.TotalNs()),
+             static_cast<long long>(b.e2e_total_ns));
+      }
+    }
+    struct { const char* name; FsOp op; uint64_t ops; } span_pairs[] = {
+        {"lookup", FsOp::kLookup, fs_ops.lookups},
+        {"create", FsOp::kCreate, fs_ops.creates},
+        {"read", FsOp::kRead, fs_ops.reads},
+        {"write", FsOp::kWrite, fs_ops.writes},
+        {"mkdir", FsOp::kMkdir, fs_ops.mkdirs},
+        {"unlink", FsOp::kUnlink, fs_ops.unlinks},
+    };
+    for (const auto& p : span_pairs) {
+      const uint64_t span_count = spans.ForOp(p.op)->count();
+      if (span_count != p.ops) {
+        fail("spans: %s has %llu spans for %llu ops", p.name,
+             static_cast<unsigned long long>(span_count),
+             static_cast<unsigned long long>(p.ops));
+      }
+    }
+  }
+
+  if (trace_dropped > 0) {
+    fail("trace: ring dropped %llu events (capacity too small; "
+         "trace-derived results are incomplete)",
+         static_cast<unsigned long long>(trace_dropped));
   }
   return bad;
 }

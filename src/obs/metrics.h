@@ -23,6 +23,8 @@
 #include "src/fs/common/fs_types.h"
 #include "src/io/io_stats.h"
 #include "src/obs/json.h"
+#include "src/obs/sampler.h"
+#include "src/obs/span.h"
 #include "src/obs/trace.h"
 #include "src/util/histogram.h"
 
@@ -56,6 +58,15 @@ struct MetricsSnapshot {
   io::IoEngineStats io_engine;
   io::SyncerStats syncer;
   io::ReadaheadStats readahead;
+  // Cross-layer span attribution (see obs/span.h) and the time-series
+  // gauges (see obs/sampler.h). Empty when the env ran without them.
+  PhaseBreakdown spans;
+  std::vector<TimeSample> time_series;
+  // Trace-ring accounting at snapshot time: a nonzero drop count means
+  // every trace-derived artifact of this run is INCOMPLETE, which
+  // CheckInvariants surfaces as a violation.
+  uint64_t trace_events = 0;
+  uint64_t trace_dropped = 0;
 
   Json ToJson() const;
   std::string ToJsonString(int indent = 2) const { return ToJson().Dump(indent); }
@@ -72,6 +83,12 @@ struct MetricsSnapshot {
   //     so hits + wasted <= staged
   //   - syncer epochs only clean blocks the cache counted as writebacks,
   //     so syncer blocks_flushed <= cache writebacks
+  //   - spans: every finished op's phase times summed exactly to its
+  //     end-to-end latency (violation count must be zero), per-op-type
+  //     span counts match the fs op counters, and the aggregate per-type
+  //     phase total equals the aggregate end-to-end total
+  //   - the trace ring dropped no events (a dropped event silently
+  //     falsifies every trace-derived analysis)
   std::vector<std::string> CheckInvariants() const;
 };
 

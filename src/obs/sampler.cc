@@ -1,0 +1,62 @@
+#include "src/obs/sampler.h"
+
+namespace cffs::obs {
+
+Json ToJson(const TimeSample& s) {
+  Json j = Json::Object();
+  j.Set("ts_ns", s.ts_ns);
+  j.Set("queue_depth", s.queue_depth);
+  j.Set("dirty_blocks", s.dirty_blocks);
+  j.Set("resident_blocks", s.resident_blocks);
+  j.Set("throttle_flushes", s.throttle_flushes);
+  j.Set("busy_permille", static_cast<uint64_t>(s.busy_permille));
+  return j;
+}
+
+TimeSeriesSampler::TimeSeriesSampler(SimTime interval, size_t max_samples)
+    : interval_(interval.nanos() > 0 ? interval : SimTime::Millis(100)),
+      max_samples_(max_samples > 1 ? max_samples : 2) {}
+
+bool TimeSeriesSampler::Due(int64_t now_ns) const {
+  return now_ns - last_ns_ >= interval_.nanos();
+}
+
+void TimeSeriesSampler::Record(const TimeSample& sample) {
+  if (samples_.size() >= max_samples_) {
+    // Decimate: keep every other sample, double the cadence. The series
+    // stays bounded and still spans the whole run.
+    size_t w = 0;
+    for (size_t r = 0; r < samples_.size(); r += 2) samples_[w++] = samples_[r];
+    samples_.resize(w);
+    interval_ = interval_ * 2;
+  }
+  samples_.push_back(sample);
+  last_ns_ = sample.ts_ns;
+  if (trace_ != nullptr) {
+    TraceEvent e;
+    e.kind = EventKind::kCounterSample;
+    e.ts_ns = sample.ts_ns;
+    e.a = sample.queue_depth;
+    e.b = sample.dirty_blocks;
+    e.aux = sample.resident_blocks;
+    e.op_id = sample.throttle_flushes;
+    e.seek_ns = sample.busy_permille;
+    trace_->Record(e);
+  }
+}
+
+void TimeSeriesSampler::Reset(int64_t now_ns) {
+  samples_.clear();
+  last_ns_ = now_ns;
+}
+
+Json TimeSeriesSampler::ToJson() const {
+  Json j = Json::Object();
+  j.Set("interval_ns", interval_.nanos());
+  Json rows = Json::Array();
+  for (const TimeSample& s : samples_) rows.Push(obs::ToJson(s));
+  j.Set("samples", std::move(rows));
+  return j;
+}
+
+}  // namespace cffs::obs

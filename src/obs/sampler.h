@@ -1,0 +1,72 @@
+// Sim-clock-driven time-series telemetry.
+//
+// The stack's counters answer "how much in total"; the sampler answers
+// "when". At a fixed simulated-time interval (SimEnv checks at every op
+// boundary) it records one TimeSample gauge row — I/O queue depth, dirty
+// buffer count, cache occupancy, throttle activity and disk utilization
+// over the elapsed interval — into a bounded series. When the series
+// fills it decimates (keeps every other sample and doubles the interval),
+// so memory stays bounded on arbitrarily long runs while the full run
+// remains covered.
+//
+// Each sample is also emitted as a kCounterSample trace event, which
+// TraceRecorder::ToChromeJson expands into Chrome counter tracks ("ph":
+// "C") — queue depth, dirty/resident blocks and disk utilization render
+// as stacked area charts under the event lanes in perfetto.
+#ifndef CFFS_OBS_SAMPLER_H_
+#define CFFS_OBS_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/obs/json.h"
+#include "src/obs/trace.h"
+#include "src/util/sim_time.h"
+
+namespace cffs::obs {
+
+struct TimeSample {
+  int64_t ts_ns = 0;
+  uint64_t queue_depth = 0;      // engine submission + completion queues
+  uint64_t dirty_blocks = 0;     // buffer cache dirty count
+  uint64_t resident_blocks = 0;  // buffer cache occupancy
+  uint64_t throttle_flushes = 0; // throttle flushes since the last sample
+  uint32_t busy_permille = 0;    // disk busy fraction over the interval
+};
+
+Json ToJson(const TimeSample& s);
+
+class TimeSeriesSampler {
+ public:
+  explicit TimeSeriesSampler(SimTime interval, size_t max_samples = 2048);
+
+  // True when at least one interval has elapsed since the last sample.
+  bool Due(int64_t now_ns) const;
+
+  // Appends a sample (caller fills the gauges) and emits the counter
+  // trace event. Decimates when full.
+  void Record(const TimeSample& sample);
+
+  const std::vector<TimeSample>& samples() const { return samples_; }
+  SimTime interval() const { return interval_; }
+  int64_t last_sample_ns() const { return last_ns_; }
+
+  void set_trace(TraceRecorder* trace) { trace_ = trace; }
+
+  // Drops the series and re-arms the next sample `interval` after
+  // `now_ns`. The interval keeps any decimation-doubled value.
+  void Reset(int64_t now_ns);
+
+  Json ToJson() const;
+
+ private:
+  SimTime interval_;
+  size_t max_samples_;
+  int64_t last_ns_ = 0;
+  std::vector<TimeSample> samples_;
+  TraceRecorder* trace_ = nullptr;
+};
+
+}  // namespace cffs::obs
+
+#endif  // CFFS_OBS_SAMPLER_H_

@@ -80,6 +80,28 @@ void AppendUs(std::string* out, const char* key, int64_t ns) {
 // One Chrome trace event object. All names/categories come from fixed
 // tables, so no string escaping is needed on this hot path.
 void AppendEvent(std::string* out, const TraceEvent& e) {
+  if (e.kind == EventKind::kCounterSample) {
+    // Telemetry gauges expand into three counter tracks (ph "C"): the
+    // queue/cache series render as stacked areas in perfetto.
+    char buf[384];
+    const double ts = static_cast<double>(e.ts_ns) / 1e3;
+    std::snprintf(buf, sizeof buf,
+                  "{\"name\":\"io queue\",\"ph\":\"C\",\"ts\":%.3f,\"pid\":1,"
+                  "\"args\":{\"depth\":%llu}},"
+                  "{\"name\":\"buffer cache\",\"ph\":\"C\",\"ts\":%.3f,"
+                  "\"pid\":1,\"args\":{\"dirty\":%llu,\"clean\":%llu}},"
+                  "{\"name\":\"disk util (permille)\",\"ph\":\"C\","
+                  "\"ts\":%.3f,\"pid\":1,\"args\":{\"busy\":%lld,"
+                  "\"throttle_flushes\":%llu}}",
+                  ts, static_cast<unsigned long long>(e.a), ts,
+                  static_cast<unsigned long long>(e.b),
+                  static_cast<unsigned long long>(
+                      e.aux >= e.b ? e.aux - e.b : 0),
+                  ts, static_cast<long long>(e.seek_ns),
+                  static_cast<unsigned long long>(e.op_id));
+    *out += buf;
+    return;
+  }
   const char* name = "?";
   const char* cat = "?";
   int tid = kFsLane;
@@ -162,7 +184,10 @@ void AppendEvent(std::string* out, const TraceEvent& e) {
       name = "io-throttle";
       cat = "io";
       tid = kIoLane;
+      complete = e.dur_ns > 0;  // the stall duration, once accounted
       break;
+    case EventKind::kCounterSample:
+      return;  // expanded above
   }
 
   char head[192];
@@ -266,6 +291,8 @@ void AppendEvent(std::string* out, const TraceEvent& e) {
                     static_cast<unsigned long long>(e.a));
       *out += args;
       break;
+    case EventKind::kCounterSample:
+      break;  // unreachable (expanded above)
     case EventKind::kBlockWrite:
       std::snprintf(args, sizeof args,
                     "\"bno\":%llu,\"blocks\":%llu,\"epoch\":%llu",
@@ -350,7 +377,7 @@ Result<TraceEvent> EventFromRecord(const Json& rec) {
   if (!rec.is_object()) return InvalidArgument("trace record is not an object");
   TraceEvent e;
   const int64_t kind = IntField(rec, "kind");
-  if (kind < 0 || kind > static_cast<int64_t>(EventKind::kIoThrottle)) {
+  if (kind < 0 || kind > static_cast<int64_t>(EventKind::kCounterSample)) {
     return InvalidArgument("trace record has unknown event kind " +
                            std::to_string(kind));
   }

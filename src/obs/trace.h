@@ -47,7 +47,13 @@ enum class EventKind : uint8_t {
   kReadaheadStage, // prefetch staged blocks [a, a+b) (flag = group stage,
                    // else sequential ramp)
   kIoThrottle,     // writer throttled at the dirty high-watermark
-                   // (a = dirty count at the time)
+                   // (a = dirty count at the time, dur = stall time the
+                   // flush cost the writer)
+  kCounterSample,  // periodic telemetry gauges (see obs/sampler.h):
+                   // a = queue depth, b = dirty blocks, aux = resident
+                   // blocks, op_id = throttle flushes since last sample,
+                   // seek_ns = disk busy permille over the interval.
+                   // Rendered as Chrome counter tracks (ph "C").
 };
 
 // What a kMetaUpdate event dirtied. Together with the home block number

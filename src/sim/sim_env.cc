@@ -15,12 +15,18 @@ std::string FsKindName(FsKind kind) {
 
 SimEnv::SimEnv(FsKind kind, const SimConfig& config)
     : kind_(kind), config_(config) {
+  spans_ = std::make_unique<obs::SpanTracker>();
+  sampler_ = std::make_unique<obs::TimeSeriesSampler>(
+      config.sampler_interval, config.sampler_max_samples);
   disk_ = std::make_unique<disk::DiskModel>(config.disk_spec, &clock_);
+  disk_->set_spans(spans_.get());
   device_ = std::make_unique<blk::BlockDevice>(disk_.get(), config.scheduler);
   cache_ = std::make_unique<cache::BufferCache>(device_.get(),
                                                 config.cache_blocks);
+  cache_->set_spans(spans_.get());
   engine_ = std::make_unique<io::IoEngine>(device_.get(),
                                            config.io_batch_window);
+  engine_->set_spans(spans_.get());
   if (config.readahead) {
     io::ReadaheadOptions ro;
     ro.ramp = config.readahead_ramp;
@@ -35,6 +41,7 @@ SimEnv::SimEnv(FsKind kind, const SimConfig& config)
     so.max_age = config.syncer_max_age;
     so.dirty_high_watermark = config.dirty_high_watermark;
     syncer_ = std::make_unique<io::Syncer>(cache_.get(), engine_.get(), so);
+    syncer_->set_spans(spans_.get());
   }
 }
 
@@ -42,6 +49,7 @@ void SimEnv::WireFs(fs::FsBase* fs) {
   fs->set_name_cache_enabled(config_.name_caches);
   fs->set_readahead(readahead_.get());
   fs->set_deterministic_mtime(config_.deterministic_mtime);
+  fs->set_spans(spans_.get());
 }
 
 Result<std::unique_ptr<SimEnv>> SimEnv::Create(FsKind kind,
@@ -87,6 +95,7 @@ void SimEnv::AttachTrace() {
   if (syncer_) syncer_->set_trace(t);
   if (readahead_) readahead_->set_trace(t);
   if (fs_) fs_->set_trace(t);
+  sampler_->set_trace(t);
 }
 
 obs::MetricsSnapshot SimEnv::Snapshot() const {
@@ -103,6 +112,12 @@ obs::MetricsSnapshot SimEnv::Snapshot() const {
   snap.io_engine = engine_->stats();
   if (syncer_) snap.syncer = syncer_->stats();
   if (readahead_) snap.readahead = readahead_->stats();
+  snap.spans = spans_->breakdown();
+  snap.time_series = sampler_->samples();
+  if (trace_) {
+    snap.trace_events = trace_->size();
+    snap.trace_dropped = trace_->dropped();
+  }
   return snap;
 }
 
@@ -112,13 +127,40 @@ void SimEnv::ChargeCpu(uint64_t bytes) {
     t += SimTime::Nanos(config_.cpu_per_kb.nanos() *
                         static_cast<int64_t>((bytes + 1023) / 1024));
   }
+  // Everything charged between here and the next op's start — this CPU
+  // time plus any tick-triggered flush — is pre-op work the next span
+  // absorbs, so its phase sum still equals its end-to-end latency.
+  const int64_t start = clock_.now().nanos();
+  spans_->OpenBoundary(start);
   clock_.AdvanceBy(t);
+  spans_->Attribute(obs::Phase::kCpu, t.nanos(), start);
   // Op boundary: give the syncer a chance to age-flush or throttle. Running
   // it here (never from inside a file-system call) means a flush epoch can
   // never split an operation's metadata updates across commits.
   if (syncer_) {
     Status s = syncer_->Tick();
     if (!s.ok() && syncer_status_.ok()) syncer_status_ = s;
+  }
+  const int64_t now = clock_.now().nanos();
+  if (sampler_->Due(now)) {
+    obs::TimeSample s;
+    s.ts_ns = now;
+    s.queue_depth = engine_->queued() + engine_->completions_pending();
+    s.dirty_blocks = cache_->dirty_count();
+    s.resident_blocks = cache_->size();
+    const uint64_t flushes = syncer_ ? syncer_->stats().throttle_flushes : 0;
+    s.throttle_flushes = flushes - sampled_throttle_flushes_;
+    const int64_t busy = disk_->stats().busy_time.nanos();
+    const int64_t wall = now - sampled_wall_ns_;
+    if (wall > 0) {
+      const int64_t permille = (busy - sampled_busy_ns_) * 1000 / wall;
+      s.busy_permille = static_cast<uint32_t>(
+          permille < 0 ? 0 : (permille > 1000 ? 1000 : permille));
+    }
+    sampler_->Record(s);
+    sampled_throttle_flushes_ = flushes;
+    sampled_busy_ns_ = busy;
+    sampled_wall_ns_ = now;
   }
 }
 
@@ -138,6 +180,12 @@ void SimEnv::ResetStats() {
   engine_->stats().Reset();
   if (syncer_) syncer_->stats().Reset();
   if (readahead_) readahead_->stats().Reset();
+  spans_->Reset();
+  const int64_t now = clock_.now().nanos();
+  sampler_->Reset(now);
+  sampled_busy_ns_ = disk_->stats().busy_time.nanos();  // zero after Reset
+  sampled_wall_ns_ = now;
+  sampled_throttle_flushes_ = 0;
 }
 
 Result<size_t> SimEnv::CrashAndRemount() {

@@ -18,6 +18,8 @@
 #include "src/io/readahead.h"
 #include "src/io/syncer.h"
 #include "src/obs/metrics.h"
+#include "src/obs/sampler.h"
+#include "src/obs/span.h"
 #include "src/obs/trace.h"
 #include "src/util/sim_time.h"
 
@@ -84,6 +86,11 @@ struct SimConfig {
   // drive's prefetch sees.
   SimTime cpu_per_op = SimTime::Micros(150);
   SimTime cpu_per_kb = SimTime::Micros(10);
+
+  // Time-series telemetry cadence (checked at op boundaries) and series
+  // bound; when the series fills it decimates and doubles the interval.
+  SimTime sampler_interval = SimTime::Millis(250);
+  size_t sampler_max_samples = 2048;
 };
 
 class SimEnv {
@@ -129,6 +136,13 @@ class SimEnv {
   // The active recorder, or nullptr if EnableTrace was never called.
   obs::TraceRecorder* trace() { return trace_.get(); }
 
+  // Always-on cross-layer attribution: every clock advance is charged to
+  // a typed phase of the op in flight (or the background bucket).
+  obs::SpanTracker* spans() { return spans_.get(); }
+
+  // Always-on time-series gauges, sampled at op boundaries.
+  const obs::TimeSeriesSampler* sampler() const { return sampler_.get(); }
+
   // Gathers every layer's counters plus the latency histograms into one
   // machine-readable snapshot.
   obs::MetricsSnapshot Snapshot() const;
@@ -166,6 +180,12 @@ class SimEnv {
   std::unique_ptr<fs::FsBase> fs_;
   std::unique_ptr<fs::PathOps> path_;
   std::unique_ptr<obs::TraceRecorder> trace_;
+  std::unique_ptr<obs::SpanTracker> spans_;
+  std::unique_ptr<obs::TimeSeriesSampler> sampler_;
+  // Gauge baselines at the previous sample, for per-interval deltas.
+  int64_t sampled_busy_ns_ = 0;
+  int64_t sampled_wall_ns_ = 0;
+  uint64_t sampled_throttle_flushes_ = 0;
   Status syncer_status_;
 };
 

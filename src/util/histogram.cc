@@ -5,13 +5,14 @@
 namespace cffs {
 
 std::string LatencyHistogram::Summary() const {
-  char buf[160];
+  char buf[192];
   std::snprintf(buf, sizeof buf,
-                "mean=%.2fms p50=%.2fms p90=%.2fms p99=%.2fms max=%.2fms "
-                "(n=%llu)",
+                "mean=%.2fms p50=%.2fms p90=%.2fms p99=%.2fms p999=%.2fms "
+                "max=%.2fms (n=%llu)",
                 mean().millis(), Percentile(0.50).millis(),
                 Percentile(0.90).millis(), Percentile(0.99).millis(),
-                max().millis(), static_cast<unsigned long long>(total_));
+                Percentile(0.999).millis(), max().millis(),
+                static_cast<unsigned long long>(total_));
   return buf;
 }
 
@@ -20,13 +21,14 @@ std::string LatencyHistogram::ToJson() const {
   std::snprintf(buf, sizeof buf,
                 "{\"count\":%llu,\"mean_ns\":%lld,\"max_ns\":%lld,"
                 "\"p50_ns\":%lld,\"p90_ns\":%lld,\"p99_ns\":%lld,"
-                "\"buckets\":[",
+                "\"p999_ns\":%lld,\"buckets\":[",
                 static_cast<unsigned long long>(total_),
                 static_cast<long long>(mean().nanos()),
                 static_cast<long long>(max_ns_),
                 static_cast<long long>(Percentile(0.50).nanos()),
                 static_cast<long long>(Percentile(0.90).nanos()),
-                static_cast<long long>(Percentile(0.99).nanos()));
+                static_cast<long long>(Percentile(0.99).nanos()),
+                static_cast<long long>(Percentile(0.999).nanos()));
   std::string out = buf;
   bool first = true;
   for (int b = 0; b < kBuckets; ++b) {

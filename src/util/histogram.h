@@ -51,6 +51,14 @@ class LatencyHistogram {
     return SimTime::Nanos(max_ns_);
   }
 
+  // Named percentile accessors (the tails the bench reports and the span
+  // phase breakdown quote). p999 needs total_ >= 1000 samples to differ
+  // from max() in practice; with fewer it degrades gracefully to the top
+  // bucket edge.
+  SimTime p50() const { return Percentile(0.50); }
+  SimTime p99() const { return Percentile(0.99); }
+  SimTime p999() const { return Percentile(0.999); }
+
   void Merge(const LatencyHistogram& other) {
     for (int b = 0; b < kBuckets; ++b) counts_[b] += other.counts_[b];
     total_ += other.total_;

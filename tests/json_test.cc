@@ -1,0 +1,227 @@
+// Edge-case tests for the obs::Json parser and serializer: escape
+// handling, deep nesting, int/double round-trips, and malformed-input
+// rejection. The happy-path build/dump/parse tests live in obs_test.cc;
+// this file stresses the corners that bench reports and trace files can
+// actually hit (17-digit doubles, \u escapes in workload-generated names,
+// truncated files).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "src/obs/json.h"
+
+namespace cffs {
+namespace {
+
+Result<obs::Json> P(std::string_view text) { return obs::Json::Parse(text); }
+
+// --- escapes ---
+
+TEST(JsonEscapeTest, StandardEscapesRoundTrip) {
+  const std::string raw = "quote:\" back:\\ slash:/ b:\b f:\f n:\n r:\r t:\t";
+  obs::Json j = obs::Json::Object();
+  j.Set("s", raw);
+  auto parsed = P(j.Dump());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Find("s")->as_string(), raw);
+}
+
+TEST(JsonEscapeTest, ControlCharactersEscapeAsUnicode) {
+  std::string raw;
+  raw += '\x01';
+  raw += '\x1f';
+  obs::Json j = obs::Json::Object();
+  j.Set("s", raw);
+  const std::string dumped = j.Dump();
+  EXPECT_NE(dumped.find("\\u0001"), std::string::npos);
+  EXPECT_NE(dumped.find("\\u001f"), std::string::npos);
+  auto parsed = P(dumped);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Find("s")->as_string(), raw);
+}
+
+TEST(JsonEscapeTest, UnicodeEscapesDecodeToUtf8) {
+  // One code point per UTF-8 width: A (1 byte), é (2), € (3).
+  auto parsed = P("{\"s\":\"\\u0041 \\u00e9 \\u20ac\"}");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Find("s")->as_string(), "A \xc3\xa9 \xe2\x82\xac");
+}
+
+TEST(JsonEscapeTest, EscapedSolidusAndUppercaseHex) {
+  auto parsed = P("{\"s\":\"a\\/b \\u00E9\"}");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Find("s")->as_string(), "a/b \xc3\xa9");
+}
+
+TEST(JsonEscapeTest, EscapesInObjectKeysRoundTrip) {
+  obs::Json j = obs::Json::Object();
+  j.Set("tab\tkey \"quoted\"", 7);
+  auto parsed = P(j.Dump());
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_NE(parsed->Find("tab\tkey \"quoted\""), nullptr);
+  EXPECT_EQ(parsed->Find("tab\tkey \"quoted\"")->as_int(), 7);
+}
+
+TEST(JsonEscapeTest, BadEscapesAreRejected) {
+  EXPECT_FALSE(P("{\"s\":\"\\q\"}").ok());        // unknown escape
+  EXPECT_FALSE(P("{\"s\":\"\\u12\"}").ok());      // truncated \u
+  EXPECT_FALSE(P("{\"s\":\"\\uZZZZ\"}").ok());    // non-hex \u
+  EXPECT_FALSE(P("{\"s\":\"unterminated").ok());  // EOF inside string
+  EXPECT_FALSE(P("{\"s\":\"trailing\\").ok());    // EOF inside escape
+}
+
+// --- deep nesting ---
+
+TEST(JsonNestingTest, DeepArraysParseAndRoundTrip) {
+  constexpr int kDepth = 256;
+  std::string text(kDepth, '[');
+  text += "42";
+  text.append(kDepth, ']');
+  auto parsed = P(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const obs::Json* p = &*parsed;
+  for (int i = 0; i < kDepth; ++i) {
+    ASSERT_TRUE(p->is_array());
+    ASSERT_EQ(p->size(), 1u);
+    p = &p->at(0);
+  }
+  EXPECT_EQ(p->as_int(), 42);
+  EXPECT_EQ(parsed->Dump(), text);
+}
+
+TEST(JsonNestingTest, DeepObjectsParseAndRoundTrip) {
+  constexpr int kDepth = 256;
+  std::string text;
+  for (int i = 0; i < kDepth; ++i) text += "{\"k\":";
+  text += "true";
+  text.append(kDepth, '}');
+  auto parsed = P(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const obs::Json* p = &*parsed;
+  for (int i = 0; i < kDepth; ++i) {
+    ASSERT_TRUE(p->is_object());
+    p = p->Find("k");
+    ASSERT_NE(p, nullptr);
+  }
+  EXPECT_TRUE(p->as_bool());
+}
+
+TEST(JsonNestingTest, UnbalancedNestingIsRejected) {
+  EXPECT_FALSE(P("[[[1]]").ok());
+  EXPECT_FALSE(P("[[1]]]").ok());
+  EXPECT_FALSE(P("{\"a\":{\"b\":1}").ok());
+}
+
+// --- numbers ---
+
+TEST(JsonNumberTest, Int64ExtremesRoundTripExactly) {
+  const int64_t lo = std::numeric_limits<int64_t>::min();
+  const int64_t hi = std::numeric_limits<int64_t>::max();
+  obs::Json j = obs::Json::Object();
+  j.Set("lo", lo);
+  j.Set("hi", hi);
+  auto parsed = P(j.Dump());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->Find("lo")->is_int());
+  EXPECT_TRUE(parsed->Find("hi")->is_int());
+  EXPECT_EQ(parsed->Find("lo")->as_int(), lo);
+  EXPECT_EQ(parsed->Find("hi")->as_int(), hi);
+}
+
+TEST(JsonNumberTest, DoublesKeepTypeAndValueThroughRoundTrip) {
+  // %.17g is enough digits to reproduce any double exactly; the ".0"
+  // marker keeps whole-valued doubles from re-parsing as ints.
+  obs::Json j = obs::Json::Object();
+  j.Set("tenth", 0.1);
+  j.Set("whole", 3.0);
+  j.Set("tiny", 5e-324);  // smallest denormal
+  auto parsed = P(j.Dump());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->Find("tenth")->is_double());
+  EXPECT_TRUE(parsed->Find("whole")->is_double());
+  EXPECT_EQ(parsed->Find("tenth")->as_double(), 0.1);
+  EXPECT_EQ(parsed->Find("whole")->as_double(), 3.0);
+  EXPECT_EQ(parsed->Find("tiny")->as_double(), 5e-324);
+}
+
+TEST(JsonNumberTest, ExponentFormsParseAsDouble) {
+  auto parsed = P("[1e3, -2.5E-2, 4e+0]");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->at(0).is_double());
+  EXPECT_EQ(parsed->at(0).as_double(), 1000.0);
+  EXPECT_EQ(parsed->at(1).as_double(), -0.025);
+  EXPECT_EQ(parsed->at(2).as_double(), 4.0);
+}
+
+TEST(JsonNumberTest, IntegerOverflowFallsBackToDouble) {
+  // One past int64 max: must parse (as a double), not error or wrap.
+  auto parsed = P("{\"big\":9223372036854775808}");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->Find("big")->is_double());
+  EXPECT_EQ(parsed->Find("big")->as_double(), 9223372036854775808.0);
+}
+
+TEST(JsonNumberTest, NonFiniteDoublesDumpAsNull) {
+  obs::Json j = obs::Json::Object();
+  j.Set("nan", std::numeric_limits<double>::quiet_NaN());
+  j.Set("inf", std::numeric_limits<double>::infinity());
+  auto parsed = P(j.Dump());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->Find("nan")->is_null());
+  EXPECT_TRUE(parsed->Find("inf")->is_null());
+}
+
+TEST(JsonNumberTest, MalformedNumbersAreRejected) {
+  EXPECT_FALSE(P("-").ok());
+  EXPECT_FALSE(P("+1").ok());
+  EXPECT_FALSE(P("1.2.3").ok());
+  EXPECT_FALSE(P("0x10").ok());
+  EXPECT_FALSE(P("[1e]").ok());
+}
+
+// --- malformed structure ---
+
+TEST(JsonMalformedTest, TruncatedAndMisplacedTokens) {
+  EXPECT_FALSE(P("tru").ok());
+  EXPECT_FALSE(P("nul").ok());
+  EXPECT_FALSE(P("{\"a\"1}").ok());      // missing ':'
+  EXPECT_FALSE(P("{a:1}").ok());         // unquoted key
+  EXPECT_FALSE(P("{,}").ok());
+  EXPECT_FALSE(P("[,1]").ok());
+  EXPECT_FALSE(P("[1,]").ok());
+  EXPECT_FALSE(P("[1,,2]").ok());
+  EXPECT_FALSE(P("\"a\" \"b\"").ok());   // two documents
+}
+
+TEST(JsonMalformedTest, ErrorsCarryAnOffset) {
+  auto r = P("{\"a\":!}");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("offset"), std::string::npos);
+}
+
+TEST(JsonMalformedTest, WhitespaceOnlyAndScalarDocuments) {
+  EXPECT_FALSE(P("").ok());
+  EXPECT_FALSE(P("   \n\t ").ok());
+  // Bare scalars are valid top-level documents.
+  auto n = P(" 42 ");
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n->as_int(), 42);
+  auto s = P("\"str\"");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->as_string(), "str");
+  auto nul = P("null");
+  ASSERT_TRUE(nul.ok());
+  EXPECT_TRUE(nul->is_null());
+}
+
+TEST(JsonMalformedTest, DuplicateKeysLastWins) {
+  auto parsed = P("{\"k\":1,\"k\":2}");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->size(), 1u);
+  EXPECT_EQ(parsed->Find("k")->as_int(), 2);
+}
+
+}  // namespace
+}  // namespace cffs

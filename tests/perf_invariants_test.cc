@@ -111,5 +111,65 @@ TEST(SoftUpdatesShapeTest, GroupingStillWinsReadsUnderDelayedMetadata) {
             4.0 * conv.phase("read").files_per_sec);
 }
 
+// Every operation's span must decompose exactly: the sum of its phase
+// times equals its end-to-end latency, for every tracked op type, on both
+// file systems, under both metadata policies. This is the tentpole's
+// headline invariant — checked here on real workload runs, not synthetic
+// attributions.
+class SpanPhaseSumTest
+    : public ::testing::TestWithParam<std::tuple<sim::FsKind, bool>> {};
+
+TEST_P(SpanPhaseSumTest, PhaseTimesSumToEndToEndLatency) {
+  const auto [kind, delayed] = GetParam();
+  sim::SimConfig config;
+  if (delayed) {
+    config.metadata = fs::MetadataPolicy::kDelayed;
+    config.syncer = true;
+    config.syncer_interval = SimTime::Millis(100);
+    config.syncer_max_age = SimTime::Millis(100);
+  }
+  auto env = sim::SimEnv::Create(kind, config);
+  ASSERT_TRUE(env.ok());
+  workload::SmallFileParams params;
+  params.num_files = 400;
+  params.num_dirs = 8;
+  auto result = workload::RunSmallFile(env->get(), params);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  const obs::MetricsSnapshot snap = (*env)->Snapshot();
+  const auto violations = snap.CheckInvariants();
+  for (const std::string& v : violations) ADD_FAILURE() << v;
+
+  const obs::PhaseBreakdown& spans = snap.spans;
+  EXPECT_GT(spans.ops_finished, 0u);
+  EXPECT_EQ(spans.invariant_violations, 0u);
+  EXPECT_EQ(spans.max_residual_ns, 0);
+  for (int i = 0; i < obs::kTrackedOps; ++i) {
+    const obs::OpTypeBreakdown& b = spans.per_op[i];
+    EXPECT_EQ(b.e2e_total_ns, b.totals.TotalNs())
+        << obs::FsOpName(obs::TrackedOpAt(i));
+  }
+  // The workload resets stats between phases; the snapshot covers the last
+  // phase (delete), whose span count must match the fs op counter.
+  EXPECT_EQ(spans.ForOp(obs::FsOp::kUnlink)->count(),
+            (*env)->fs()->op_stats().unlinks);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, SpanPhaseSumTest,
+    ::testing::Combine(::testing::Values(sim::FsKind::kFfs,
+                                         sim::FsKind::kConventional,
+                                         sim::FsKind::kCffs),
+                       ::testing::Bool()),
+    [](const auto& info) {
+      std::string name;
+      switch (std::get<0>(info.param)) {
+        case sim::FsKind::kFfs: name = "Ffs"; break;
+        case sim::FsKind::kConventional: name = "Conventional"; break;
+        default: name = "Cffs"; break;
+      }
+      return name + (std::get<1>(info.param) ? "Delayed" : "Sync");
+    });
+
 }  // namespace
 }  // namespace cffs

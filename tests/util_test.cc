@@ -243,6 +243,55 @@ TEST(LatencyHistogramTest, MergeAddsCountsAndKeepsMax) {
   EXPECT_GE(a.Percentile(0.9).nanos(), 50'000'000);
 }
 
+TEST(LatencyHistogramTest, NamedAccessorsMatchPercentile) {
+  LatencyHistogram h;
+  for (int i = 0; i < 200; ++i) h.Record(SimTime::Micros(10 + i));
+  EXPECT_EQ(h.p50().nanos(), h.Percentile(0.50).nanos());
+  EXPECT_EQ(h.p99().nanos(), h.Percentile(0.99).nanos());
+  EXPECT_EQ(h.p999().nanos(), h.Percentile(0.999).nanos());
+}
+
+TEST(LatencyHistogramTest, P999SeparatesTheExtremeTail) {
+  // A 2-in-1000 tail: 3000 fast samples, 6 very slow ones. p99 must stay
+  // in the fast mode while p999 lands in the tail — the whole reason the
+  // span phase breakdown quotes p999 alongside p99.
+  LatencyHistogram h;
+  for (int i = 0; i < 3000; ++i) h.Record(SimTime::Micros(20));
+  for (int i = 0; i < 6; ++i) h.Record(SimTime::Millis(80));
+  EXPECT_LE(h.p99().nanos(), 24'000);           // fast mode, one bucket edge up
+  // Tail mode; Percentile reports the bucket's upper edge, so the answer
+  // may sit one geometric step (2^(1/4)) above the recorded 80 ms.
+  EXPECT_GE(h.p999().nanos(), 80'000'000);
+  EXPECT_LE(h.p999().nanos(), 96'000'000);
+}
+
+TEST(LatencyHistogramTest, MergePreservesTailPercentiles) {
+  // A tail that only exists in one shard must survive the merge: shard a
+  // holds the fast mode, shard b the rare slow mode.
+  LatencyHistogram a, b;
+  for (int i = 0; i < 998; ++i) a.Record(SimTime::Micros(50));
+  b.Record(SimTime::Seconds(1));
+  b.Record(SimTime::Seconds(1));
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 1000u);
+  EXPECT_LE(a.p99().nanos(), 60'000);
+  EXPECT_GE(a.p999().nanos(), 1'000'000'000);
+  // Merging an empty histogram is a no-op.
+  const int64_t before = a.p999().nanos();
+  a.Merge(LatencyHistogram{});
+  EXPECT_EQ(a.count(), 1000u);
+  EXPECT_EQ(a.p999().nanos(), before);
+}
+
+TEST(LatencyHistogramTest, ResetClearsEverything) {
+  LatencyHistogram h;
+  for (int i = 0; i < 10; ++i) h.Record(SimTime::Millis(3));
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max().nanos(), 0);
+  EXPECT_EQ(h.p999().nanos(), 0);
+}
+
 TEST(LatencyHistogramTest, OverflowBucketCatchesHugeSamples) {
   LatencyHistogram h;
   // The geometric buckets top out around 3000 s; 10000 s must overflow.

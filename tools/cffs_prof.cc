@@ -1,0 +1,197 @@
+// cffs_prof: run a small-file workload and print where the time went.
+//
+//   cffs_prof [--fs=KIND] [--files=N] [--dirs=N] [--bytes=N]
+//             [--policy=sync|delayed] [--syncer] [--top=N] [--json=PATH]
+//
+// KIND: ffs | conventional | embedded | grouping | cffs (default cffs).
+// Two reports, both built from the cross-layer span attribution
+// (src/obs/span.h), whose phase times sum exactly to each op's
+// end-to-end latency:
+//
+//   1. per-op-type attribution: count, mean/p50/p99/p999 end-to-end
+//      latency, and the share of total time spent in each phase
+//      (cpu / queue_wait / throttle_stall / seek / rotation / transfer /
+//      overhead) plus cache hits avoided per op;
+//   2. the top-N slowest individual operations, each with its span
+//      segments (phase, offset into the op, duration, LBA for disk
+//      phases) — a flame-graph footprint in text form.
+//
+// --json dumps the same PhaseBreakdown as machine-readable JSON.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/workload/smallfile.h"
+
+using namespace cffs;
+
+namespace {
+
+bool ParseKind(const char* s, sim::FsKind* out) {
+  if (std::strcmp(s, "ffs") == 0) *out = sim::FsKind::kFfs;
+  else if (std::strcmp(s, "conventional") == 0) *out = sim::FsKind::kConventional;
+  else if (std::strcmp(s, "embedded") == 0) *out = sim::FsKind::kEmbedOnly;
+  else if (std::strcmp(s, "grouping") == 0) *out = sim::FsKind::kGroupOnly;
+  else if (std::strcmp(s, "cffs") == 0) *out = sim::FsKind::kCffs;
+  else return false;
+  return true;
+}
+
+bool WriteFile(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  return true;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--fs=ffs|conventional|embedded|grouping|cffs]\n"
+               "          [--files=N] [--dirs=N] [--bytes=N]\n"
+               "          [--policy=sync|delayed] [--syncer] [--top=N]\n"
+               "          [--json=PATH]\n",
+               argv0);
+  return 2;
+}
+
+double Ms(int64_t ns) { return static_cast<double>(ns) / 1e6; }
+
+void PrintAttribution(const obs::PhaseBreakdown& spans) {
+  std::printf(
+      "per-op-type attribution (%llu ops; phase times sum exactly to "
+      "end-to-end):\n",
+      static_cast<unsigned long long>(spans.ops_finished));
+  std::printf(
+      "  %-8s %8s %9s %9s %9s %9s  | share of total time (hits/op)\n", "op",
+      "count", "mean_ms", "p50_ms", "p99_ms", "p999_ms");
+  for (int i = 0; i < obs::kTrackedOps; ++i) {
+    const obs::OpTypeBreakdown& b = spans.per_op[i];
+    if (b.count() == 0) continue;
+    const double mean_ms =
+        Ms(b.e2e_total_ns) / static_cast<double>(b.count());
+    std::printf("  %-8s %8llu %9.3f %9.3f %9.3f %9.3f  |",
+                obs::FsOpName(obs::TrackedOpAt(i)),
+                static_cast<unsigned long long>(b.count()), mean_ms,
+                Ms(b.e2e.p50().nanos()), Ms(b.e2e.p99().nanos()),
+                Ms(b.e2e.p999().nanos()));
+    const int64_t total = b.totals.TotalNs();
+    for (int p = 0; p < obs::kPhaseCount; ++p) {
+      const obs::Phase phase = static_cast<obs::Phase>(p);
+      if (phase == obs::Phase::kCacheHit) continue;  // counts, not time
+      const int64_t ns = b.totals.ns[p];
+      if (ns == 0) continue;
+      std::printf(" %s %.1f%%", obs::PhaseName(phase),
+                  total > 0 ? 100.0 * static_cast<double>(ns) /
+                                  static_cast<double>(total)
+                            : 0.0);
+    }
+    const uint64_t hits =
+        b.totals.count[static_cast<int>(obs::Phase::kCacheHit)];
+    std::printf(" (%.1f hits/op)\n",
+                static_cast<double>(hits) / static_cast<double>(b.count()));
+  }
+  const int64_t bg = spans.background.TotalNs();
+  if (bg > 0) {
+    std::printf("  background (mount/format/idle flush): %.3f ms\n", Ms(bg));
+  }
+}
+
+void PrintSlowest(const std::vector<obs::OpContext>& slowest) {
+  std::printf("\ntop %zu slowest ops (span trees):\n", slowest.size());
+  for (const obs::OpContext& op : slowest) {
+    std::printf("  #%llu %s  %.3f ms @ t=%.3f ms\n",
+                static_cast<unsigned long long>(op.op_id), obs::FsOpName(op.op),
+                Ms(op.e2e_ns()), Ms(op.start_ns));
+    for (const obs::SpanSegment& seg : op.segments) {
+      std::printf("    +%9.3f ms  %-14s %9.3f ms", Ms(seg.start_ns - op.start_ns),
+                  obs::PhaseName(seg.phase), Ms(seg.dur_ns));
+      if (seg.detail != 0) {
+        std::printf("  lba=%llu", static_cast<unsigned long long>(seg.detail));
+      }
+      std::printf("\n");
+    }
+    if (op.segments_dropped > 0) {
+      std::printf("    ... %u more segments (merged cap)\n",
+                  op.segments_dropped);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sim::FsKind kind = sim::FsKind::kCffs;
+  workload::SmallFileParams params;
+  params.num_files = 1000;
+  params.num_dirs = 10;
+  sim::SimConfig config;
+  size_t top_n = 10;
+  std::string json_out;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--fs=", 5) == 0) {
+      if (!ParseKind(arg + 5, &kind)) return Usage(argv[0]);
+    } else if (std::strncmp(arg, "--files=", 8) == 0) {
+      params.num_files = static_cast<uint32_t>(std::atoi(arg + 8));
+    } else if (std::strncmp(arg, "--dirs=", 7) == 0) {
+      params.num_dirs = static_cast<uint32_t>(std::atoi(arg + 7));
+    } else if (std::strncmp(arg, "--bytes=", 8) == 0) {
+      params.file_bytes = static_cast<uint32_t>(std::atoi(arg + 8));
+    } else if (std::strcmp(arg, "--policy=sync") == 0) {
+      config.metadata = fs::MetadataPolicy::kSynchronous;
+    } else if (std::strcmp(arg, "--policy=delayed") == 0) {
+      config.metadata = fs::MetadataPolicy::kDelayed;
+    } else if (std::strcmp(arg, "--syncer") == 0) {
+      config.syncer = true;
+    } else if (std::strncmp(arg, "--top=", 6) == 0) {
+      top_n = static_cast<size_t>(std::atoll(arg + 6));
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      json_out = arg + 7;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (params.num_files == 0 || params.num_dirs == 0 || top_n == 0) {
+    return Usage(argv[0]);
+  }
+
+  auto env_or = sim::SimEnv::Create(kind, config);
+  if (!env_or.ok()) {
+    std::fprintf(stderr, "env: %s\n", env_or.status().ToString().c_str());
+    return 1;
+  }
+  sim::SimEnv* env = env_or->get();
+  env->spans()->set_top_n(top_n);
+
+  auto result = workload::RunSmallFile(env, params);
+  if (!result.ok()) {
+    std::fprintf(stderr, "run: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  const obs::MetricsSnapshot snap = env->Snapshot();
+  std::printf("%s: %u files x %u B in %u dirs, %.3f simulated seconds\n\n",
+              sim::FsKindName(kind).c_str(), params.num_files,
+              params.file_bytes, params.num_dirs, snap.sim_seconds);
+  PrintAttribution(snap.spans);
+  PrintSlowest(env->spans()->SlowestOps());
+
+  if (!json_out.empty()) {
+    if (!WriteFile(json_out, snap.spans.ToJson().Dump(2))) {
+      std::fprintf(stderr, "cannot write %s\n", json_out.c_str());
+      return 1;
+    }
+    std::printf("\njson: %s\n", json_out.c_str());
+  }
+
+  const auto violations = snap.CheckInvariants();
+  for (const std::string& v : violations) {
+    std::fprintf(stderr, "invariant violated: %s\n", v.c_str());
+  }
+  return violations.empty() ? 0 : 1;
+}

@@ -130,6 +130,13 @@ int main(int argc, char** argv) {
               trace->size(),
               static_cast<unsigned long long>(trace->dropped()));
   std::printf("snapshot: %s\n", snapshot_out.c_str());
+  if (trace->dropped() > 0) {
+    std::fprintf(stderr,
+                 "warning: trace ring dropped %llu events — the trace and "
+                 "every analysis derived from it are incomplete; rerun with "
+                 "a larger --capacity\n",
+                 static_cast<unsigned long long>(trace->dropped()));
+  }
 
   const auto violations = snap.CheckInvariants();
   for (const std::string& v : violations) {
