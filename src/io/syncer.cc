@@ -13,32 +13,51 @@ int64_t Syncer::now_ns() const {
   return engine_->device()->disk()->now().nanos();
 }
 
-Status Syncer::Tick() {
-  ++stats_.ticks;
+bool Syncer::AboveWatermark() const {
   const size_t watermark = static_cast<size_t>(
       options_.dirty_high_watermark * static_cast<double>(cache_->capacity()));
-  if (watermark > 0 && cache_->dirty_count() >= watermark) {
-    // The writer that pushed the cache over the watermark is stalled for
-    // the full duration of this flush: measure it, count it, and charge it
-    // to the throttle_stall phase rather than the flush's disk breakdown.
-    const int64_t stall_start = now_ns();
-    const uint64_t dirty_before = cache_->dirty_count();
-    Status s;
-    {
-      obs::SpanTracker::OverrideScope ov(spans_, obs::Phase::kThrottleStall);
-      s = FlushNow(FlushTrigger::kThrottle);
+  return watermark > 0 && cache_->dirty_count() >= watermark;
+}
+
+Status Syncer::ThrottleFlush(uint64_t client) {
+  // The writer that pushed the cache over the watermark is stalled for
+  // the full duration of this flush: measure it, count it, and charge it
+  // to the throttle_stall phase rather than the flush's disk breakdown.
+  const int64_t stall_start = now_ns();
+  const uint64_t dirty_before = cache_->dirty_count();
+  last_throttle_client_ = client;
+  Status s;
+  {
+    obs::SpanTracker::OverrideScope ov(spans_, obs::Phase::kThrottleStall);
+    s = FlushNow(FlushTrigger::kThrottle);
+  }
+  const int64_t stall = now_ns() - stall_start;
+  stats_.throttle_stall_ns += static_cast<uint64_t>(stall);
+  if (trace_) {
+    obs::TraceEvent e;
+    e.kind = obs::EventKind::kIoThrottle;
+    e.ts_ns = stall_start;
+    e.dur_ns = stall;
+    e.a = dirty_before;
+    e.b = client;  // who pays for this flush
+    trace_->Record(e);
+  }
+  return s;
+}
+
+Status Syncer::Tick() {
+  ++stats_.ticks;
+  if (deferred_throttle_) {
+    // Multi-tenant mode: only a driver-requested flush fires here, tagged
+    // with the client the driver blamed (the watermark crosser). The tick
+    // runs in that client's pre-op boundary window, so the span tracker
+    // attributes the stall to its next op exactly.
+    if (throttle_requested_) {
+      throttle_requested_ = false;
+      return ThrottleFlush(throttle_client_);
     }
-    const int64_t stall = now_ns() - stall_start;
-    stats_.throttle_stall_ns += static_cast<uint64_t>(stall);
-    if (trace_) {
-      obs::TraceEvent e;
-      e.kind = obs::EventKind::kIoThrottle;
-      e.ts_ns = stall_start;
-      e.dur_ns = stall;
-      e.a = dirty_before;
-      trace_->Record(e);
-    }
-    return s;
+  } else if (AboveWatermark()) {
+    return ThrottleFlush(spans_ != nullptr ? spans_->client_id() : 0);
   }
   if (now_ns() - last_flush_ns_ < options_.interval.nanos()) return OkStatus();
   const int64_t oldest = cache_->oldest_dirty_ns();

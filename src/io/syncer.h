@@ -79,8 +79,31 @@ class Syncer {
   // the active mutation dictates). No-op when nothing is dirty.
   Status FlushNow(FlushTrigger trigger = FlushTrigger::kExplicit);
 
+  // --- multi-tenant backpressure (src/mt) ---
+
+  // In deferred mode Tick() never fires the throttle flush on its own: the
+  // driver decides WHEN (after suspending the offending client) and WHO
+  // pays (RequestThrottleFlush names the client that crossed the
+  // watermark; the very next Tick runs the flush and tags the stall with
+  // that id). In normal mode the throttle flush is autonomous and is
+  // tagged with the span tracker's current client id — exact for a
+  // single tenant, and exactly why multi-tenant runs use deferred mode:
+  // "whichever op happens to be in flight" is the wrong payer there.
+  void set_deferred_throttle(bool on) { deferred_throttle_ = on; }
+  bool deferred_throttle() const { return deferred_throttle_; }
+  bool AboveWatermark() const;
+  void RequestThrottleFlush(uint64_t client) {
+    throttle_requested_ = true;
+    throttle_client_ = client;
+  }
+  // Client id tagged on the most recent throttle flush.
+  uint64_t last_throttle_client() const { return last_throttle_client_; }
+
  private:
   int64_t now_ns() const;
+  // The throttle branch: flush the full dirty set with the stall measured,
+  // counted and charged to `client`'s throttle_stall phase.
+  Status ThrottleFlush(uint64_t client);
 
   cache::BufferCache* cache_;
   IoEngine* engine_;
@@ -90,6 +113,10 @@ class Syncer {
   obs::TraceRecorder* trace_ = nullptr;
   obs::SpanTracker* spans_ = nullptr;
   int64_t last_flush_ns_ = 0;
+  bool deferred_throttle_ = false;
+  bool throttle_requested_ = false;
+  uint64_t throttle_client_ = 0;
+  uint64_t last_throttle_client_ = 0;
 };
 
 }  // namespace cffs::io

@@ -1,0 +1,337 @@
+#include "src/mt/driver.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <span>
+#include <string>
+
+namespace cffs::mt {
+
+MtParams MtParams::FromConfig(const sim::SimConfig& config) {
+  MtParams p;
+  if (config.mt_clients > 0) p.clients = config.mt_clients;
+  if (!ParseSchedulerKind(config.mt_scheduler, &p.scheduler)) {
+    p.scheduler = SchedulerKind::kDrr;
+  }
+  p.backpressure = config.mt_backpressure;
+  return p;
+}
+
+MtDriver::MtDriver(sim::SimEnv* env, MtParams params)
+    : env_(env), params_(params) {
+  if (params_.clients == 0) params_.clients = 1;
+  if (params_.create_pct + params_.read_pct > 100) {
+    params_.create_pct = 40;
+    params_.read_pct = 40;
+  }
+  scheduler_ = MakeScheduler(params_.scheduler, params_.clients,
+                             params_.drr_quantum_ns);
+  clients_.resize(params_.clients);
+  suspended_.assign(params_.clients, 0);
+}
+
+MtDriver::~MtDriver() {
+  env_->set_sample_hook(nullptr);
+  if (env_->syncer() != nullptr) env_->syncer()->set_deferred_throttle(false);
+  env_->spans()->set_client_id(0);
+}
+
+bool MtDriver::AboveWatermark() const {
+  return env_->syncer() != nullptr && env_->syncer()->AboveWatermark();
+}
+
+Status MtDriver::Setup() {
+  fs::PathOps& p = env_->path();
+  payload_.assign(std::max<uint32_t>(params_.file_bytes, 1), 0xC5);
+  if (params_.antagonist) {
+    big_payload_.assign(
+        static_cast<size_t>(params_.antagonist_write_kb) * 1024, 0x5C);
+  }
+  for (uint32_t i = 0; i < params_.clients; ++i) {
+    Client& c = clients_[i];
+    c.id = i;
+    // splitmix64 seeding decorrelates nearby (seed, id) pairs.
+    c.rng.Seed(params_.seed + 0x9e3779b97f4a7c15ULL * (i + 1));
+    c.ops_left = params_.ops_per_client;
+    env_->ChargeCpu();
+    ASSIGN_OR_RETURN(c.dir, p.MkdirAll("/t" + std::to_string(i)));
+    if (IsAntagonist(c)) {
+      // One bounded bulk file, fully materialized so every antagonist op
+      // is an overwrite (the block map never deepens mid-measurement).
+      env_->ChargeCpu();
+      ASSIGN_OR_RETURN(c.big_ino, env_->fs()->Create(c.dir, "big"));
+      const size_t file_bytes =
+          static_cast<size_t>(params_.antagonist_file_kb) * 1024;
+      std::vector<uint8_t> fill(file_bytes, 0x5C);
+      env_->ChargeCpu(file_bytes);
+      ASSIGN_OR_RETURN(uint64_t n, env_->fs()->Write(c.big_ino, 0, fill));
+      (void)n;
+      continue;
+    }
+    for (uint32_t f = 0; f < params_.prepopulate_files; ++f) {
+      char name[16];
+      std::snprintf(name, sizeof name, "f%u", c.next_file);
+      env_->ChargeCpu();
+      ASSIGN_OR_RETURN(fs::InodeNum ino, env_->fs()->Create(c.dir, name));
+      env_->ChargeCpu(params_.file_bytes);
+      ASSIGN_OR_RETURN(uint64_t n, env_->fs()->Write(ino, 0, payload_));
+      (void)n;
+      c.live.push_back(c.next_file);
+      ++c.next_file;
+    }
+  }
+  RETURN_IF_ERROR(env_->ColdCache());
+
+  env_->spans()->EnableClientBreakdown();
+  if (params_.backpressure && env_->syncer() != nullptr) {
+    env_->syncer()->set_deferred_throttle(true);
+  }
+  env_->set_sample_hook([this](obs::TimeSample* s) {
+    s->mt_ready = scheduler_->ready_count();
+    s->mt_suspended = suspended_count_;
+  });
+  env_->ResetStats();
+
+  stats_.Reset();
+  stats_.enabled = true;
+  stats_.clients = params_.clients;
+  stats_.scheduler = SchedulerKindName(params_.scheduler);
+  stats_.backpressure = params_.backpressure;
+  stats_.per_client.resize(params_.clients);
+  for (uint32_t i = 0; i < params_.clients; ++i) {
+    stats_.per_client[i].client_id = i;
+  }
+  return OkStatus();
+}
+
+void MtDriver::GenerateNextOp(Client* c) {
+  if (IsAntagonist(*c)) {
+    c->next_kind = OpKind::kWrite;
+    return;
+  }
+  const uint64_t roll = c->rng.Below(100);
+  OpKind kind;
+  if (roll < params_.create_pct) {
+    kind = OpKind::kCreate;
+  } else if (roll < params_.create_pct + params_.read_pct) {
+    kind = OpKind::kRead;
+  } else {
+    kind = OpKind::kDelete;
+  }
+  if (c->live.empty()) {
+    kind = OpKind::kCreate;
+  } else if (kind == OpKind::kCreate &&
+             c->live.size() >= params_.max_live_files) {
+    kind = OpKind::kDelete;
+  }
+  c->next_kind = kind;
+  if (kind == OpKind::kRead || kind == OpKind::kDelete) {
+    c->next_target = static_cast<size_t>(c->rng.Below(c->live.size()));
+  }
+}
+
+Status MtDriver::ExecuteOp(Client* c) {
+  fs::FileSystem* fs = env_->fs();
+  char name[16];
+  switch (c->next_kind) {
+    case OpKind::kCreate: {
+      std::snprintf(name, sizeof name, "f%u", c->next_file);
+      env_->ChargeCpu();
+      ASSIGN_OR_RETURN(fs::InodeNum ino, fs->Create(c->dir, name));
+      env_->ChargeCpu(params_.file_bytes);
+      ASSIGN_OR_RETURN(uint64_t n, fs->Write(ino, 0, payload_));
+      (void)n;
+      c->live.push_back(c->next_file);
+      ++c->next_file;
+      break;
+    }
+    case OpKind::kRead: {
+      std::snprintf(name, sizeof name, "f%u", c->live[c->next_target]);
+      env_->ChargeCpu();
+      ASSIGN_OR_RETURN(fs::InodeNum ino, fs->Lookup(c->dir, name));
+      env_->ChargeCpu(params_.file_bytes);
+      std::vector<uint8_t> buf(params_.file_bytes);
+      ASSIGN_OR_RETURN(uint64_t n, fs->Read(ino, 0, buf));
+      (void)n;
+      break;
+    }
+    case OpKind::kDelete: {
+      std::snprintf(name, sizeof name, "f%u", c->live[c->next_target]);
+      env_->ChargeCpu();
+      RETURN_IF_ERROR(fs->Unlink(c->dir, name));
+      c->live[c->next_target] = c->live.back();
+      c->live.pop_back();
+      break;
+    }
+    case OpKind::kWrite: {
+      env_->ChargeCpu(big_payload_.size());
+      ASSIGN_OR_RETURN(uint64_t n,
+                       fs->Write(c->big_ino, c->big_off, big_payload_));
+      (void)n;
+      c->big_off += big_payload_.size();
+      if (c->big_off + big_payload_.size() >
+          static_cast<uint64_t>(params_.antagonist_file_kb) * 1024) {
+        c->big_off = 0;
+      }
+      break;
+    }
+  }
+  return OkStatus();
+}
+
+void MtDriver::RecordOp(Client* c, OpKind kind, int64_t queue_ns,
+                        int64_t service_ns) {
+  const int64_t full = queue_ns + service_ns;
+  MtClientStats& cs = stats_.per_client[c->id];
+  ++cs.ops;
+  cs.service_ns += service_ns;
+  cs.queue_wait_ns += queue_ns;
+  cs.latency.Record(SimTime::Nanos(full));
+  ++stats_.ops_serviced;
+  stats_.service_ns += service_ns;
+  stats_.queue_wait_ns += queue_ns;
+  stats_.latency.Record(SimTime::Nanos(full));
+  stats_.queue_wait.Record(SimTime::Nanos(queue_ns));
+  switch (kind) {
+    case OpKind::kCreate:
+      ++cs.creates;
+      stats_.create_latency.Record(SimTime::Nanos(full));
+      break;
+    case OpKind::kRead:
+      ++cs.reads;
+      stats_.read_latency.Record(SimTime::Nanos(full));
+      break;
+    case OpKind::kDelete:
+      ++cs.deletes;
+      stats_.delete_latency.Record(SimTime::Nanos(full));
+      break;
+    case OpKind::kWrite:
+      ++cs.writes;
+      stats_.write_latency.Record(SimTime::Nanos(full));
+      break;
+  }
+}
+
+void MtDriver::Suspend(Client* c) {
+  if (suspended_[c->id]) return;
+  suspended_[c->id] = 1;
+  ++suspended_count_;
+  ++stats_.suspensions;
+  ++stats_.per_client[c->id].suspensions;
+  if (!owner_set_) {
+    owner_set_ = true;
+    owner_ = c->id;
+  }
+}
+
+void MtDriver::MaybeSuspendAfter(Client* c, OpKind executed) {
+  if (!params_.backpressure || env_->syncer() == nullptr) return;
+  if (!Mutates(executed) || !AboveWatermark()) return;
+  if (c->ops_left == 0) return;  // no next op to park
+  Suspend(c);
+}
+
+Status MtDriver::ServiceOne(uint64_t id) {
+  Client* c = &clients_[id];
+  const int64_t ready = c->ready_ns;
+  env_->spans()->set_client_id(id);
+  const int64_t start = env_->clock().now().nanos();
+  const OpKind kind = c->next_kind;
+  RETURN_IF_ERROR(ExecuteOp(c));
+  const int64_t end = env_->clock().now().nanos();
+  scheduler_->NoteServiced(id, end - start);
+  ++c->done;
+  if (c->done > params_.warmup_ops) {
+    RecordOp(c, kind, start - ready, end - start);
+  }
+  --c->ops_left;
+  --remaining_;
+  if (c->ops_left > 0) {
+    GenerateNextOp(c);
+    c->ready_ns = end;
+    scheduler_->Enqueue(id, end);
+    stats_.max_ready =
+        std::max<uint64_t>(stats_.max_ready, scheduler_->ready_count());
+  }
+  MaybeSuspendAfter(c, kind);
+  return OkStatus();
+}
+
+Status MtDriver::HandleThrottleHandoff() {
+  // Wake everyone; the owning client (the first watermark crosser) runs
+  // first so the syncer's deferred flush lands in its pre-op boundary
+  // window and the whole stall is attributed to its span.
+  std::fill(suspended_.begin(), suspended_.end(), 0);
+  suspended_count_ = 0;
+  ++stats_.resumes;
+  const uint64_t owner = owner_;
+  owner_set_ = false;
+  if (env_->syncer() != nullptr && AboveWatermark()) {
+    env_->syncer()->RequestThrottleFlush(owner);
+  }
+  if (scheduler_->IsReady(owner) && clients_[owner].ops_left > 0) {
+    scheduler_->Take(owner);
+    return ServiceOne(owner);
+  }
+  return OkStatus();
+}
+
+Status MtDriver::Run() {
+  if (ran_) return InvalidArgument("MtDriver::Run called twice");
+  ran_ = true;
+  RETURN_IF_ERROR(Setup());
+
+  remaining_ = 0;
+  const int64_t now = env_->clock().now().nanos();
+  for (Client& c : clients_) {
+    if (c.ops_left == 0) continue;
+    GenerateNextOp(&c);
+    c.ready_ns = now;
+    scheduler_->Enqueue(c.id, now);
+    remaining_ += c.ops_left;
+  }
+  stats_.max_ready =
+      std::max<uint64_t>(stats_.max_ready, scheduler_->ready_count());
+
+  while (remaining_ > 0) {
+    // A parked crosser owes a flush; hand it off promptly. Deferring it
+    // (e.g. to let readers run ahead) is a trap: the flush cost is paid
+    // either way, but meanwhile cache misses evict dirty blocks one at a
+    // time — expensive inline writeback billed to innocent clients.
+    if (owner_set_) {
+      RETURN_IF_ERROR(HandleThrottleHandoff());
+      continue;
+    }
+    uint64_t id = 0;
+    if (!scheduler_->PickNext(suspended_, &id)) {
+      if (owner_set_) {
+        RETURN_IF_ERROR(HandleThrottleHandoff());
+        continue;
+      }
+      return IoError("mt: no runnable client but ops remain");
+    }
+    Client* c = &clients_[id];
+    // Pick-time backpressure: never run a mutating op above the
+    // watermark — park the client (keeping its queue position) instead.
+    // This bounds dirty-set overshoot to zero additional mutating ops.
+    if (params_.backpressure && env_->syncer() != nullptr &&
+        Mutates(c->next_kind) && AboveWatermark()) {
+      scheduler_->Enqueue(id, c->ready_ns);
+      Suspend(c);
+      continue;
+    }
+    RETURN_IF_ERROR(ServiceOne(id));
+  }
+
+  // Close the run under a neutral client id: the final Sync commits work
+  // from every tenant.
+  env_->spans()->set_client_id(0);
+  env_->ChargeCpu();
+  RETURN_IF_ERROR(env_->fs()->Sync());
+  RETURN_IF_ERROR(env_->syncer_status());
+  env_->set_sample_hook(nullptr);
+  if (env_->syncer() != nullptr) env_->syncer()->set_deferred_throttle(false);
+  return OkStatus();
+}
+
+}  // namespace cffs::mt

@@ -1,0 +1,146 @@
+// Multi-tenant workload driver: N logically-concurrent clients multiplexed
+// onto ONE actor-style service loop on the simulation clock.
+//
+// Concurrency model. Each client owns a private directory subtree and an
+// independent op stream (mixed create/read/delete, or bulk sequential
+// writes for the antagonist). Clients never call into the file system
+// themselves: they produce op DESCRIPTORS into per-client submission
+// queues (one ready slot per client — the closed loop: a client's next op
+// becomes ready the instant its previous op completes). A single service
+// loop picks the next ready client via a pluggable OpScheduler and
+// executes the op as an ordinary synchronous FsBase call. FsBase and the
+// BufferCache are therefore single-threaded BY CONSTRUCTION — there is no
+// locking to get wrong and no interleaving finer than one fs call — while
+// tail latency still shows the true multi-tenant cost: an op's measured
+// latency is queue wait (ready -> service start, time spent behind other
+// tenants) plus service time.
+//
+// Backpressure. When a mutating op pushes the dirty count over the
+// syncer's high watermark, only the OFFENDING client is suspended (it
+// keeps its queue position), and the driver hands the flush to it
+// promptly: on the next loop iteration every parked client wakes and the
+// owner is serviced first, so the syncer's deferred throttle flush runs in
+// the owner's pre-op boundary window and SpanTracker attributes the whole
+// stall to the owner's span as throttle_stall (exact per-client
+// attribution; satellite fix for the "charge whoever is in flight" bug).
+// Deferring the flush further would backfire: the cost is paid either way,
+// but meanwhile cache misses evict dirty blocks one at a time — inline
+// writeback billed to innocent clients.
+//
+// Determinism. Per-client xoshiro streams seeded (seed, client id), FIFO
+// ties broken by client id, and the service loop itself is sequential:
+// same seed + same client count => the same op order => (with
+// deterministic_mtime) a byte-identical disk image.
+#ifndef CFFS_MT_DRIVER_H_
+#define CFFS_MT_DRIVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/fs/common/fs_types.h"
+#include "src/mt/mt_stats.h"
+#include "src/mt/scheduler.h"
+#include "src/sim/sim_env.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace cffs::mt {
+
+struct MtParams {
+  uint32_t clients = 16;
+  uint64_t ops_per_client = 64;
+  SchedulerKind scheduler = SchedulerKind::kDrr;
+  bool backpressure = true;
+  int64_t drr_quantum_ns = DrrScheduler::kDefaultQuantumNs;
+  uint64_t seed = 42;
+
+  // Per-client op mix (percent; remainder after create+read is delete).
+  uint32_t create_pct = 40;
+  uint32_t read_pct = 40;
+  uint32_t file_bytes = 1024;     // small-file payload
+  uint32_t max_live_files = 32;   // per-client live-file cap
+  uint32_t prepopulate_files = 2; // created per client before measurement
+  // Each client's first `warmup_ops` ops are serviced but not recorded in
+  // MtStats: the round after ColdCache is a shared miss storm, and with
+  // short streams it would otherwise BE the tail percentiles.
+  uint64_t warmup_ops = 0;
+
+  // Antagonist tenant: client 0 issues large sequential overwrites into a
+  // single big file instead of the small-file mix.
+  bool antagonist = false;
+  uint32_t antagonist_write_kb = 256;  // per op
+  uint32_t antagonist_file_kb = 2048;  // wrap point (bounds the block map)
+
+  // Fills clients/scheduler/backpressure from the SimConfig knobs
+  // (mt_clients, mt_scheduler, mt_backpressure); everything else keeps its
+  // default. An unknown mt_scheduler string falls back to DRR.
+  static MtParams FromConfig(const sim::SimConfig& config);
+};
+
+class MtDriver {
+ public:
+  MtDriver(sim::SimEnv* env, MtParams params);
+  ~MtDriver();
+
+  // Prepopulates the per-client subtrees (outside measurement), resets
+  // stats, then services every client's op stream to completion and ends
+  // with one Sync. Call once.
+  Status Run();
+
+  const MtStats& stats() const { return stats_; }
+  MtStats TakeStats() { return std::move(stats_); }
+
+ private:
+  enum class OpKind : uint8_t { kCreate, kRead, kDelete, kWrite };
+
+  struct Client {
+    uint64_t id = 0;
+    fs::InodeNum dir = 0;
+    Rng rng{0};
+    std::vector<uint32_t> live;  // live file name sequence numbers
+    uint32_t next_file = 0;
+    uint64_t ops_left = 0;
+    uint64_t done = 0;  // ops serviced so far (warmup exclusion)
+    int64_t ready_ns = 0;
+    OpKind next_kind = OpKind::kCreate;
+    size_t next_target = 0;      // index into live (read/delete)
+    fs::InodeNum big_ino = 0;    // antagonist bulk file
+    uint64_t big_off = 0;
+  };
+
+  bool IsAntagonist(const Client& c) const {
+    return params_.antagonist && c.id == 0;
+  }
+  static bool Mutates(OpKind k) { return k != OpKind::kRead; }
+
+  Status Setup();
+  void GenerateNextOp(Client* c);
+  Status ExecuteOp(Client* c);
+  Status ServiceOne(uint64_t id);
+  // Resumes all suspended clients and services the throttle owner first so
+  // the deferred flush lands in the owner's span.
+  Status HandleThrottleHandoff();
+  void Suspend(Client* c);
+  void MaybeSuspendAfter(Client* c, OpKind executed);
+  void RecordOp(Client* c, OpKind kind, int64_t queue_ns, int64_t service_ns);
+  bool AboveWatermark() const;
+
+  sim::SimEnv* env_;
+  MtParams params_;
+  std::unique_ptr<OpScheduler> scheduler_;
+  std::vector<Client> clients_;
+  std::vector<uint8_t> suspended_;
+  uint64_t suspended_count_ = 0;
+  bool owner_set_ = false;
+  uint64_t owner_ = 0;  // first client to cross the watermark
+  uint64_t remaining_ = 0;
+  std::vector<uint8_t> payload_;
+  std::vector<uint8_t> big_payload_;
+  MtStats stats_;
+  bool ran_ = false;
+};
+
+}  // namespace cffs::mt
+
+#endif  // CFFS_MT_DRIVER_H_

@@ -1,0 +1,98 @@
+#include "src/mt/scheduler.h"
+
+namespace cffs::mt {
+
+const char* SchedulerKindName(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kFifo: return "fifo";
+    case SchedulerKind::kDrr: return "drr";
+  }
+  return "?";
+}
+
+bool ParseSchedulerKind(std::string_view name, SchedulerKind* out) {
+  if (name == "fifo") {
+    *out = SchedulerKind::kFifo;
+    return true;
+  }
+  if (name == "drr") {
+    *out = SchedulerKind::kDrr;
+    return true;
+  }
+  return false;
+}
+
+bool FifoScheduler::PickImpl(const std::vector<uint8_t>& suspended,
+                             uint64_t* client) {
+  bool found = false;
+  int64_t best_ns = 0;
+  uint64_t best = 0;
+  for (uint64_t c = 0; c < ready_.size(); ++c) {
+    if (ready_[c] == kNotReady || suspended[c]) continue;
+    if (!found || ready_[c] < best_ns) {
+      found = true;
+      best_ns = ready_[c];
+      best = c;
+    }
+  }
+  if (found) *client = best;
+  return found;
+}
+
+bool DrrScheduler::PickImpl(const std::vector<uint8_t>& suspended,
+                            uint64_t* client) {
+  const uint32_t n = static_cast<uint32_t>(ready_.size());
+  bool any = false;
+  for (uint32_t c = 0; c < n; ++c) {
+    if (ready_[c] != kNotReady && !suspended[c]) {
+      any = true;
+      break;
+    }
+  }
+  if (!any) return false;
+  // Walk the ring. An eligible client with a non-negative deficit is
+  // served on sight; a negative one is granted a quantum per visit, so
+  // after at most ceil(cost / quantum) full passes SOME eligible deficit
+  // turns non-negative — the walk always terminates. An ineligible client
+  // forfeits its banked deficit (classic DRR removes empty queues from the
+  // active list for the same reason: idleness must not accrue credit).
+  for (;;) {
+    for (uint32_t step = 0; step < n; ++step) {
+      const uint32_t c = cursor_;
+      if (ready_[c] == kNotReady || suspended[c]) {
+        deficit_[c] = 0;
+        cursor_ = (cursor_ + 1) % n;
+        continue;
+      }
+      if (deficit_[c] < 0) {
+        deficit_[c] += quantum_ns_;
+        if (deficit_[c] < 0) {
+          cursor_ = (cursor_ + 1) % n;
+          continue;
+        }
+      }
+      // Serve without advancing: the client keeps the slot until its
+      // measured costs exhaust the deficit (NoteServiced advances then).
+      *client = c;
+      return true;
+    }
+  }
+}
+
+void DrrScheduler::NoteServiced(uint64_t client, int64_t service_ns) {
+  deficit_[client] -= service_ns;
+  if (deficit_[client] <= 0 && cursor_ == client) {
+    cursor_ = (cursor_ + 1) % static_cast<uint32_t>(ready_.size());
+  }
+}
+
+std::unique_ptr<OpScheduler> MakeScheduler(SchedulerKind kind,
+                                           uint32_t clients,
+                                           int64_t drr_quantum_ns) {
+  if (kind == SchedulerKind::kDrr) {
+    return std::make_unique<DrrScheduler>(clients, drr_quantum_ns);
+  }
+  return std::make_unique<FifoScheduler>(clients);
+}
+
+}  // namespace cffs::mt

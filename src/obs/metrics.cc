@@ -106,6 +106,33 @@ Json ToJson(const io::SyncerStats& s) {
   return j;
 }
 
+Json ToJson(const mt::MtStats& s) {
+  Json j = Json::Object();
+  j.Set("enabled", s.enabled);
+  if (!s.enabled) return j;
+  j.Set("clients", static_cast<uint64_t>(s.clients));
+  j.Set("scheduler", s.scheduler);
+  j.Set("backpressure", s.backpressure);
+  j.Set("ops_serviced", s.ops_serviced);
+  j.Set("suspensions", s.suspensions);
+  j.Set("resumes", s.resumes);
+  j.Set("max_ready", s.max_ready);
+  j.Set("service_ns", s.service_ns);
+  j.Set("queue_wait_ns", s.queue_wait_ns);
+  j.Set("jain_fairness", s.JainFairnessIndex());
+  j.Set("latency", HistogramJson(s.latency));
+  j.Set("queue_wait", HistogramJson(s.queue_wait));
+  Json by_kind = Json::Object();
+  by_kind.Set("create", HistogramJson(s.create_latency));
+  by_kind.Set("read", HistogramJson(s.read_latency));
+  by_kind.Set("delete", HistogramJson(s.delete_latency));
+  by_kind.Set("write", HistogramJson(s.write_latency));
+  j.Set("by_kind", std::move(by_kind));
+  // Per-client detail stays out of the report (1024 tenants would dwarf
+  // it); the worst tails surface via spans.per_client and cffs_prof.
+  return j;
+}
+
 Json ToJson(const io::ReadaheadStats& s) {
   Json j = Json::Object();
   j.Set("group_stages", s.group_stages);
@@ -152,6 +179,7 @@ Json MetricsSnapshot::ToJson() const {
   j.Set("io_engine", obs::ToJson(io_engine));
   j.Set("syncer", obs::ToJson(syncer));
   j.Set("readahead", obs::ToJson(readahead));
+  j.Set("mt", obs::ToJson(mt));
   j.Set("spans", spans.ToJson());
   Json trace = Json::Object();
   trace.Set("events", trace_events);
@@ -285,6 +313,73 @@ std::vector<std::string> MetricsSnapshot::CheckInvariants() const {
              static_cast<unsigned long long>(span_count),
              static_cast<unsigned long long>(p.ops));
       }
+    }
+    // Per-client attribution (multi-tenant runs): every finished op was
+    // credited to exactly one client, and each client's phase sums still
+    // equal its end-to-end total — the headline invariant survives the
+    // per-client split.
+    if (!spans.per_client.empty()) {
+      uint64_t client_ops = 0;
+      for (const ClientBreakdown& c : spans.per_client) {
+        client_ops += c.ops;
+        if (c.e2e_total_ns != c.totals.TotalNs()) {
+          fail("spans: client %llu phase total (%lld ns) != e2e total "
+               "(%lld ns)",
+               static_cast<unsigned long long>(c.client_id),
+               static_cast<long long>(c.totals.TotalNs()),
+               static_cast<long long>(c.e2e_total_ns));
+        }
+        if (c.e2e.count() != c.ops) {
+          fail("spans: client %llu histogram has %llu samples for %llu ops",
+               static_cast<unsigned long long>(c.client_id),
+               static_cast<unsigned long long>(c.e2e.count()),
+               static_cast<unsigned long long>(c.ops));
+        }
+      }
+      if (client_ops != spans.ops_finished) {
+        fail("spans: per-client ops (%llu) != ops finished (%llu)",
+             static_cast<unsigned long long>(client_ops),
+             static_cast<unsigned long long>(spans.ops_finished));
+      }
+    }
+  }
+
+  // Multi-tenant scheduler books (src/mt).
+  if (mt.enabled) {
+    uint64_t client_ops = 0;
+    for (const mt::MtClientStats& c : mt.per_client) {
+      client_ops += c.ops;
+      if (c.latency.count() != c.ops) {
+        fail("mt: client %llu latency histogram has %llu samples for "
+             "%llu ops",
+             static_cast<unsigned long long>(c.client_id),
+             static_cast<unsigned long long>(c.latency.count()),
+             static_cast<unsigned long long>(c.ops));
+      }
+      if (c.creates + c.reads + c.deletes + c.writes != c.ops) {
+        fail("mt: client %llu op kinds (%llu) != ops (%llu)",
+             static_cast<unsigned long long>(c.client_id),
+             static_cast<unsigned long long>(c.creates + c.reads +
+                                             c.deletes + c.writes),
+             static_cast<unsigned long long>(c.ops));
+      }
+    }
+    if (client_ops != mt.ops_serviced) {
+      fail("mt: per-client ops (%llu) != ops serviced (%llu)",
+           static_cast<unsigned long long>(client_ops),
+           static_cast<unsigned long long>(mt.ops_serviced));
+    }
+    if (mt.latency.count() != mt.ops_serviced ||
+        mt.queue_wait.count() != mt.ops_serviced) {
+      fail("mt: aggregate histograms (%llu latency / %llu queue-wait "
+           "samples) != ops serviced (%llu)",
+           static_cast<unsigned long long>(mt.latency.count()),
+           static_cast<unsigned long long>(mt.queue_wait.count()),
+           static_cast<unsigned long long>(mt.ops_serviced));
+    }
+    const double jain = mt.JainFairnessIndex();
+    if (jain <= 0.0 || jain > 1.0 + 1e-9) {
+      fail("mt: Jain fairness index %.6f outside (0, 1]", jain);
     }
   }
 

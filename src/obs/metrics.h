@@ -22,6 +22,7 @@
 #include "src/disk/disk_model.h"
 #include "src/fs/common/fs_types.h"
 #include "src/io/io_stats.h"
+#include "src/mt/mt_stats.h"
 #include "src/obs/json.h"
 #include "src/obs/sampler.h"
 #include "src/obs/span.h"
@@ -58,6 +59,10 @@ struct MetricsSnapshot {
   io::IoEngineStats io_engine;
   io::SyncerStats syncer;
   io::ReadaheadStats readahead;
+  // Multi-tenant scheduler stats (src/mt). enabled == false (the default)
+  // when the run was single-tenant; filled by the bench/tool that owns the
+  // MtDriver (SimEnv cannot see the driver).
+  mt::MtStats mt;
   // Cross-layer span attribution (see obs/span.h) and the time-series
   // gauges (see obs/sampler.h). Empty when the env ran without them.
   PhaseBreakdown spans;
@@ -100,6 +105,7 @@ Json ToJson(const disk::DiskStats& s);
 Json ToJson(const io::IoEngineStats& s);
 Json ToJson(const io::SyncerStats& s);
 Json ToJson(const io::ReadaheadStats& s);
+Json ToJson(const mt::MtStats& s);
 
 }  // namespace cffs::obs
 

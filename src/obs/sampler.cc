@@ -10,6 +10,8 @@ Json ToJson(const TimeSample& s) {
   j.Set("resident_blocks", s.resident_blocks);
   j.Set("throttle_flushes", s.throttle_flushes);
   j.Set("busy_permille", static_cast<uint64_t>(s.busy_permille));
+  j.Set("mt_ready", s.mt_ready);
+  j.Set("mt_suspended", s.mt_suspended);
   return j;
 }
 
@@ -41,6 +43,10 @@ void TimeSeriesSampler::Record(const TimeSample& sample) {
     e.aux = sample.resident_blocks;
     e.op_id = sample.throttle_flushes;
     e.seek_ns = sample.busy_permille;
+    // Multi-tenant gauges ride in otherwise-unused disk-breakdown fields
+    // (kCounterSample never carries a disk timing payload).
+    e.rotation_ns = static_cast<int64_t>(sample.mt_ready);
+    e.transfer_ns = static_cast<int64_t>(sample.mt_suspended);
     trace_->Record(e);
   }
 }

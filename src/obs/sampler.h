@@ -32,6 +32,12 @@ struct TimeSample {
   uint64_t resident_blocks = 0;  // buffer cache occupancy
   uint64_t throttle_flushes = 0; // throttle flushes since the last sample
   uint32_t busy_permille = 0;    // disk busy fraction over the interval
+  // Multi-tenant gauges (src/mt); zero outside MtDriver runs. mt_ready is
+  // the number of queued ready ops across all client submission queues
+  // (each client holds at most one); mt_suspended counts clients parked by
+  // backpressure. Filled by the SimEnv sample hook.
+  uint64_t mt_ready = 0;
+  uint64_t mt_suspended = 0;
 };
 
 Json ToJson(const TimeSample& s);

@@ -100,6 +100,34 @@ Json PhaseBreakdown::ToJson() const {
     ops.Set(FsOpName(TrackedOpAt(i)), std::move(o));
   }
   j.Set("per_op", std::move(ops));
+  if (!per_client.empty()) {
+    // Compact summary only: at 1024 tenants the full per-client grid would
+    // dwarf the report. cffs_prof --per-client prints the whole table.
+    Json mt = Json::Object();
+    mt.Set("clients", static_cast<uint64_t>(per_client.size()));
+    std::vector<const ClientBreakdown*> worst;
+    worst.reserve(per_client.size());
+    for (const ClientBreakdown& c : per_client) {
+      if (c.ops > 0) worst.push_back(&c);
+    }
+    std::sort(worst.begin(), worst.end(),
+              [](const ClientBreakdown* a, const ClientBreakdown* b) {
+                const int64_t pa = a->e2e.p99().nanos();
+                const int64_t pb = b->e2e.p99().nanos();
+                return pa != pb ? pa > pb : a->client_id < b->client_id;
+              });
+    if (worst.size() > 8) worst.resize(8);
+    Json rows = Json::Array();
+    for (const ClientBreakdown* c : worst) {
+      Json row = Json::Object();
+      row.Set("client", c->client_id);
+      row.Set("ops", c->ops);
+      row.Set("e2e", SummaryJson(c->e2e, c->e2e_total_ns));
+      rows.Push(std::move(row));
+    }
+    mt.Set("worst_p99", std::move(rows));
+    j.Set("per_client", std::move(mt));
+  }
   return j;
 }
 
@@ -169,6 +197,18 @@ void SpanTracker::EndOp(int64_t now_ns) {
       b.phase[p].Record(SimTime::Nanos(done.phases.ns[p]));
     }
     b.totals.Merge(done.phases);
+  }
+
+  if (client_track_) {
+    const size_t slot =
+        done.client_id < client_cap_ ? done.client_id : client_cap_ - 1;
+    if (agg_.per_client.size() <= slot) agg_.per_client.resize(slot + 1);
+    ClientBreakdown& cb = agg_.per_client[slot];
+    cb.client_id = slot;
+    ++cb.ops;
+    cb.e2e_total_ns += done.e2e_ns();
+    cb.totals.Merge(done.phases);
+    cb.e2e.Record(SimTime::Nanos(done.e2e_ns()));
   }
 
   if (!stack_.empty()) {

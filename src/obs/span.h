@@ -120,6 +120,17 @@ struct OpTypeBreakdown {
   void Reset() { *this = OpTypeBreakdown{}; }
 };
 
+// Per-client attribution aggregate (multi-tenant runs). Every finished op
+// is credited to its OpContext client id, so per-client phase sums inherit
+// the headline invariant: sum(totals) == e2e_total, to the ns.
+struct ClientBreakdown {
+  uint64_t client_id = 0;
+  uint64_t ops = 0;
+  int64_t e2e_total_ns = 0;  // exact sum of per-op e2e latencies
+  PhaseTimes totals;
+  LatencyHistogram e2e;
+};
+
 // The per-op-type attribution aggregate embedded in MetricsSnapshot.
 struct PhaseBreakdown {
   std::array<OpTypeBreakdown, kTrackedOps> per_op;
@@ -127,6 +138,8 @@ struct PhaseBreakdown {
   uint64_t ops_finished = 0;
   uint64_t invariant_violations = 0;  // ops whose phases != e2e
   int64_t max_residual_ns = 0;        // largest |residual| seen
+  // Indexed by client id; empty unless EnableClientBreakdown was called.
+  std::vector<ClientBreakdown> per_client;
 
   const OpTypeBreakdown* ForOp(FsOp op) const;
   Json ToJson() const;
@@ -196,6 +209,16 @@ class SpanTracker {
   std::vector<OpContext> SlowestOps() const;
   void set_top_n(size_t n);
   void set_client_id(uint64_t id) { client_id_ = id; }
+  uint64_t client_id() const { return client_id_; }
+
+  // Turns on per-client aggregation (survives Reset). Client ids are
+  // expected dense from 0; ids at or above `max_clients` are clamped into
+  // the last slot so the ops-sum invariant still holds.
+  void EnableClientBreakdown(size_t max_clients = 65536) {
+    client_track_ = true;
+    client_cap_ = max_clients > 0 ? max_clients : 1;
+  }
+  bool client_breakdown_enabled() const { return client_track_; }
 
   // Clears aggregates, the top-N list, the background bucket and any open
   // boundary window. Must not be called with an op in flight.
@@ -215,6 +238,8 @@ class SpanTracker {
   bool pending_open_ = false;
   std::optional<Phase> override_;
   uint64_t client_id_ = 0;
+  bool client_track_ = false;
+  size_t client_cap_ = 65536;
 
   PhaseBreakdown agg_;
   std::vector<OpContext> slowest_;  // unordered; sorted on query

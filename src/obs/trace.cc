@@ -100,6 +100,17 @@ void AppendEvent(std::string* out, const TraceEvent& e) {
                   ts, static_cast<long long>(e.seek_ns),
                   static_cast<unsigned long long>(e.op_id));
     *out += buf;
+    if (e.rotation_ns != 0 || e.transfer_ns != 0) {
+      // Multi-tenant gauges (see obs/sampler.h): ready client queue depth
+      // and suspended-client count as a fourth counter track, emitted only
+      // when the sample carries them so single-tenant traces are unchanged.
+      std::snprintf(buf, sizeof buf,
+                    ",{\"name\":\"mt clients\",\"ph\":\"C\",\"ts\":%.3f,"
+                    "\"pid\":1,\"args\":{\"ready\":%lld,\"suspended\":%lld}}",
+                    ts, static_cast<long long>(e.rotation_ns),
+                    static_cast<long long>(e.transfer_ns));
+      *out += buf;
+    }
     return;
   }
   const char* name = "?";

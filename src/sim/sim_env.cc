@@ -157,6 +157,7 @@ void SimEnv::ChargeCpu(uint64_t bytes) {
       s.busy_permille = static_cast<uint32_t>(
           permille < 0 ? 0 : (permille > 1000 ? 1000 : permille));
     }
+    if (sample_hook_) sample_hook_(&s);
     sampler_->Record(s);
     sampled_throttle_flushes_ = flushes;
     sampled_busy_ns_ = busy;

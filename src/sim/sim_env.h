@@ -5,6 +5,7 @@
 #ifndef CFFS_SIM_SIM_ENV_H_
 #define CFFS_SIM_SIM_ENV_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -81,6 +82,17 @@ struct SimConfig {
   // compare sync vs. delayed images byte-for-byte).
   bool deterministic_mtime = false;
 
+  // --- multi-tenant driver (src/mt) ---
+
+  // Consumed by mt::MtParams::FromConfig, not by SimEnv itself: the number
+  // of logically-concurrent clients the MtDriver interleaves (0 keeps the
+  // MtParams default), the inter-client scheduler ("fifo" | "drr"), and
+  // whether the dirty-watermark throttle suspends only the offending
+  // client instead of stalling every tenant (see mt/driver.h).
+  uint32_t mt_clients = 0;
+  std::string mt_scheduler = "drr";
+  bool mt_backpressure = true;
+
   // Host CPU model (1996-class machine): fixed per-file-system-call cost
   // plus a per-kilobyte copy cost. These create the inter-request gaps the
   // drive's prefetch sees.
@@ -143,6 +155,12 @@ class SimEnv {
   // Always-on time-series gauges, sampled at op boundaries.
   const obs::TimeSeriesSampler* sampler() const { return sampler_.get(); }
 
+  // Lets a layer SimEnv doesn't know about (the mt driver) add its gauges
+  // to each TimeSample just before it is recorded. nullptr uninstalls.
+  void set_sample_hook(std::function<void(obs::TimeSample*)> hook) {
+    sample_hook_ = std::move(hook);
+  }
+
   // Gathers every layer's counters plus the latency histograms into one
   // machine-readable snapshot.
   obs::MetricsSnapshot Snapshot() const;
@@ -182,6 +200,7 @@ class SimEnv {
   std::unique_ptr<obs::TraceRecorder> trace_;
   std::unique_ptr<obs::SpanTracker> spans_;
   std::unique_ptr<obs::TimeSeriesSampler> sampler_;
+  std::function<void(obs::TimeSample*)> sample_hook_;
   // Gauge baselines at the previous sample, for per-interval deltas.
   int64_t sampled_busy_ns_ = 0;
   int64_t sampled_wall_ns_ = 0;

@@ -9,8 +9,9 @@
 // In-process mode (trace a workload and check it in one step):
 //
 //   cffs_ordercheck --run [--fs=KIND] [--policy=sync|delayed]
-//                   [--workload=smallfile|postmark]
+//                   [--workload=smallfile|postmark|multitenant]
 //                   [--files=N] [--dirs=N] [--bytes=N] [--txns=N]
+//                   [--clients=N]
 //                   [--syncer] [--syncer-interval-ms=N]
 //                   [--mutate=defer-inode-init|syncer-reorder]
 //                   [--report-out=PATH]
@@ -20,6 +21,11 @@
 // (create/delete paired with read/append) instead of the small-file
 // sweep; --files then sets the initial pool and --txns the transaction
 // count.
+// --workload=multitenant drives N interleaved clients (src/mt, default
+// DRR + backpressure) through the service loop; --clients sets N and
+// --txns the ops per client. The ordering rules must hold no matter how
+// tenant op streams interleave — every mutation still commits through
+// the same FsBase epochs.
 // --syncer turns on the background deadline syncer with a short interval
 // (default 100 ms so flushes actually fire inside a short workload; tune
 // with --syncer-interval-ms), letting the checker gate syncer-emitted
@@ -41,6 +47,7 @@
 #include "src/check/ordering_checker.h"
 #include "src/fs/common/fs_base.h"
 #include "src/io/syncer.h"
+#include "src/mt/driver.h"
 #include "src/workload/smallfile.h"
 #include "src/workload/trace.h"
 
@@ -84,8 +91,9 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --trace=PATH [--report-out=PATH]\n"
                "       %s --run [--fs=KIND] [--policy=sync|delayed]\n"
-               "          [--workload=smallfile|postmark]\n"
+               "          [--workload=smallfile|postmark|multitenant]\n"
                "          [--files=N] [--dirs=N] [--bytes=N] [--txns=N]\n"
+               "          [--clients=N]\n"
                "          [--syncer] [--syncer-interval-ms=N]\n"
                "          [--mutate=defer-inode-init|syncer-reorder]\n"
                "          [--report-out=PATH]\n",
@@ -126,6 +134,8 @@ int main(int argc, char** argv) {
   params.num_files = 100;
   params.num_dirs = 4;
   bool postmark = false;
+  bool multitenant = false;
+  uint32_t clients = 16;
   uint32_t txns = 400;
   bool syncer = false;
   uint32_t syncer_interval_ms = 100;
@@ -157,6 +167,9 @@ int main(int argc, char** argv) {
       params.file_bytes = static_cast<uint32_t>(std::atoi(arg + 8));
     } else if (std::strncmp(arg, "--txns=", 7) == 0) {
       txns = static_cast<uint32_t>(std::atoi(arg + 7));
+    } else if (std::strncmp(arg, "--clients=", 10) == 0) {
+      clients = static_cast<uint32_t>(std::atoi(arg + 10));
+      if (clients == 0) return Usage(argv[0]);
     } else if (std::strcmp(arg, "--syncer") == 0) {
       syncer = true;
     } else if (std::strncmp(arg, "--syncer-interval-ms=", 21) == 0) {
@@ -164,8 +177,11 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(arg, "--workload=", 11) == 0) {
       if (std::strcmp(arg + 11, "postmark") == 0) {
         postmark = true;
+      } else if (std::strcmp(arg + 11, "multitenant") == 0) {
+        multitenant = true;
       } else if (std::strcmp(arg + 11, "smallfile") == 0) {
         postmark = false;
+        multitenant = false;
       } else {
         return Usage(argv[0]);
       }
@@ -223,7 +239,16 @@ int main(int argc, char** argv) {
     env->syncer()->set_mutation_for_test(io::SyncerMutation::kSyncerReorder);
   }
 
-  if (postmark) {
+  if (multitenant) {
+    mt::MtParams mtp;
+    mtp.clients = clients;
+    mtp.ops_per_client = txns > 0 ? txns : 16;  // --txns = ops per client
+    mt::MtDriver driver(env, mtp);
+    if (Status s = driver.Run(); !s.ok()) {
+      std::fprintf(stderr, "run: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  } else if (postmark) {
     // Keep the working set well inside the cache: a mid-run eviction is a
     // single-block write the delayed policy cannot order, and the gate is
     // about the file system's discipline, not the cache's sizing.

@@ -2,6 +2,8 @@
 //
 //   cffs_prof [--fs=KIND] [--files=N] [--dirs=N] [--bytes=N]
 //             [--policy=sync|delayed] [--syncer] [--top=N] [--json=PATH]
+//             [--mt=N] [--mt-ops=N] [--mt-scheduler=fifo|drr]
+//             [--mt-backpressure=0|1] [--antagonist] [--per-client[=K]]
 //
 // KIND: ffs | conventional | embedded | grouping | cffs (default cffs).
 // Two reports, both built from the cross-layer span attribution
@@ -16,13 +18,23 @@
 //      segments (phase, offset into the op, duration, LBA for disk
 //      phases) — a flame-graph footprint in text form.
 //
+// --mt=N swaps the workload for the multi-tenant driver (src/mt): N
+// clients through the pluggable op scheduler, exercising the same
+// mt_clients / mt_scheduler / mt_backpressure SimConfig knobs. With it,
+// --per-client[=K] adds a third report: the K worst clients by p99 full
+// latency (queue wait + service), each with its exact span-attributed
+// throttle-stall share — "which tenant hurts, and is it paying its own
+// flush debt or queuing behind someone else's".
+//
 // --json dumps the same PhaseBreakdown as machine-readable JSON.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "src/mt/driver.h"
 #include "src/workload/smallfile.h"
 
 using namespace cffs;
@@ -53,7 +65,10 @@ int Usage(const char* argv0) {
                "usage: %s [--fs=ffs|conventional|embedded|grouping|cffs]\n"
                "          [--files=N] [--dirs=N] [--bytes=N]\n"
                "          [--policy=sync|delayed] [--syncer] [--top=N]\n"
-               "          [--json=PATH]\n",
+               "          [--json=PATH]\n"
+               "          [--mt=N] [--mt-ops=N] [--mt-scheduler=fifo|drr]\n"
+               "          [--mt-backpressure=0|1] [--antagonist]\n"
+               "          [--per-client[=K]]\n",
                argv0);
   return 2;
 }
@@ -121,6 +136,46 @@ void PrintSlowest(const std::vector<obs::OpContext>& slowest) {
   }
 }
 
+// Top-K clients by p99 full latency. The stall column is the span
+// tracker's exact throttle_stall attribution for that client's ops — a
+// high-p99 client with ~0 stall is queuing behind other tenants, not
+// paying flush debt.
+void PrintPerClient(const obs::MetricsSnapshot& snap, size_t k) {
+  const mt::MtStats& mt = snap.mt;
+  std::vector<const mt::MtClientStats*> order;
+  order.reserve(mt.per_client.size());
+  for (const mt::MtClientStats& c : mt.per_client) {
+    if (c.ops > 0) order.push_back(&c);
+  }
+  std::sort(order.begin(), order.end(),
+            [](const mt::MtClientStats* a, const mt::MtClientStats* b) {
+              const int64_t pa = a->latency.p99().nanos();
+              const int64_t pb = b->latency.p99().nanos();
+              if (pa != pb) return pa > pb;
+              return a->client_id < b->client_id;
+            });
+  if (order.size() > k) order.resize(k);
+
+  std::printf("\nworst %zu of %u clients by p99 full latency (%s, jain %.3f):\n",
+              order.size(), mt.clients, mt.scheduler.c_str(),
+              mt.JainFairnessIndex());
+  std::printf("  %-7s %6s %9s %9s %10s %10s %9s %5s\n", "client", "ops",
+              "p99_ms", "mean_ms", "qwait_ms", "svc_ms", "stall_ms", "susp");
+  constexpr int kStall = static_cast<int>(obs::Phase::kThrottleStall);
+  for (const mt::MtClientStats* c : order) {
+    double stall_ms = 0;
+    if (c->client_id < snap.spans.per_client.size()) {
+      stall_ms = Ms(snap.spans.per_client[c->client_id].totals.ns[kStall]);
+    }
+    std::printf("  t%-6llu %6llu %9.3f %9.3f %10.3f %10.3f %9.3f %5llu\n",
+                static_cast<unsigned long long>(c->client_id),
+                static_cast<unsigned long long>(c->ops),
+                Ms(c->latency.p99().nanos()), Ms(c->latency.mean().nanos()),
+                Ms(c->queue_wait_ns), Ms(c->service_ns), stall_ms,
+                static_cast<unsigned long long>(c->suspensions));
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -131,6 +186,10 @@ int main(int argc, char** argv) {
   sim::SimConfig config;
   size_t top_n = 10;
   std::string json_out;
+  uint64_t mt_ops = 64;
+  bool antagonist = false;
+  bool per_client = false;
+  size_t per_client_k = 10;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -152,11 +211,36 @@ int main(int argc, char** argv) {
       top_n = static_cast<size_t>(std::atoll(arg + 6));
     } else if (std::strncmp(arg, "--json=", 7) == 0) {
       json_out = arg + 7;
+    } else if (std::strncmp(arg, "--mt=", 5) == 0) {
+      config.mt_clients = static_cast<uint32_t>(std::atoi(arg + 5));
+      if (config.mt_clients == 0) return Usage(argv[0]);
+    } else if (std::strncmp(arg, "--mt-ops=", 9) == 0) {
+      mt_ops = static_cast<uint64_t>(std::atoll(arg + 9));
+      if (mt_ops == 0) return Usage(argv[0]);
+    } else if (std::strncmp(arg, "--mt-scheduler=", 15) == 0) {
+      mt::SchedulerKind sk;
+      if (!mt::ParseSchedulerKind(arg + 15, &sk)) return Usage(argv[0]);
+      config.mt_scheduler = arg + 15;
+    } else if (std::strncmp(arg, "--mt-backpressure=", 18) == 0) {
+      config.mt_backpressure = std::atoi(arg + 18) != 0;
+    } else if (std::strcmp(arg, "--antagonist") == 0) {
+      antagonist = true;
+    } else if (std::strcmp(arg, "--per-client") == 0) {
+      per_client = true;
+    } else if (std::strncmp(arg, "--per-client=", 13) == 0) {
+      per_client = true;
+      per_client_k = static_cast<size_t>(std::atoll(arg + 13));
+      if (per_client_k == 0) return Usage(argv[0]);
     } else {
       return Usage(argv[0]);
     }
   }
   if (params.num_files == 0 || params.num_dirs == 0 || top_n == 0) {
+    return Usage(argv[0]);
+  }
+  const bool mt_mode = config.mt_clients > 0;
+  if (per_client && !mt_mode) {
+    std::fprintf(stderr, "--per-client requires --mt=N\n");
     return Usage(argv[0]);
   }
 
@@ -168,18 +252,37 @@ int main(int argc, char** argv) {
   sim::SimEnv* env = env_or->get();
   env->spans()->set_top_n(top_n);
 
-  auto result = workload::RunSmallFile(env, params);
-  if (!result.ok()) {
-    std::fprintf(stderr, "run: %s\n", result.status().ToString().c_str());
-    return 1;
+  obs::MetricsSnapshot snap;
+  if (mt_mode) {
+    mt::MtParams mt_params = mt::MtParams::FromConfig(config);
+    mt_params.ops_per_client = mt_ops;
+    mt_params.antagonist = antagonist;
+    mt::MtDriver driver(env, mt_params);
+    if (Status s = driver.Run(); !s.ok()) {
+      std::fprintf(stderr, "run: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    snap = env->Snapshot();
+    snap.mt = driver.TakeStats();
+    std::printf("%s: %u clients x %llu ops (%s%s), %.3f simulated seconds\n\n",
+                sim::FsKindName(kind).c_str(), mt_params.clients,
+                static_cast<unsigned long long>(mt_params.ops_per_client),
+                snap.mt.scheduler.c_str(),
+                antagonist ? ", antagonist" : "", snap.sim_seconds);
+  } else {
+    auto result = workload::RunSmallFile(env, params);
+    if (!result.ok()) {
+      std::fprintf(stderr, "run: %s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    snap = env->Snapshot();
+    std::printf("%s: %u files x %u B in %u dirs, %.3f simulated seconds\n\n",
+                sim::FsKindName(kind).c_str(), params.num_files,
+                params.file_bytes, params.num_dirs, snap.sim_seconds);
   }
-
-  const obs::MetricsSnapshot snap = env->Snapshot();
-  std::printf("%s: %u files x %u B in %u dirs, %.3f simulated seconds\n\n",
-              sim::FsKindName(kind).c_str(), params.num_files,
-              params.file_bytes, params.num_dirs, snap.sim_seconds);
   PrintAttribution(snap.spans);
   PrintSlowest(env->spans()->SlowestOps());
+  if (per_client) PrintPerClient(snap, per_client_k);
 
   if (!json_out.empty()) {
     if (!WriteFile(json_out, snap.spans.ToJson().Dump(2))) {
