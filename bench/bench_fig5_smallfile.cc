@@ -12,6 +12,7 @@
 #include <cstring>
 
 #include "bench/report.h"
+#include "src/stats/collect.h"
 #include "src/workload/smallfile.h"
 
 using namespace cffs;
@@ -92,7 +93,7 @@ int main(int argc, char** argv) {
       row.Set("config", sim::FsKindName(kind));
       report.AddRow(std::move(row));
     }
-    snapshots.Set(sim::FsKindName(kind), (*env)->Snapshot().ToJson());
+    snapshots.Set(sim::FsKindName(kind), stats::Snapshot(**env).ToJson());
     bench::AddSpans(&report, sim::FsKindName(kind),
                     (*env)->spans()->breakdown());
   }

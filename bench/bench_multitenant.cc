@@ -34,6 +34,7 @@
 #include "bench/report.h"
 #include "src/mt/driver.h"
 #include "src/sim/sim_env.h"
+#include "src/stats/collect.h"
 
 using namespace cffs;
 
@@ -46,7 +47,7 @@ struct SweepConfig {
 };
 
 struct RunOutcome {
-  obs::MetricsSnapshot snap;
+  stats::MetricsSnapshot snap;
   bool ok = false;
 };
 
@@ -81,7 +82,7 @@ RunOutcome RunOne(const std::string& name, sim::FsKind kind,
                  s.ToString().c_str());
     return out;
   }
-  out.snap = env->Snapshot();
+  out.snap = stats::Snapshot(*env);
   out.snap.mt = driver.TakeStats();
   const auto violations = out.snap.CheckInvariants();
   for (const std::string& v : violations) {

@@ -23,6 +23,7 @@
 
 #include "bench/report.h"
 #include "src/sim/sim_env.h"
+#include "src/stats/collect.h"
 
 using namespace cffs;
 
@@ -77,7 +78,7 @@ class Runner {
                 static_cast<unsigned long long>(s.ops.lookups),
                 static_cast<unsigned long long>(s.ops.dir_block_reads));
     // The accounting invariants must hold after every phase.
-    const auto bad = env_->Snapshot().CheckInvariants();
+    const auto bad = stats::Snapshot(*env_).CheckInvariants();
     for (const std::string& b : bad) {
       std::fprintf(stderr, "INVARIANT VIOLATION [%s/%s]: %s\n",
                    config_.c_str(), phase, b.c_str());

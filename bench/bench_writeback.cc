@@ -19,6 +19,7 @@
 
 #include "bench/report.h"
 #include "src/sim/sim_env.h"
+#include "src/stats/collect.h"
 #include "src/workload/smallfile.h"
 
 using namespace cffs;
@@ -66,7 +67,7 @@ RunOutcome RunOne(const RunConfig& rc, const workload::SmallFileParams& params,
     return out;
   }
 
-  const obs::MetricsSnapshot snap = env->Snapshot();
+  const stats::MetricsSnapshot snap = stats::Snapshot(*env);
   const auto violations = snap.CheckInvariants();
   for (const std::string& v : violations) {
     std::fprintf(stderr, "INVARIANT VIOLATION [%s]: %s\n", rc.name.c_str(),
@@ -86,9 +87,9 @@ RunOutcome RunOne(const RunConfig& rc, const workload::SmallFileParams& params,
 
   // Cumulative io-subsystem counters for the whole four-phase run.
   obs::Json io = obs::Json::Object();
-  io.Set("engine", obs::ToJson(snap.io_engine));
-  io.Set("syncer", obs::ToJson(snap.syncer));
-  io.Set("readahead", obs::ToJson(snap.readahead));
+  io.Set("engine", stats::ToJson(snap.io_engine));
+  io.Set("syncer", stats::ToJson(snap.syncer));
+  io.Set("readahead", stats::ToJson(snap.readahead));
   obs::Json extras = obs::Json::Object();
   extras.Set("config", rc.name);
   extras.Set("io", std::move(io));

@@ -16,7 +16,7 @@
 // Rows for the smallfile-style benches come from PhaseJson(), which carries
 // the per-phase disk time breakdown so the report can answer "where did the
 // time go" without re-running; full counter dumps use
-// MetricsSnapshot::ToJson() (see src/obs/metrics.h).
+// MetricsSnapshot::ToJson() (see src/stats/metrics.h).
 //
 // Header-only on purpose: bench binaries are one file each and already link
 // cffs_obs via cffs_sim.

@@ -49,7 +49,7 @@ struct LogicalIdHash {
   }
 };
 
-// Counter invariants (checked by obs::MetricsSnapshot::CheckInvariants):
+// Counter invariants (checked by stats::MetricsSnapshot::CheckInvariants):
 // every lookup is either a hit or a miss, so hits + misses == lookups; and
 // every staged block is eventually demanded or wasted, so
 // readahead_hits + readahead_wasted <= readahead_staged (the remainder is

@@ -54,12 +54,16 @@ Status CgAllocator::FormatBitmaps() {
       for (uint32_t b = g.first_block; b < g.data_start; ++b) {
         BitSet(bm.data(), b - g.first_block);
       }
+      // cffs-lint: allow(dirty-no-annotation): mkfs-time formatting; no
+      // trace recorder is attached yet and there is no prior state to order
+      // these writes against.
       cache_->MarkDirty(bm);
       free_blocks_ += g.first_block + g.blocks - g.data_start;
     }
     if (g.resv_block != 0) {
       ASSIGN_OR_RETURN(cache::BufferRef rm, cache_->GetZero(g.resv_block));
       std::memset(rm.data().data(), 0, kBlockSize);
+      // cffs-lint: allow(dirty-no-annotation): mkfs-time formatting.
       cache_->MarkDirty(rm);
     }
   }
@@ -152,7 +156,11 @@ Result<uint32_t> CgAllocator::SweepIdleReservations() {
       dirtied = true;
       ++released;
     }
-    if (dirtied) cache_->MarkDirty(rm);
+    if (dirtied) {
+      cache_->MarkDirty(rm);
+      TraceMapBit(obs::MetaUpdateKind::kResvUpdate, g.resv_block,
+                  g.first_block);
+    }
   }
   return released;
 }
@@ -189,6 +197,8 @@ Result<uint32_t> CgAllocator::AllocExtent(uint32_t cg, uint32_t run,
       if (!ok) continue;
       for (uint32_t i = 0; i < run; ++i) BitSet(rm.data(), s + i);
       cache_->MarkDirty(rm);
+      TraceMapBit(obs::MetaUpdateKind::kResvUpdate, g.resv_block,
+                  g.first_block + s);
       return g.first_block + s;
     }
   }
@@ -234,6 +244,7 @@ Status CgAllocator::ReleaseExtent(uint32_t start, uint32_t len) {
     BitClear(rm.data(), start - g.first_block + i);
   }
   cache_->MarkDirty(rm);
+  TraceMapBit(obs::MetaUpdateKind::kResvUpdate, g.resv_block, start);
   return OkStatus();
 }
 
@@ -275,6 +286,7 @@ Status CgAllocator::MarkUsed(uint32_t bno) {
   if (BitGet(bm.data(), bit)) return Corrupt("block already used");
   BitSet(bm.data(), bit);
   cache_->MarkDirty(bm);
+  TraceMapBit(obs::MetaUpdateKind::kFreeMapAlloc, g.bitmap_block, bno);
   assert(free_blocks_ > 0);
   --free_blocks_;
   return OkStatus();

@@ -18,7 +18,7 @@
 #include "src/fs/common/file_system.h"
 #include "src/fs/common/name_cache.h"
 #include "src/io/readahead.h"
-#include "src/obs/metrics.h"
+#include "src/obs/op_latency.h"
 #include "src/obs/trace.h"
 #include "src/util/sim_time.h"
 

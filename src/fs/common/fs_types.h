@@ -22,6 +22,12 @@ inline constexpr uint32_t kMaxNameLen = 255;
 inline constexpr uint32_t kDirectBlocks = 12;
 inline constexpr uint32_t kPtrsPerBlock = kBlockSize / 4;
 
+// Indirect blocks are arrays of u32 block pointers; the on-disk format
+// (inode.h, dir_block.h) assumes they tile a block exactly.
+static_assert(kPtrsPerBlock * 4 == kBlockSize,
+              "u32 block pointers tile an indirect block exactly");
+static_assert(kMaxNameLen == 255, "name length serializes as a u8");
+
 enum class FileType : uint16_t {
   kFree = 0,
   kRegular = 1,
@@ -56,7 +62,7 @@ struct DirEntryInfo {
 // Operation counters kept by each file system.
 //
 // The name-resolution counters obey an accounting invariant checked by
-// obs::MetricsSnapshot::CheckInvariants: every Lookup is answered exactly
+// stats::MetricsSnapshot::CheckInvariants: every Lookup is answered exactly
 // once, so lookups == dentry_hits + dentry_neg_hits + dentry_misses.
 // ("." and "..", which never enter the dentry cache, count as misses.)
 struct FsOpStats {

@@ -12,6 +12,7 @@
 
 namespace cffs::fs {
 
+// cffs-lint: ondisk pin=kInodeSize
 struct InodeData {
   FileType type = FileType::kFree;
   uint16_t nlink = 0;

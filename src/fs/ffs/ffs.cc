@@ -62,6 +62,8 @@ Result<std::unique_ptr<FfsFileSystem>> FfsFileSystem::Format(
     ASSIGN_OR_RETURN(cache::BufferRef bm,
                      cache->GetZero(fs->InodeBitmapBlock(cg)));
     std::memset(bm.data().data(), 0, kBlockSize);
+    // cffs-lint: allow(dirty-no-annotation): mkfs-time formatting; no trace
+    // recorder is attached and there is no prior state to order against.
     cache->MarkDirty(bm);
   }
   // Inode table blocks must be zeroed on disk so LoadInode of a free slot
@@ -70,6 +72,7 @@ Result<std::unique_ptr<FfsFileSystem>> FfsFileSystem::Format(
     for (uint32_t b = 0; b < fs->InodeTableBlocks(); ++b) {
       ASSIGN_OR_RETURN(cache::BufferRef tb,
                        cache->GetZero(fs->InodeTableStart(cg) + b));
+      // cffs-lint: allow(dirty-no-annotation): mkfs-time formatting.
       cache->MarkDirty(tb);
     }
   }
@@ -79,6 +82,7 @@ Result<std::unique_ptr<FfsFileSystem>> FfsFileSystem::Format(
     ASSIGN_OR_RETURN(cache::BufferRef bm,
                      cache->Get(fs->InodeBitmapBlock(0)));
     BitSet(bm.data(), 0);
+    // cffs-lint: allow(dirty-no-annotation): mkfs-time formatting.
     cache->MarkDirty(bm);
   }
   InodeData root;
@@ -118,6 +122,7 @@ Status FfsFileSystem::WriteSuperblock() {
   PutU32(sb.data(), 12, ncg_);
   PutU64(sb.data(), 16, cache_->device()->block_count());
   cache_->MarkDirty(sb);
+  TraceMeta(obs::MetaUpdateKind::kSuperUpdate, /*home_bno=*/0, /*subject=*/0);
   return OkStatus();
 }
 
@@ -197,7 +202,10 @@ Result<InodeNum> FfsFileSystem::AllocInode(InodeNum dir_num, bool is_dir) {
     BitSet(bm.data(), *slot);
     // Inode bitmap updates are delayed, like block bitmaps.
     cache_->MarkDirty(bm);
-    return 1 + static_cast<uint64_t>(cg) * params_.inodes_per_cg + *slot;
+    const InodeNum num =
+        1 + static_cast<uint64_t>(cg) * params_.inodes_per_cg + *slot;
+    TraceMeta(obs::MetaUpdateKind::kInodeMapUpdate, InodeBitmapBlock(cg), num);
+    return num;
   }
   return NoSpace("out of inodes");
 }
@@ -210,6 +218,7 @@ Status FfsFileSystem::FreeInode(InodeNum num) {
   if (!BitGet(bm.data(), slot)) return Corrupt("double inode free");
   BitClear(bm.data(), slot);
   cache_->MarkDirty(bm);
+  TraceMeta(obs::MetaUpdateKind::kInodeMapUpdate, InodeBitmapBlock(cg), num);
   return OkStatus();
 }
 

@@ -1,5 +1,5 @@
 // Plain counter structs for the async I/O subsystem (engine, syncer,
-// readahead). Kept in a dependency-free header so obs::MetricsSnapshot can
+// readahead). Kept in a dependency-free header so stats::MetricsSnapshot can
 // embed them without linking against cffs_io.
 #ifndef CFFS_IO_IO_STATS_H_
 #define CFFS_IO_IO_STATS_H_
@@ -8,7 +8,7 @@
 
 namespace cffs::io {
 
-// Invariant (checked by obs::MetricsSnapshot::CheckInvariants): every
+// Invariant (checked by stats::MetricsSnapshot::CheckInvariants): every
 // submitted request is either completed or still in flight, so
 // completed + inflight == submitted_reads + submitted_writes.
 struct IoEngineStats {

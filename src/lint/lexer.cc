@@ -1,0 +1,180 @@
+#include "src/lint/lexer.h"
+
+#include <cctype>
+
+namespace cffs::lint {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Multi-char punctuators we keep whole so the parser can match on them.
+// Longest first within each leading character.
+const char* const kPuncts[] = {
+    "<<=", ">>=", "->*", "...", "::", "->", "<<", ">>", "<=", ">=", "==",
+    "!=", "&&", "||", "++", "--", "+=", "-=", "*=", "/=", "%=", "&=",
+    "|=", "^=", ".*",
+};
+
+}  // namespace
+
+TokenStream Lex(const std::string& src) {
+  TokenStream out;
+  size_t i = 0;
+  int line = 1;
+  const size_t n = src.size();
+
+  auto at_line_start = [&](size_t pos) {
+    // Only whitespace between the last newline and pos?
+    size_t p = pos;
+    while (p > 0 && src[p - 1] != '\n') {
+      if (src[p - 1] != ' ' && src[p - 1] != '\t') return false;
+      --p;
+    }
+    return true;
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\f' || c == '\v') {
+      ++i;
+      continue;
+    }
+    // Line comment. Consecutive full-line comments merge into one block so
+    // a multi-line suppression or marker counts as a single adjacent
+    // comment ending on its last line.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      size_t j = i + 2;
+      while (j < n && src[j] != '\n') ++j;
+      std::string text = src.substr(i + 2, j - i - 2);
+      if (!out.comments.empty() && out.comments.back().last_line == line - 1 &&
+          at_line_start(i)) {
+        out.comments.back().text += '\n';
+        out.comments.back().text += text;
+        out.comments.back().last_line = line;
+      } else {
+        out.comments.push_back({std::move(text), line, line});
+      }
+      i = j;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      const int first = line;
+      size_t j = i + 2;
+      while (j + 1 < n && !(src[j] == '*' && src[j + 1] == '/')) {
+        if (src[j] == '\n') ++line;
+        ++j;
+      }
+      out.comments.push_back({src.substr(i + 2, j - i - 2), first, line});
+      i = (j + 1 < n) ? j + 2 : n;
+      continue;
+    }
+    // Preprocessor directive: fold backslash continuations into one entry.
+    if (c == '#' && at_line_start(i)) {
+      const int first = line;
+      std::string text;
+      size_t j = i + 1;
+      while (j < n) {
+        if (src[j] == '\\' && j + 1 < n && src[j + 1] == '\n') {
+          text += ' ';
+          ++line;
+          j += 2;
+          continue;
+        }
+        if (src[j] == '\n') break;
+        text += src[j];
+        ++j;
+      }
+      out.directives.push_back({text, first});
+      i = j;
+      continue;
+    }
+    // String and character literals (prefixes like u8R ride on the
+    // preceding identifier token; raw strings are handled well enough for
+    // this codebase, which has none).
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::string text(1, quote);
+      size_t j = i + 1;
+      while (j < n && src[j] != quote) {
+        if (src[j] == '\\' && j + 1 < n) {
+          text += src[j];
+          text += src[j + 1];
+          j += 2;
+          continue;
+        }
+        if (src[j] == '\n') ++line;  // unterminated; keep scanning
+        text += src[j];
+        ++j;
+      }
+      if (j < n) text += quote;
+      out.tokens.push_back({TokKind::kString, std::move(text), line});
+      i = (j < n) ? j + 1 : n;
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < n && IsIdentChar(src[j])) ++j;
+      out.tokens.push_back({TokKind::kIdentifier, src.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      size_t j = i;
+      while (j < n && (IsIdentChar(src[j]) || src[j] == '.' ||
+                       ((src[j] == '+' || src[j] == '-') && j > i &&
+                        (src[j - 1] == 'e' || src[j - 1] == 'E' ||
+                         src[j - 1] == 'p' || src[j - 1] == 'P')))) {
+        ++j;
+      }
+      out.tokens.push_back({TokKind::kNumber, src.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    // Punctuator: try the multi-char table, else a single char.
+    std::string p(1, c);
+    for (const char* m : kPuncts) {
+      const size_t len = std::char_traits<char>::length(m);
+      if (src.compare(i, len, m) == 0) {
+        p = m;
+        break;
+      }
+    }
+    out.tokens.push_back({TokKind::kPunct, p, line});
+    i += p.size();
+  }
+  return out;
+}
+
+bool HasAdjacentComment(const std::vector<Comment>& comments, int line) {
+  for (const Comment& c : comments) {
+    if (c.last_line == line || c.last_line == line - 1) return true;
+  }
+  return false;
+}
+
+const Comment* AdjacentCommentContaining(const std::vector<Comment>& comments,
+                                         int line, const std::string& needle) {
+  for (const Comment& c : comments) {
+    if ((c.last_line == line || c.last_line == line - 1) &&
+        c.text.find(needle) != std::string::npos) {
+      return &c;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace cffs::lint

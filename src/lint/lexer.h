@@ -1,0 +1,65 @@
+// Token scanner for cffs_lint (see rules.h for the analyzer overview).
+//
+// This is not a C++ front end: it splits a translation unit into the four
+// streams the declaration-level rules need — code tokens, comments,
+// preprocessor directives (with line continuations folded) — and nothing
+// more. String/char literals are collapsed to single tokens, macro bodies
+// ride along inside their directive, and no header is ever opened
+// transitively, which is what lets the tool run everywhere CI does with no
+// libclang dependency.
+#ifndef CFFS_LINT_LEXER_H_
+#define CFFS_LINT_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cffs::lint {
+
+enum class TokKind : uint8_t {
+  kIdentifier,  // identifiers and keywords (the parser separates them)
+  kNumber,
+  kString,      // "..." or '...' including prefixes/suffixes
+  kPunct,       // one token per operator/punctuator, multi-char folded
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;
+  int line = 0;  // 1-based
+};
+
+struct Comment {
+  std::string text;     // without the // or /* */ framing
+  int first_line = 0;   // 1-based
+  int last_line = 0;    // block comments can span lines
+};
+
+// One preprocessor directive with backslash continuations folded in.
+struct Directive {
+  std::string text;  // full text after '#', e.g. `include "src/obs/json.h"`
+  int line = 0;
+};
+
+struct TokenStream {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+  std::vector<Directive> directives;
+};
+
+// Scans a buffer. Never fails: bytes it cannot classify become kPunct
+// tokens, which the declaration-level parser simply skips over.
+TokenStream Lex(const std::string& source);
+
+// True if some comment ends on `line` or on `line - 1` — the adjacency
+// test used by the justification-comment checks.
+bool HasAdjacentComment(const std::vector<Comment>& comments, int line);
+
+// First comment whose text contains `needle` and that ends on `line` or
+// `line - 1`; nullptr if none. Used for suppression lookups.
+const Comment* AdjacentCommentContaining(const std::vector<Comment>& comments,
+                                         int line, const std::string& needle);
+
+}  // namespace cffs::lint
+
+#endif  // CFFS_LINT_LEXER_H_

@@ -1,0 +1,403 @@
+#include "src/lint/parse.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace cffs::lint {
+
+namespace {
+
+bool IsKeyword(const std::string& s) {
+  static const std::set<std::string> kw = {
+      "if",      "else",    "for",      "while",   "do",       "switch",
+      "case",    "default", "return",   "break",   "continue", "goto",
+      "sizeof",  "alignof", "decltype", "new",     "delete",   "throw",
+      "try",     "catch",   "static_assert",       "static_cast",
+      "const_cast",         "dynamic_cast",        "reinterpret_cast",
+      "co_return",          "co_await", "co_yield"};
+  return kw.count(s) > 0;
+}
+
+bool IsQualifierKeyword(const std::string& s) {
+  static const std::set<std::string> kw = {
+      "static",   "inline", "virtual", "constexpr", "consteval", "constinit",
+      "explicit", "extern", "friend",  "typename",  "const",     "volatile",
+      "mutable",  "using",  "typedef"};
+  return kw.count(s) > 0;
+}
+
+bool IsIdent(const Token& t) { return t.kind == TokKind::kIdentifier; }
+bool IsPunct(const Token& t, const char* p) {
+  return t.kind == TokKind::kPunct && t.text == p;
+}
+
+// Walks back from `i` (inclusive) over one balanced `<...>` group ending at
+// `i`; returns the index of the matching '<', or npos.
+size_t MatchAngleBackward(const std::vector<Token>& toks, size_t i) {
+  int depth = 0;
+  for (size_t k = i + 1; k-- > 0;) {
+    if (IsPunct(toks[k], ">")) ++depth;
+    else if (IsPunct(toks[k], "<")) {
+      --depth;
+      if (depth == 0) return k;
+    } else if (IsPunct(toks[k], ";") || IsPunct(toks[k], "{") ||
+               IsPunct(toks[k], "}")) {
+      return std::string::npos;  // gave up: not a template argument list
+    }
+    if (k == 0) break;
+  }
+  return std::string::npos;
+}
+
+void ExtractIncludes(const TokenStream& ts, std::vector<IncludeRef>* out) {
+  for (const Directive& d : ts.directives) {
+    size_t p = 0;
+    while (p < d.text.size() && std::isspace(static_cast<unsigned char>(d.text[p]))) ++p;
+    if (d.text.compare(p, 7, "include") != 0) continue;
+    p += 7;
+    while (p < d.text.size() && std::isspace(static_cast<unsigned char>(d.text[p]))) ++p;
+    if (p >= d.text.size()) continue;
+    const char open = d.text[p];
+    const char close = open == '<' ? '>' : '"';
+    if (open != '<' && open != '"') continue;
+    const size_t end = d.text.find(close, p + 1);
+    if (end == std::string::npos) continue;
+    out->push_back({d.text.substr(p + 1, end - p - 1), open == '<', d.line});
+  }
+}
+
+// Collects the (possibly qualified) callee/function name whose final
+// identifier sits at `i`. Returns the index of the first token of the name.
+size_t QualifiedNameStart(const std::vector<Token>& toks, size_t i) {
+  size_t start = i;
+  while (start >= 2 && IsPunct(toks[start - 1], "::") && IsIdent(toks[start - 2])) {
+    start -= 2;
+  }
+  return start;
+}
+
+std::string JoinTokens(const std::vector<Token>& toks, size_t from, size_t to) {
+  std::string s;
+  for (size_t k = from; k <= to && k < toks.size(); ++k) {
+    if (!s.empty() && IsIdent(toks[k]) && IsIdent(toks[k - 1])) s += ' ';
+    s += toks[k].text;
+  }
+  return s;
+}
+
+void ExtractFunctions(const TokenStream& ts, std::vector<FunctionDef>* out) {
+  const std::vector<Token>& toks = ts.tokens;
+  const size_t n = toks.size();
+  // Each open '{' is either a function body (true) or structural (false);
+  // inside any function body we stop looking for further definitions
+  // (lambdas and local classes are part of their enclosing body).
+  std::vector<bool> body_stack;
+  auto in_body = [&] {
+    return std::find(body_stack.begin(), body_stack.end(), true) !=
+           body_stack.end();
+  };
+
+  size_t k = 0;
+  while (k < n) {
+    const Token& t = toks[k];
+    if (IsPunct(t, "{")) {
+      body_stack.push_back(false);
+      ++k;
+      continue;
+    }
+    if (IsPunct(t, "}")) {
+      if (!body_stack.empty()) {
+        if (body_stack.back() && !out->empty() && out->back().body_end == 0) {
+          out->back().body_end = k;
+        }
+        body_stack.pop_back();
+      }
+      ++k;
+      continue;
+    }
+    if (!in_body() && IsPunct(t, "(") && k > 0) {
+      // Candidate head: name '(' params ')' [tail] '{'.
+      std::string name, base;
+      int line = t.line;
+      if (IsIdent(toks[k - 1]) && !IsKeyword(toks[k - 1].text)) {
+        const size_t start = QualifiedNameStart(toks, k - 1);
+        name = JoinTokens(toks, start, k - 1);
+        base = toks[k - 1].text;
+        line = toks[start].line;
+      } else if (toks[k - 1].kind == TokKind::kPunct && k >= 2 &&
+                 IsIdent(toks[k - 2]) && toks[k - 2].text == "operator") {
+        name = "operator" + toks[k - 1].text;
+        base = name;
+        line = toks[k - 2].line;
+      }
+      const size_t close = MatchForward(toks, k);
+      if (!name.empty() && close != std::string::npos) {
+        // Scan the tail (const, noexcept, ->T, : init-list) for the body.
+        size_t m = close + 1;
+        int pdepth = 0;
+        bool is_def = false;
+        bool seen_colon = false;  // inside a ctor member-init list
+        while (m < n) {
+          const Token& x = toks[m];
+          if (pdepth == 0 &&
+              (IsPunct(x, ";") || IsPunct(x, "=") || IsPunct(x, "}"))) {
+            break;  // declaration, `= default`, or we ran off the scope
+          }
+          if (IsPunct(x, "(")) ++pdepth;
+          else if (IsPunct(x, ")")) --pdepth;
+          else if (pdepth == 0 && IsPunct(x, ":")) seen_colon = true;
+          else if (pdepth == 0 && IsPunct(x, "{")) {
+            // In an init list, `member{...}` braces directly follow the
+            // member name; the body brace follows ')' or '}'.
+            if (seen_colon && m > 0 &&
+                (IsIdent(toks[m - 1]) || IsPunct(toks[m - 1], ">"))) {
+              const size_t bc = MatchForward(toks, m);
+              if (bc == std::string::npos) break;
+              m = bc + 1;
+              continue;
+            }
+            is_def = true;
+            break;
+          }
+          ++m;
+        }
+        if (is_def) {
+          FunctionDef fd;
+          fd.name = std::move(name);
+          fd.base_name = std::move(base);
+          fd.line = line;
+          fd.body_begin = m + 1;
+          out->push_back(std::move(fd));
+          body_stack.push_back(true);
+          k = m + 1;
+          continue;
+        }
+      }
+    }
+    ++k;
+  }
+  // Unterminated last body (truncated file): close it at EOF.
+  if (!out->empty() && out->back().body_end == 0) out->back().body_end = n;
+}
+
+void ExtractStructs(const TokenStream& ts, std::vector<StructDef>* out) {
+  const std::vector<Token>& toks = ts.tokens;
+  const size_t n = toks.size();
+  for (size_t k = 0; k + 2 < n; ++k) {
+    if (!IsIdent(toks[k]) ||
+        (toks[k].text != "struct" && toks[k].text != "class")) {
+      continue;
+    }
+    if (!IsIdent(toks[k + 1]) || IsKeyword(toks[k + 1].text)) continue;
+    // Not `enum class E`, `template <class T, ...>`, or `friend class F`.
+    if (k > 0 && (toks[k - 1].text == "enum" || IsPunct(toks[k - 1], "<") ||
+                  IsPunct(toks[k - 1], ",") || toks[k - 1].text == "friend")) {
+      continue;
+    }
+    // Skip over an optional base-clause to the block (or bail on ';').
+    size_t b = k + 2;
+    while (b < n && !IsPunct(toks[b], "{") && !IsPunct(toks[b], ";") &&
+           !IsPunct(toks[b], "(")) {
+      ++b;
+    }
+    if (b >= n || !IsPunct(toks[b], "{")) continue;
+    StructDef sd;
+    sd.name = toks[k + 1].text;
+    sd.line = toks[k].line;
+    // Members: depth-1 statements ending in ';' that contain no '(' (those
+    // are methods/ctors) and do not start with a nested declaration or an
+    // access specifier.
+    const size_t close = MatchForward(toks, b);
+    if (close == std::string::npos) continue;
+    size_t stmt = b + 1;
+    size_t m = b + 1;
+    int depth = 0;
+    while (m < close) {
+      const Token& x = toks[m];
+      if (IsPunct(x, "{") || IsPunct(x, "(")) ++depth;
+      else if (IsPunct(x, "}") || IsPunct(x, ")")) --depth;
+      else if (depth == 0 && IsPunct(x, ";")) {
+        // Statement tokens [stmt, m).
+        bool has_paren = false;
+        for (size_t q = stmt; q < m; ++q) {
+          if (IsPunct(toks[q], "(")) { has_paren = true; break; }
+        }
+        const bool skip =
+            m == stmt || has_paren ||
+            (IsIdent(toks[stmt]) &&
+             (IsQualifierKeyword(toks[stmt].text) || IsKeyword(toks[stmt].text) ||
+              toks[stmt].text == "struct" || toks[stmt].text == "class" ||
+              toks[stmt].text == "enum" || toks[stmt].text == "public" ||
+              toks[stmt].text == "private" || toks[stmt].text == "protected"));
+        if (!skip) {
+          // Member name: last identifier before '=' / '{' / end.
+          size_t name_idx = std::string::npos;
+          for (size_t q = stmt; q < m; ++q) {
+            if (IsPunct(toks[q], "=") || IsPunct(toks[q], "{")) break;
+            if (IsIdent(toks[q])) name_idx = q;
+          }
+          if (name_idx != std::string::npos && name_idx > stmt) {
+            MemberDecl md;
+            md.name = toks[name_idx].text;
+            md.line = toks[name_idx].line;
+            for (size_t q = stmt; q < name_idx; ++q) {
+              md.type_tokens.push_back(toks[q].text);
+            }
+            sd.members.push_back(std::move(md));
+          }
+        }
+        stmt = m + 1;
+      }
+      ++m;
+    }
+    out->push_back(std::move(sd));
+    k = close;
+  }
+}
+
+void ExtractStaticAsserts(const TokenStream& ts,
+                          std::vector<StaticAssertDecl>* out) {
+  const std::vector<Token>& toks = ts.tokens;
+  for (size_t k = 0; k + 1 < toks.size(); ++k) {
+    if (!IsIdent(toks[k]) || toks[k].text != "static_assert") continue;
+    if (!IsPunct(toks[k + 1], "(")) continue;
+    const size_t close = MatchForward(toks, k + 1);
+    if (close == std::string::npos) continue;
+    StaticAssertDecl sa;
+    sa.line = toks[k].line;
+    sa.condition = JoinTokens(toks, k + 2, close - 1);
+    out->push_back(std::move(sa));
+    k = close;
+  }
+}
+
+}  // namespace
+
+size_t MatchForward(const std::vector<Token>& toks, size_t open) {
+  const std::string& o = toks[open].text;
+  const std::string c = o == "(" ? ")" : o == "{" ? "}" : "]";
+  int depth = 0;
+  for (size_t k = open; k < toks.size(); ++k) {
+    if (toks[k].kind != TokKind::kPunct) continue;
+    if (toks[k].text == o) ++depth;
+    else if (toks[k].text == c) {
+      --depth;
+      if (depth == 0) return k;
+    }
+  }
+  return std::string::npos;
+}
+
+ParsedFile ParseSource(std::string rel_path, const std::string& source) {
+  ParsedFile f;
+  f.rel_path = std::move(rel_path);
+  f.ts = Lex(source);
+  ExtractIncludes(f.ts, &f.includes);
+  ExtractFunctions(f.ts, &f.functions);
+  ExtractStructs(f.ts, &f.structs);
+  ExtractStaticAsserts(f.ts, &f.static_asserts);
+  return f;
+}
+
+void SymbolTables::Accumulate(const ParsedFile& f,
+                              const std::set<std::string>& statusy) {
+  const std::vector<Token>& toks = f.ts.tokens;
+  const size_t n = toks.size();
+
+  for (size_t k = 0; k + 1 < n; ++k) {
+    // `using A = B;`
+    if (IsIdent(toks[k]) && toks[k].text == "using" && k + 3 < n &&
+        IsIdent(toks[k + 1]) && IsPunct(toks[k + 2], "=") &&
+        IsIdent(toks[k + 3])) {
+      aliases[toks[k + 1].text] = toks[k + 3].text;
+      continue;
+    }
+    // `enum [class] E : T`
+    if (IsIdent(toks[k]) && toks[k].text == "enum") {
+      size_t p = k + 1;
+      if (p < n && IsIdent(toks[p]) &&
+          (toks[p].text == "class" || toks[p].text == "struct")) {
+        ++p;
+      }
+      if (p + 2 < n && IsIdent(toks[p]) && IsPunct(toks[p + 1], ":") &&
+          IsIdent(toks[p + 2])) {
+        enum_bases[toks[p].text] = toks[p + 2].text;
+      }
+      continue;
+    }
+    // Declaration `<type> Name (` — classify Name by the type's head.
+    if (!(IsIdent(toks[k]) && !IsKeyword(toks[k].text) && k + 1 < n &&
+          IsPunct(toks[k + 1], "("))) {
+      continue;
+    }
+    if (k == 0) continue;
+    // Walk back over the return-type token run.
+    size_t p = k - 1;
+    bool have_type = false;
+    while (true) {
+      const Token& x = toks[p];
+      if (IsPunct(x, ">")) {
+        const size_t lt = MatchAngleBackward(toks, p);
+        if (lt == std::string::npos || lt == 0) break;
+        p = lt - 1;
+        have_type = true;
+      } else if (IsPunct(x, "*") || IsPunct(x, "&") || IsPunct(x, "&&") ||
+                 IsPunct(x, "::")) {
+        if (p == 0) break;
+        --p;
+      } else if (IsIdent(x) && !IsKeyword(x.text)) {
+        have_type = true;
+        if (p == 0) break;
+        // Keep walking only across :: qualification or qualifier keywords.
+        if (IsPunct(toks[p - 1], "::")) {
+          if (p < 2) break;
+          p -= 2;
+        } else if (IsIdent(toks[p - 1]) &&
+                   IsQualifierKeyword(toks[p - 1].text)) {
+          --p;
+        } else {
+          break;
+        }
+      } else {
+        break;
+      }
+    }
+    if (!have_type) continue;
+    // `p` now sits on the first token of the type run (or a qualifier).
+    size_t head = p;
+    while (head < k && IsIdent(toks[head]) &&
+           IsQualifierKeyword(toks[head].text)) {
+      ++head;
+    }
+    if (head >= k || !IsIdent(toks[head])) continue;
+    // Resolve `cffs::Status`-style qualification to its last component.
+    while (head + 2 < k && IsPunct(toks[head + 1], "::") &&
+           IsIdent(toks[head + 2])) {
+      head += 2;
+    }
+    // Only count it as a declaration if the token before the run ends a
+    // statement or scope — this filters out calls like `a + Foo(x)`.
+    if (p > 0) {
+      const Token& before = toks[p - 1];
+      const bool boundary = IsPunct(before, ";") || IsPunct(before, "{") ||
+                            IsPunct(before, "}") || IsPunct(before, ":") ||
+                            IsPunct(before, ",") || IsPunct(before, "(") ||
+                            IsPunct(before, ">") ||
+                            (IsIdent(before) &&
+                             (IsQualifierKeyword(before.text) ||
+                              before.text == "public" ||
+                              before.text == "private" ||
+                              before.text == "protected"));
+      if (!boundary) continue;
+    }
+    const std::string& head_name = toks[head].text;
+    const std::string& fn = toks[k].text;
+    if (statusy.count(head_name) > 0) {
+      status_callables.insert(fn);
+    } else {
+      other_callables.insert(fn);
+    }
+  }
+}
+
+}  // namespace cffs::lint

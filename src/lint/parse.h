@@ -1,0 +1,99 @@
+// Declaration-level C++ parsing for cffs_lint.
+//
+// Built on the token stream of lexer.h, this extracts exactly the shapes
+// the rules need and nothing else:
+//   - #include targets,
+//   - function definitions with their body token ranges,
+//   - struct definitions with member type/name pairs,
+//   - static_assert conditions,
+//   - type-alias and enum-underlying-type tables (to resolve whether a
+//     member type is fixed-width),
+//   - a callable database: which function names are declared returning
+//     Status / Result<T>, and which names also have non-Status overloads
+//     (those are ambiguous and exempt from the discard rule).
+//
+// It is resilient rather than complete: constructs it cannot classify are
+// skipped, never fatal. The self-test fixtures pin the shapes it must get
+// right.
+#ifndef CFFS_LINT_PARSE_H_
+#define CFFS_LINT_PARSE_H_
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/lint/lexer.h"
+
+namespace cffs::lint {
+
+struct IncludeRef {
+  std::string path;  // as written between the quotes/brackets
+  bool angled = false;
+  int line = 0;
+};
+
+struct FunctionDef {
+  std::string name;       // qualified as written, e.g. "FsBase::MetaDirty"
+  std::string base_name;  // last component, e.g. "MetaDirty"
+  int line = 0;
+  size_t body_begin = 0;  // token index just past the opening '{'
+  size_t body_end = 0;    // token index of the closing '}'
+};
+
+struct MemberDecl {
+  std::vector<std::string> type_tokens;  // e.g. {"std","::","array","<",...}
+  std::string name;
+  int line = 0;
+};
+
+struct StructDef {
+  std::string name;
+  int line = 0;  // line of the 'struct' keyword
+  std::vector<MemberDecl> members;
+};
+
+struct StaticAssertDecl {
+  std::string condition;  // all tokens of the assert joined with spaces
+  int line = 0;
+};
+
+// One parsed file, ready for the rules.
+struct ParsedFile {
+  std::string rel_path;  // relative to the lint root, '/'-separated
+  TokenStream ts;
+  std::vector<IncludeRef> includes;
+  std::vector<FunctionDef> functions;
+  std::vector<StructDef> structs;
+  std::vector<StaticAssertDecl> static_asserts;
+};
+
+ParsedFile ParseSource(std::string rel_path, const std::string& source);
+
+// Global symbol tables accumulated over every scanned file.
+struct SymbolTables {
+  // Names declared with return type Status or Result<...>.
+  std::set<std::string> status_callables;
+  // Names declared with any other return type (ambiguity guard).
+  std::set<std::string> other_callables;
+  // `using A = B;` — alias name to the first token of its target.
+  std::map<std::string, std::string> aliases;
+  // `enum [class] E : T` — enum name to underlying-type token.
+  std::map<std::string, std::string> enum_bases;
+
+  void Accumulate(const ParsedFile& f, const std::set<std::string>& statusy);
+
+  // True if `name` returns Status/Result in every declaration seen.
+  bool IsStatusOnly(const std::string& name) const {
+    return status_callables.count(name) > 0 && other_callables.count(name) == 0;
+  }
+};
+
+// Index of the matching ')' / '}' for the opener at `open`; npos if
+// unbalanced.
+size_t MatchForward(const std::vector<Token>& toks, size_t open);
+
+}  // namespace cffs::lint
+
+#endif  // CFFS_LINT_PARSE_H_

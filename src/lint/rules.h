@@ -1,0 +1,112 @@
+// cffs_lint rule engine.
+//
+// The analyzer runs in two phases over the scanned tree: a first pass that
+// parses every file (parse.h) and accumulates the global symbol tables, and
+// a second pass that evaluates the rule catalog against each parsed file.
+// Rules (ids are stable, they appear in diagnostics and suppressions):
+//
+//   dirty-no-annotation  A function under the configured scope (src/fs/)
+//                        that calls a metadata dirty helper must also emit
+//                        an ordering annotation (TraceMeta/TraceMapBit) in
+//                        the same body, so the OrderingChecker can see the
+//                        mutation on every execution path.
+//   status-discard       A statement-level call to a function declared to
+//                        return Status/Result<T> silently discards the
+//                        value; `(void)` casts are accepted only with an
+//                        adjacent justification comment.
+//   layering             An include edge between src/ layers that is not in
+//                        the allowed-edges table. Reported as "from -> to".
+//   ondisk-struct        A struct carrying the ondisk marker must use only
+//                        fixed-width member types and be pinned by a
+//                        static_assert in the same file; files listed in
+//                        `ondisk_files` must carry at least one
+//                        static_assert.
+//
+// Any finding can be waived at the offending line with an adjacent comment
+//   // cffs-lint: allow(<rule-id>): <reason>
+// where the reason is mandatory — a bare allow() is itself ignored.
+#ifndef CFFS_LINT_RULES_H_
+#define CFFS_LINT_RULES_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/lint/parse.h"
+#include "src/obs/json.h"
+#include "src/util/status.h"
+
+namespace cffs::lint {
+
+struct Finding {
+  std::string rule;
+  std::string file;  // relative to the lint root
+  int line = 0;
+  std::string message;
+  std::string detail;  // rule-specific, e.g. the illegal edge "fs -> disk"
+};
+
+// The checked-in catalog (tools/lint/rules.json).
+struct LintConfig {
+  // Scan roots relative to --root, and path prefixes excluded from the scan.
+  std::vector<std::string> paths;
+  std::vector<std::string> excludes;
+
+  // layering: layer name -> other layers it may include (itself and util
+  // are always allowed implicitly).
+  std::map<std::string, std::vector<std::string>> layers;
+
+  // dirty-no-annotation.
+  std::string dirty_scope;               // path prefix, e.g. "src/fs/"
+  std::set<std::string> dirty_helpers;   // MarkDirty, MetaDirty, ...
+  std::set<std::string> annotators;      // TraceMeta, TraceMapBit, ...
+
+  // status-discard: return-type heads that make a callable "statusy".
+  std::set<std::string> status_types;
+
+  // ondisk-struct: files that must contain at least one static_assert.
+  std::vector<std::string> ondisk_files;
+
+  // --self-test: rule id -> fixture path (relative to the fixture root),
+  // plus the special key "clean".
+  std::map<std::string, std::string> fixtures;
+
+  static Result<LintConfig> Load(const std::string& json_text);
+};
+
+// Fully parsed tree plus the symbol tables the rules consult.
+struct LintInput {
+  std::vector<ParsedFile> files;
+  SymbolTables symbols;
+};
+
+// Parses `source` and accumulates its symbols. Call once per file, then
+// RunRules once.
+void AddSource(const LintConfig& cfg, std::string rel_path,
+               const std::string& source, LintInput* in);
+
+// Evaluates every rule over every file. Deterministic: findings are ordered
+// by (file, line, rule).
+std::vector<Finding> RunRules(const LintConfig& cfg, const LintInput& in);
+
+// Walks `root` for *.h/*.cc files under cfg.paths (or `paths` if non-empty),
+// skipping cfg.excludes, and runs the rules. Returns the findings and the
+// number of files scanned via *files_scanned (optional).
+Result<std::vector<Finding>> LintTree(const std::string& root,
+                                      const LintConfig& cfg,
+                                      const std::vector<std::string>& paths,
+                                      size_t* files_scanned);
+
+// Mutation-style self-test: every fixture listed in cfg.fixtures must be
+// convicted by exactly its own rule, and the "clean" fixture by none.
+Status SelfTest(const std::string& fixtures_root, const LintConfig& cfg);
+
+// {"schema": "cffs-lint-v1", "root": ..., "files_scanned": N,
+//  "findings": [{rule, file, line, message, detail}, ...]}
+obs::Json FindingsToJson(const std::string& root, size_t files_scanned,
+                         const std::vector<Finding>& findings);
+
+}  // namespace cffs::lint
+
+#endif  // CFFS_LINT_RULES_H_

@@ -1,5 +1,5 @@
 // Plain stats structs for the multi-tenant op scheduler (src/mt). Kept in
-// a dependency-free header (pattern: io/io_stats.h) so obs::MetricsSnapshot
+// a dependency-free header (pattern: io/io_stats.h) so stats::MetricsSnapshot
 // can embed them without linking against cffs_mt.
 //
 // The headline latency here is the FULL per-op latency a tenant observes:

@@ -1,0 +1,35 @@
+#include "src/obs/op_latency.h"
+
+namespace cffs::obs {
+
+LatencyHistogram* OpLatencies::ForOp(FsOp op) {
+  switch (op) {
+    case FsOp::kLookup: return &lookup;
+    case FsOp::kCreate: return &create;
+    case FsOp::kRead: return &read;
+    case FsOp::kWrite: return &write;
+    case FsOp::kSync: return &sync;
+    default: return nullptr;
+  }
+}
+
+const LatencyHistogram* OpLatencies::ForOp(FsOp op) const {
+  return const_cast<OpLatencies*>(this)->ForOp(op);
+}
+
+Json HistogramJson(const LatencyHistogram& h) {
+  Result<Json> parsed = Json::Parse(h.ToJson());
+  return parsed.ok() ? *std::move(parsed) : Json();
+}
+
+Json OpLatencies::ToJson() const {
+  Json j = Json::Object();
+  j.Set("lookup", HistogramJson(lookup));
+  j.Set("create", HistogramJson(create));
+  j.Set("read", HistogramJson(read));
+  j.Set("write", HistogramJson(write));
+  j.Set("sync", HistogramJson(sync));
+  return j;
+}
+
+}  // namespace cffs::obs

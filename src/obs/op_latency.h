@@ -1,0 +1,36 @@
+// OpLatencies: per-operation latency distributions for the individually
+// timed file-system operations. Lives in obs (not stats) because fs::FsBase
+// owns one and records into it on every public call; the stats layer only
+// copies it into snapshots.
+#ifndef CFFS_OBS_OP_LATENCY_H_
+#define CFFS_OBS_OP_LATENCY_H_
+
+#include "src/obs/json.h"
+#include "src/obs/trace.h"
+#include "src/util/histogram.h"
+
+namespace cffs::obs {
+
+// Latency distributions for the individually-timed operations.
+struct OpLatencies {
+  LatencyHistogram lookup;
+  LatencyHistogram create;
+  LatencyHistogram read;
+  LatencyHistogram write;
+  LatencyHistogram sync;
+
+  // Histogram for `op`, or nullptr if the op is not tracked.
+  LatencyHistogram* ForOp(FsOp op);
+  const LatencyHistogram* ForOp(FsOp op) const;
+
+  void Reset() { *this = OpLatencies{}; }
+  Json ToJson() const;
+};
+
+// LatencyHistogram::ToJson() emits a string in the canonical schema;
+// re-parse it into the DOM rather than maintaining a second serializer.
+Json HistogramJson(const LatencyHistogram& h);
+
+}  // namespace cffs::obs
+
+#endif  // CFFS_OBS_OP_LATENCY_H_

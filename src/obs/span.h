@@ -18,10 +18,10 @@
 //                  engine requests serviced inside this op's kick
 //   throttle_stall writer stalled at the dirty high-watermark while the
 //                  syncer flushed (the kIoThrottle duration)
-//   seek           disk arm movement           \
-//   rotation       rotational positioning       |  per-command breakdown
-//   transfer       media/bus transfer           |  mirrored from DiskStats
-//   overhead       command overhead            /
+//   seek           disk arm movement           +
+//   rotation       rotational positioning      |  per-command breakdown
+//   transfer       media/bus transfer          |  mirrored from DiskStats
+//   overhead       command overhead            +
 //
 // The SpanTracker is wired by sim::SimEnv the same way TraceRecorder is
 // (set_spans on each layer); all emit sites are `if (spans_)`-guarded, so
@@ -31,7 +31,7 @@
 // type, client id (0 until multi-tenant lands — ROADMAP item 1), phase
 // times, and a bounded list of time segments for span-tree rendering
 // (tools/cffs_prof). Completed ops feed per-op-type aggregates
-// (PhaseBreakdown, embedded in obs::MetricsSnapshot) and a top-N
+// (PhaseBreakdown, embedded in stats::MetricsSnapshot) and a top-N
 // slowest-op list.
 #ifndef CFFS_OBS_SPAN_H_
 #define CFFS_OBS_SPAN_H_

@@ -18,6 +18,9 @@ const char* MetaUpdateName(MetaUpdateKind kind) {
     case MetaUpdateKind::kFreeMapAlloc: return "freemap-alloc";
     case MetaUpdateKind::kFreeMapFree: return "freemap-free";
     case MetaUpdateKind::kMapUpdate: return "map-update";
+    case MetaUpdateKind::kInodeMapUpdate: return "inodemap-update";
+    case MetaUpdateKind::kResvUpdate: return "resv-update";
+    case MetaUpdateKind::kSuperUpdate: return "super-update";
   }
   return "none";
 }

@@ -71,12 +71,15 @@ enum class MetaUpdateKind : uint8_t {
   kFreeMapAlloc,  // free-map bit set for block b (a = bitmap block)
   kFreeMapFree,   // free-map bit cleared for block b (a = bitmap block)
   kMapUpdate,     // block aux attached to inode b's map (flag = grouped)
+  kInodeMapUpdate,  // inode-allocation bitmap block rewritten (b = inum)
+  kResvUpdate,    // allocator reservation state changed (b = start block)
+  kSuperUpdate,   // superblock rewritten (a = home block)
 };
 
 const char* MetaUpdateName(MetaUpdateKind kind);
 
 // File-system operations that are individually timed. The first five carry
-// latency histograms (see obs/metrics.h); the rest appear in traces only.
+// latency histograms (see obs/op_latency.h); the rest appear in traces only.
 enum class FsOp : uint8_t {
   kLookup,
   kCreate,

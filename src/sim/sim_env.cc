@@ -98,29 +98,6 @@ void SimEnv::AttachTrace() {
   sampler_->set_trace(t);
 }
 
-obs::MetricsSnapshot SimEnv::Snapshot() const {
-  obs::MetricsSnapshot snap;
-  snap.fs_name = fs_ ? fs_->name() : FsKindName(kind_);
-  snap.sim_seconds = clock_.now().seconds();
-  if (fs_) {
-    snap.fs_ops = fs_->op_stats();
-    snap.latency = fs_->op_latencies();
-  }
-  snap.cache = cache_->stats();
-  snap.block_io = device_->stats();
-  snap.disk = disk_->stats();
-  snap.io_engine = engine_->stats();
-  if (syncer_) snap.syncer = syncer_->stats();
-  if (readahead_) snap.readahead = readahead_->stats();
-  snap.spans = spans_->breakdown();
-  snap.time_series = sampler_->samples();
-  if (trace_) {
-    snap.trace_events = trace_->size();
-    snap.trace_dropped = trace_->dropped();
-  }
-  return snap;
-}
-
 void SimEnv::ChargeCpu(uint64_t bytes) {
   SimTime t = config_.cpu_per_op;
   if (bytes > 0) {

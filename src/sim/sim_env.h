@@ -18,7 +18,6 @@
 #include "src/io/io_engine.h"
 #include "src/io/readahead.h"
 #include "src/io/syncer.h"
-#include "src/obs/metrics.h"
 #include "src/obs/sampler.h"
 #include "src/obs/span.h"
 #include "src/obs/trace.h"
@@ -116,6 +115,9 @@ class SimEnv {
   blk::BlockDevice& device() { return *device_; }
   cache::BufferCache& cache() { return *cache_; }
   fs::FileSystem* fs() { return fs_.get(); }
+  // The concrete implementation core, for layers above sim that need the
+  // op-latency histograms (stats::Snapshot). Same object as fs().
+  fs::FsBase* fs_base() { return fs_.get(); }
   fs::PathOps& path() { return *path_; }
   io::IoEngine& engine() { return *engine_; }
   // nullptr when the corresponding SimConfig flag is off (the ablations).
@@ -161,9 +163,9 @@ class SimEnv {
     sample_hook_ = std::move(hook);
   }
 
-  // Gathers every layer's counters plus the latency histograms into one
-  // machine-readable snapshot.
-  obs::MetricsSnapshot Snapshot() const;
+  // To gather every layer's counters plus the latency histograms into one
+  // machine-readable snapshot, use stats::Snapshot(env) — the snapshot
+  // type lives above sim in the layer DAG (src/stats/collect.h).
 
   // Unmounts (sync) and remounts the file system, dropping all in-memory
   // state. Used to test persistence.

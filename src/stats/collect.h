@@ -1,0 +1,23 @@
+// stats::Snapshot: gather every layer's counters from a running simulated
+// machine into one MetricsSnapshot.
+//
+// This free function replaced sim::SimEnv::Snapshot() when the snapshot
+// type moved up into the stats layer: SimEnv must not depend on stats
+// (mt -> sim and stats -> mt would close a layer cycle), so the collector
+// lives here, at the top of the DAG, and reads SimEnv's public accessors.
+#ifndef CFFS_STATS_COLLECT_H_
+#define CFFS_STATS_COLLECT_H_
+
+#include "src/sim/sim_env.h"
+#include "src/stats/metrics.h"
+
+namespace cffs::stats {
+
+// Copies every layer's stats at one instant. Non-const because SimEnv's
+// accessors (and the histogram copies behind them) are non-const; the
+// machine's state is not modified.
+MetricsSnapshot Snapshot(sim::SimEnv& env);
+
+}  // namespace cffs::stats
+
+#endif  // CFFS_STATS_COLLECT_H_

@@ -1,47 +1,17 @@
-#include "src/obs/metrics.h"
+#include "src/stats/metrics.h"
 
 #include <cmath>
 #include <cstdio>
 
-namespace cffs::obs {
-
-LatencyHistogram* OpLatencies::ForOp(FsOp op) {
-  switch (op) {
-    case FsOp::kLookup: return &lookup;
-    case FsOp::kCreate: return &create;
-    case FsOp::kRead: return &read;
-    case FsOp::kWrite: return &write;
-    case FsOp::kSync: return &sync;
-    default: return nullptr;
-  }
-}
-
-const LatencyHistogram* OpLatencies::ForOp(FsOp op) const {
-  return const_cast<OpLatencies*>(this)->ForOp(op);
-}
+namespace cffs::stats {
 
 namespace {
 
-Json HistogramJson(const LatencyHistogram& h) {
-  // LatencyHistogram::ToJson() is the canonical schema; re-parse it into
-  // the DOM rather than maintaining a second serializer.
-  Result<Json> parsed = Json::Parse(h.ToJson());
-  return parsed.ok() ? *std::move(parsed) : Json();
-}
+using obs::HistogramJson;
 
 Json TimeJson(SimTime t) { return Json(t.seconds()); }
 
 }  // namespace
-
-Json OpLatencies::ToJson() const {
-  Json j = Json::Object();
-  j.Set("lookup", HistogramJson(lookup));
-  j.Set("create", HistogramJson(create));
-  j.Set("read", HistogramJson(read));
-  j.Set("write", HistogramJson(write));
-  j.Set("sync", HistogramJson(sync));
-  return j;
-}
 
 Json ToJson(const fs::FsOpStats& s) {
   Json j = Json::Object();
@@ -171,22 +141,22 @@ Json MetricsSnapshot::ToJson() const {
   Json j = Json::Object();
   j.Set("fs", fs_name);
   j.Set("sim_seconds", sim_seconds);
-  j.Set("fs_ops", obs::ToJson(fs_ops));
+  j.Set("fs_ops", stats::ToJson(fs_ops));
   j.Set("latency", latency.ToJson());
-  j.Set("cache", obs::ToJson(cache));
-  j.Set("block_io", obs::ToJson(block_io));
-  j.Set("disk", obs::ToJson(disk));
-  j.Set("io_engine", obs::ToJson(io_engine));
-  j.Set("syncer", obs::ToJson(syncer));
-  j.Set("readahead", obs::ToJson(readahead));
-  j.Set("mt", obs::ToJson(mt));
+  j.Set("cache", stats::ToJson(cache));
+  j.Set("block_io", stats::ToJson(block_io));
+  j.Set("disk", stats::ToJson(disk));
+  j.Set("io_engine", stats::ToJson(io_engine));
+  j.Set("syncer", stats::ToJson(syncer));
+  j.Set("readahead", stats::ToJson(readahead));
+  j.Set("mt", stats::ToJson(mt));
   j.Set("spans", spans.ToJson());
   Json trace = Json::Object();
   trace.Set("events", trace_events);
   trace.Set("dropped", trace_dropped);
   j.Set("trace", std::move(trace));
   Json series = Json::Array();
-  for (const TimeSample& s : time_series) series.Push(obs::ToJson(s));
+  for (const obs::TimeSample& s : time_series) series.Push(obs::ToJson(s));
   j.Set("time_series", std::move(series));
   return j;
 }
@@ -289,22 +259,22 @@ std::vector<std::string> MetricsSnapshot::CheckInvariants() const {
            static_cast<unsigned long long>(spans.invariant_violations),
            static_cast<long long>(spans.max_residual_ns));
     }
-    for (int i = 0; i < kTrackedOps; ++i) {
-      const OpTypeBreakdown& b = spans.per_op[i];
+    for (int i = 0; i < obs::kTrackedOps; ++i) {
+      const obs::OpTypeBreakdown& b = spans.per_op[i];
       if (b.e2e_total_ns != b.totals.TotalNs()) {
         fail("spans: %s phase total (%lld ns) != e2e total (%lld ns)",
-             FsOpName(TrackedOpAt(i)),
+             obs::FsOpName(obs::TrackedOpAt(i)),
              static_cast<long long>(b.totals.TotalNs()),
              static_cast<long long>(b.e2e_total_ns));
       }
     }
-    struct { const char* name; FsOp op; uint64_t ops; } span_pairs[] = {
-        {"lookup", FsOp::kLookup, fs_ops.lookups},
-        {"create", FsOp::kCreate, fs_ops.creates},
-        {"read", FsOp::kRead, fs_ops.reads},
-        {"write", FsOp::kWrite, fs_ops.writes},
-        {"mkdir", FsOp::kMkdir, fs_ops.mkdirs},
-        {"unlink", FsOp::kUnlink, fs_ops.unlinks},
+    struct { const char* name; obs::FsOp op; uint64_t ops; } span_pairs[] = {
+        {"lookup", obs::FsOp::kLookup, fs_ops.lookups},
+        {"create", obs::FsOp::kCreate, fs_ops.creates},
+        {"read", obs::FsOp::kRead, fs_ops.reads},
+        {"write", obs::FsOp::kWrite, fs_ops.writes},
+        {"mkdir", obs::FsOp::kMkdir, fs_ops.mkdirs},
+        {"unlink", obs::FsOp::kUnlink, fs_ops.unlinks},
     };
     for (const auto& p : span_pairs) {
       const uint64_t span_count = spans.ForOp(p.op)->count();
@@ -320,7 +290,7 @@ std::vector<std::string> MetricsSnapshot::CheckInvariants() const {
     // per-client split.
     if (!spans.per_client.empty()) {
       uint64_t client_ops = 0;
-      for (const ClientBreakdown& c : spans.per_client) {
+      for (const obs::ClientBreakdown& c : spans.per_client) {
         client_ops += c.ops;
         if (c.e2e_total_ns != c.totals.TotalNs()) {
           fail("spans: client %llu phase total (%lld ns) != e2e total "
@@ -391,4 +361,4 @@ std::vector<std::string> MetricsSnapshot::CheckInvariants() const {
   return bad;
 }
 
-}  // namespace cffs::obs
+}  // namespace cffs::stats

@@ -9,10 +9,14 @@
 // BENCH_*.json reports and the `cffs_trace` tool) and can self-check the
 // cross-layer counter invariants the simulation is supposed to maintain.
 //
-// sim::SimEnv::Snapshot() is the usual collection point; the structs here
-// are plain data so tools and tests can also assemble snapshots by hand.
-#ifndef CFFS_OBS_METRICS_H_
-#define CFFS_OBS_METRICS_H_
+// This is the stats layer: the one place allowed to see every other
+// layer's stats structs at once. It sits at the top of the dependency DAG
+// (cffs_lint's layering table enforces that nothing below includes it);
+// stats::Snapshot (collect.h) is the usual collection point, and the
+// structs here are plain data so tools and tests can also assemble
+// snapshots by hand.
+#ifndef CFFS_STATS_METRICS_H_
+#define CFFS_STATS_METRICS_H_
 
 #include <string>
 #include <vector>
@@ -24,35 +28,22 @@
 #include "src/io/io_stats.h"
 #include "src/mt/mt_stats.h"
 #include "src/obs/json.h"
+#include "src/obs/op_latency.h"
 #include "src/obs/sampler.h"
 #include "src/obs/span.h"
 #include "src/obs/trace.h"
 #include "src/util/histogram.h"
 
-namespace cffs::obs {
+namespace cffs::stats {
 
-// Latency distributions for the individually-timed operations.
-struct OpLatencies {
-  LatencyHistogram lookup;
-  LatencyHistogram create;
-  LatencyHistogram read;
-  LatencyHistogram write;
-  LatencyHistogram sync;
-
-  // Histogram for `op`, or nullptr if the op is not tracked.
-  LatencyHistogram* ForOp(FsOp op);
-  const LatencyHistogram* ForOp(FsOp op) const;
-
-  void Reset() { *this = OpLatencies{}; }
-  Json ToJson() const;
-};
+using obs::Json;
 
 struct MetricsSnapshot {
   std::string fs_name;     // FileSystem::name(), e.g. "c-ffs"
   double sim_seconds = 0;  // simulation clock at snapshot time
 
   fs::FsOpStats fs_ops;
-  OpLatencies latency;
+  obs::OpLatencies latency;
   cache::CacheStats cache;
   blk::BlockIoStats block_io;
   disk::DiskStats disk;
@@ -65,8 +56,8 @@ struct MetricsSnapshot {
   mt::MtStats mt;
   // Cross-layer span attribution (see obs/span.h) and the time-series
   // gauges (see obs/sampler.h). Empty when the env ran without them.
-  PhaseBreakdown spans;
-  std::vector<TimeSample> time_series;
+  obs::PhaseBreakdown spans;
+  std::vector<obs::TimeSample> time_series;
   // Trace-ring accounting at snapshot time: a nonzero drop count means
   // every trace-derived artifact of this run is INCOMPLETE, which
   // CheckInvariants surfaces as a violation.
@@ -107,6 +98,6 @@ Json ToJson(const io::SyncerStats& s);
 Json ToJson(const io::ReadaheadStats& s);
 Json ToJson(const mt::MtStats& s);
 
-}  // namespace cffs::obs
+}  // namespace cffs::stats
 
-#endif  // CFFS_OBS_METRICS_H_
+#endif  // CFFS_STATS_METRICS_H_

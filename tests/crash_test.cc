@@ -219,6 +219,7 @@ void Churn(sim::SimEnv* env, uint64_t seed, int ops) {
   for (int i = 0; i < ops; ++i) {
     const std::string p = "/c/f" + std::to_string(rng.Below(10));
     if (rng.Below(4) == 0) {
+      // Unlinking a name the churn may not have created yet; ENOENT is fine.
       (void)env->path().Unlink(p);
     } else {
       ASSERT_TRUE(env->path()

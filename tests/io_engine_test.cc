@@ -13,6 +13,7 @@
 #include "src/io/readahead.h"
 #include "src/io/syncer.h"
 #include "src/sim/sim_env.h"
+#include "src/stats/collect.h"
 #include "src/workload/smallfile.h"
 
 namespace cffs {
@@ -275,7 +276,7 @@ TEST(IoEndToEndTest, SyncerBoundsDirtyDataUnderCreateStorm) {
   ASSERT_TRUE(workload::RunSmallFile(env, params).ok());
   ASSERT_TRUE(env->syncer_status().ok()) << env->syncer_status().ToString();
 
-  const obs::MetricsSnapshot snap = env->Snapshot();
+  const stats::MetricsSnapshot snap = stats::Snapshot(*env);
   EXPECT_GE(snap.syncer.throttle_flushes, 1u);
   EXPECT_GT(snap.syncer.blocks_flushed, 0u);
   // The watermark held: between op-boundary ticks a single operation can

@@ -1,0 +1,227 @@
+// cffs_lint engine coverage: the lexer/parser shapes the rules depend on,
+// each rule firing on its seeded fixture (and staying quiet on the clean
+// one), the full mutation-style self-test, and the --json document
+// round-tripping through the obs Json parser.
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/lint/lexer.h"
+#include "src/lint/parse.h"
+#include "src/lint/rules.h"
+#include "src/obs/json.h"
+
+namespace cffs::lint {
+namespace {
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream f(path);
+  EXPECT_TRUE(f) << "cannot read " << path;
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return buf.str();
+}
+
+LintConfig LoadConfigOrDie() {
+  Result<LintConfig> cfg = LintConfig::Load(ReadFileOrDie(CFFS_LINT_RULES_FILE));
+  EXPECT_TRUE(cfg.ok()) << cfg.status().ToString();
+  return *std::move(cfg);
+}
+
+std::vector<Finding> FindingsFor(const LintConfig& cfg,
+                                 const std::string& rel_path) {
+  size_t scanned = 0;
+  Result<std::vector<Finding>> all =
+      LintTree(CFFS_LINT_FIXTURE_DIR, cfg, {"."}, &scanned);
+  EXPECT_TRUE(all.ok()) << all.status().ToString();
+  EXPECT_GT(scanned, 0u);
+  std::vector<Finding> out;
+  for (const Finding& f : *all) {
+    if (f.file == rel_path) out.push_back(f);
+  }
+  return out;
+}
+
+// --- lexer ---
+
+TEST(LintLexer, SeparatesTokensCommentsDirectives) {
+  const TokenStream ts = Lex(
+      "#include \"src/obs/json.h\"\n"
+      "// a comment\n"
+      "int x = 42; /* block\n   comment */ char* s = \"lit;\";\n");
+  ASSERT_EQ(ts.directives.size(), 1u);
+  EXPECT_EQ(ts.directives[0].text, "include \"src/obs/json.h\"");
+  ASSERT_EQ(ts.comments.size(), 2u);
+  EXPECT_EQ(ts.comments[0].last_line, 2);
+  EXPECT_EQ(ts.comments[1].first_line, 3);
+  EXPECT_EQ(ts.comments[1].last_line, 4);
+  // The string literal is one token; its ';' does not split statements.
+  size_t strings = 0;
+  for (const Token& t : ts.tokens) {
+    if (t.kind == TokKind::kString) ++strings;
+  }
+  EXPECT_EQ(strings, 1u);
+}
+
+TEST(LintLexer, AdjacencyIsSameOrPreviousLine) {
+  const TokenStream ts = Lex("int a;\n// note\nint b;\nint c;\n");
+  EXPECT_TRUE(HasAdjacentComment(ts.comments, 2));
+  EXPECT_TRUE(HasAdjacentComment(ts.comments, 3));
+  EXPECT_FALSE(HasAdjacentComment(ts.comments, 4));
+  EXPECT_NE(AdjacentCommentContaining(ts.comments, 3, "note"), nullptr);
+  EXPECT_EQ(AdjacentCommentContaining(ts.comments, 3, "absent"), nullptr);
+}
+
+// --- parser ---
+
+TEST(LintParse, ExtractsFunctionsWithBodies) {
+  const ParsedFile f = ParseSource("src/fs/x.cc",
+                                   "Status FsBase::Flush(int n) {\n"
+                                   "  if (n > 0) { Sync(); }\n"
+                                   "  return OkStatus();\n"
+                                   "}\n"
+                                   "void Helper();\n");
+  ASSERT_EQ(f.functions.size(), 1u);
+  EXPECT_EQ(f.functions[0].name, "FsBase::Flush");
+  EXPECT_EQ(f.functions[0].base_name, "Flush");
+  EXPECT_GT(f.functions[0].body_end, f.functions[0].body_begin);
+}
+
+TEST(LintParse, ExtractsStructMembersAndAsserts) {
+  const ParsedFile f = ParseSource(
+      "src/fs/x.h",
+      "struct Rec {\n"
+      "  uint32_t a;\n"
+      "  std::array<uint8_t, 6> pad;\n"
+      "  void Method(int);\n"
+      "};\n"
+      "static_assert(sizeof(Rec) == 10, \"layout\");\n");
+  ASSERT_EQ(f.structs.size(), 1u);
+  ASSERT_EQ(f.structs[0].members.size(), 2u);
+  EXPECT_EQ(f.structs[0].members[0].name, "a");
+  EXPECT_EQ(f.structs[0].members[1].name, "pad");
+  ASSERT_EQ(f.static_asserts.size(), 1u);
+  EXPECT_NE(f.static_asserts[0].condition.find("Rec"), std::string::npos);
+}
+
+TEST(LintParse, CallableDatabaseTracksReturnTypes) {
+  SymbolTables sym;
+  const ParsedFile f = ParseSource("src/fs/x.h",
+                                   "Status Flush(int n);\n"
+                                   "Result<uint64_t> Reserve();\n"
+                                   "void Flush(double d);\n"
+                                   "uint64_t Count();\n");
+  sym.Accumulate(f, {"Status", "Result"});
+  EXPECT_FALSE(sym.IsStatusOnly("Flush"));  // ambiguous overload set
+  EXPECT_TRUE(sym.IsStatusOnly("Reserve"));
+  EXPECT_FALSE(sym.IsStatusOnly("Count"));
+}
+
+// --- rules on the fixture corpus ---
+
+TEST(LintRules, DirtyFixtureConvictedByDirtyRuleOnly) {
+  const LintConfig cfg = LoadConfigOrDie();
+  const auto findings = FindingsFor(cfg, "src/fs/bad_dirty.cc");
+  ASSERT_FALSE(findings.empty());
+  for (const Finding& f : findings) EXPECT_EQ(f.rule, "dirty-no-annotation");
+}
+
+TEST(LintRules, StatusFixtureConvictsNakedAndUncommentedVoid) {
+  const LintConfig cfg = LoadConfigOrDie();
+  const auto findings = FindingsFor(cfg, "src/fs/bad_status_discard.cc");
+  ASSERT_EQ(findings.size(), 2u);  // one naked discard, one bare (void)
+  for (const Finding& f : findings) EXPECT_EQ(f.rule, "status-discard");
+}
+
+TEST(LintRules, LayerFixtureReportsTheIllegalEdge) {
+  const LintConfig cfg = LoadConfigOrDie();
+  const auto findings = FindingsFor(cfg, "src/mt/bad_layer.cc");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "layering");
+  EXPECT_EQ(findings[0].detail, "mt -> cache");
+}
+
+TEST(LintRules, OnDiskFixtureConvictsWidthAndMissingAssert) {
+  const LintConfig cfg = LoadConfigOrDie();
+  const auto findings = FindingsFor(cfg, "src/fs/common/bad_ondisk.h");
+  ASSERT_EQ(findings.size(), 2u);
+  for (const Finding& f : findings) EXPECT_EQ(f.rule, "ondisk-struct");
+}
+
+TEST(LintRules, CleanFixtureHasNoFindings) {
+  const LintConfig cfg = LoadConfigOrDie();
+  EXPECT_TRUE(FindingsFor(cfg, "src/fs/clean.cc").empty());
+}
+
+TEST(LintRules, SelfTestPasses) {
+  const LintConfig cfg = LoadConfigOrDie();
+  const Status st = SelfTest(CFFS_LINT_FIXTURE_DIR, cfg);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+// Editing the catalog so a rule no longer matches its fixture must fail the
+// self-test — the self-test really is mutation-style, not a smoke run.
+TEST(LintRules, SelfTestFailsWhenARuleCannotConvict) {
+  LintConfig cfg = LoadConfigOrDie();
+  cfg.dirty_helpers = {"NoSuchHelper"};
+  const Status st = SelfTest(CFFS_LINT_FIXTURE_DIR, cfg);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("dirty-no-annotation"), std::string::npos);
+}
+
+// --- suppressions ---
+
+TEST(LintRules, SuppressionNeedsAReason) {
+  const LintConfig cfg = LoadConfigOrDie();
+  LintInput in;
+  AddSource(cfg, "src/fs/a.cc",
+            "void F(C* c, uint64_t b) {\n"
+            "  // cffs-lint: allow(dirty-no-annotation): data block only.\n"
+            "  c->MarkDirty(b);\n"
+            "}\n",
+            &in);
+  AddSource(cfg, "src/fs/b.cc",
+            "void G(C* c, uint64_t b) {\n"
+            "  // cffs-lint: allow(dirty-no-annotation):\n"
+            "  c->MarkDirty(b);\n"
+            "}\n",
+            &in);
+  const auto findings = RunRules(cfg, in);
+  ASSERT_EQ(findings.size(), 1u);  // the reasonless allow() does not waive
+  EXPECT_EQ(findings[0].file, "src/fs/b.cc");
+}
+
+// --- JSON output ---
+
+TEST(LintJson, FindingsRoundTripThroughObsParser) {
+  const LintConfig cfg = LoadConfigOrDie();
+  size_t scanned = 0;
+  Result<std::vector<Finding>> findings =
+      LintTree(CFFS_LINT_FIXTURE_DIR, cfg, {"."}, &scanned);
+  ASSERT_TRUE(findings.ok());
+  ASSERT_FALSE(findings->empty());
+
+  const std::string doc =
+      FindingsToJson("fixtures", scanned, *findings).Dump(2);
+  Result<obs::Json> parsed = obs::Json::Parse(doc);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+
+  EXPECT_EQ(parsed->Find("schema")->as_string(), "cffs-lint-v1");
+  EXPECT_EQ(static_cast<size_t>(parsed->Find("files_scanned")->as_int()),
+            scanned);
+  const obs::Json* arr = parsed->Find("findings");
+  ASSERT_NE(arr, nullptr);
+  ASSERT_EQ(arr->size(), findings->size());
+  for (size_t i = 0; i < arr->size(); ++i) {
+    const obs::Json& e = arr->at(i);
+    EXPECT_EQ(e.Find("rule")->as_string(), (*findings)[i].rule);
+    EXPECT_EQ(e.Find("file")->as_string(), (*findings)[i].file);
+    EXPECT_EQ(e.Find("line")->as_int(), (*findings)[i].line);
+  }
+}
+
+}  // namespace
+}  // namespace cffs::lint

@@ -14,7 +14,7 @@
 #include "src/io/syncer.h"
 #include "src/mt/driver.h"
 #include "src/mt/scheduler.h"
-#include "src/obs/metrics.h"
+#include "src/stats/collect.h"
 #include "src/sim/sim_env.h"
 
 namespace cffs::mt {
@@ -186,7 +186,7 @@ MtRunResult RunMt(sim::FsKind kind, const sim::SimConfig& config,
   MtDriver driver(env->get(), params);
   const Status s = driver.Run();
   EXPECT_TRUE(s.ok()) << s.ToString();
-  obs::MetricsSnapshot snap = (*env)->Snapshot();
+  stats::MetricsSnapshot snap = stats::Snapshot(**env);
   snap.mt = driver.TakeStats();
   const auto violations = snap.CheckInvariants();
   EXPECT_TRUE(violations.empty()) << violations.front();
@@ -255,7 +255,7 @@ TEST(MtDriverTest, BackpressureSuspendsAndTagsTheCrosser) {
   const MtStats& stats = driver.stats();
   EXPECT_GT(stats.suspensions, 0u);
   EXPECT_GT(stats.resumes, 0u);
-  const obs::MetricsSnapshot snap = (*env)->Snapshot();
+  const stats::MetricsSnapshot snap = stats::Snapshot(**env);
   EXPECT_GT(snap.syncer.throttle_flushes, 0u);
   // The tagged payer is a real client, not the neutral id 0 fallback of the
   // single-tenant path... unless client 0 genuinely crossed first, which
@@ -278,7 +278,7 @@ TEST(MtDriverTest, InvariantsHoldAtSixtyFourClients) {
   params.ops_per_client = 12;
   MtDriver driver(env->get(), params);
   ASSERT_TRUE(driver.Run().ok());
-  obs::MetricsSnapshot snap = (*env)->Snapshot();
+  stats::MetricsSnapshot snap = stats::Snapshot(**env);
   snap.mt = driver.TakeStats();
   const auto violations = snap.CheckInvariants();
   EXPECT_TRUE(violations.empty()) << violations.front();
@@ -323,7 +323,7 @@ TEST(MtDriverTest, AntagonistIsolatedToWriteHistogram) {
   params.antagonist_file_kb = 256;
   MtDriver driver(env->get(), params);
   ASSERT_TRUE(driver.Run().ok());
-  obs::MetricsSnapshot snap = (*env)->Snapshot();
+  stats::MetricsSnapshot snap = stats::Snapshot(**env);
   snap.mt = driver.TakeStats();
   const auto violations = snap.CheckInvariants();
   EXPECT_TRUE(violations.empty()) << violations.front();

@@ -4,7 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "src/obs/json.h"
-#include "src/obs/metrics.h"
+#include "src/stats/collect.h"
 #include "src/obs/trace.h"
 #include "src/workload/smallfile.h"
 
@@ -176,7 +176,7 @@ TEST_P(ObsWorkloadTest, InvariantsHoldAndSnapshotRoundTrips) {
   auto result = workload::RunSmallFile(env, params);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
 
-  const obs::MetricsSnapshot snap = env->Snapshot();
+  const stats::MetricsSnapshot snap = stats::Snapshot(*env);
   const auto violations = snap.CheckInvariants();
   EXPECT_TRUE(violations.empty())
       << "invariants violated:\n  " << violations.front();
@@ -231,7 +231,7 @@ INSTANTIATE_TEST_SUITE_P(AllConfigs, ObsWorkloadTest,
                          });
 
 TEST(MetricsSnapshotTest, CheckInvariantsCatchesCookedBooks) {
-  obs::MetricsSnapshot snap;
+  stats::MetricsSnapshot snap;
   snap.cache.lookups = 10;
   snap.cache.hits = 3;
   snap.cache.misses = 3;  // 3 + 3 != 10
@@ -249,10 +249,10 @@ TEST(MetricsSnapshotTest, ResetStatsClearsLatencies) {
   params.num_files = 20;
   params.num_dirs = 2;
   ASSERT_TRUE(workload::RunSmallFile(env, params).ok());
-  ASSERT_GT(env->Snapshot().latency.create.count(), 0u);
+  ASSERT_GT(stats::Snapshot(*env).latency.create.count(), 0u);
   env->ResetStats();
-  EXPECT_EQ(env->Snapshot().latency.create.count(), 0u);
-  EXPECT_EQ(env->Snapshot().fs_ops.creates, 0u);
+  EXPECT_EQ(stats::Snapshot(*env).latency.create.count(), 0u);
+  EXPECT_EQ(stats::Snapshot(*env).fs_ops.creates, 0u);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 // are looser than the full benchmarks to stay robust at small scale.
 #include <gtest/gtest.h>
 
+#include "src/stats/collect.h"
 #include "src/workload/smallfile.h"
 
 namespace cffs {
@@ -136,7 +137,7 @@ TEST_P(SpanPhaseSumTest, PhaseTimesSumToEndToEndLatency) {
   auto result = workload::RunSmallFile(env->get(), params);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
 
-  const obs::MetricsSnapshot snap = (*env)->Snapshot();
+  const stats::MetricsSnapshot snap = stats::Snapshot(**env);
   const auto violations = snap.CheckInvariants();
   for (const std::string& v : violations) ADD_FAILURE() << v;
 

@@ -11,6 +11,7 @@
 #include "src/obs/sampler.h"
 #include "src/obs/span.h"
 #include "src/sim/sim_env.h"
+#include "src/stats/collect.h"
 #include "src/workload/smallfile.h"
 
 namespace cffs {
@@ -311,7 +312,7 @@ TEST(ThrottleSpanTest, StallTimeIsMeasuredAndAttributed) {
     }
     ASSERT_TRUE(env->syncer_status().ok());
 
-    const obs::MetricsSnapshot snap = env->Snapshot();
+    const stats::MetricsSnapshot snap = stats::Snapshot(*env);
     const auto violations = snap.CheckInvariants();
     for (const std::string& v : violations) ADD_FAILURE() << v;
 

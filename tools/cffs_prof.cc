@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "src/mt/driver.h"
+#include "src/stats/collect.h"
 #include "src/workload/smallfile.h"
 
 using namespace cffs;
@@ -140,7 +141,7 @@ void PrintSlowest(const std::vector<obs::OpContext>& slowest) {
 // tracker's exact throttle_stall attribution for that client's ops — a
 // high-p99 client with ~0 stall is queuing behind other tenants, not
 // paying flush debt.
-void PrintPerClient(const obs::MetricsSnapshot& snap, size_t k) {
+void PrintPerClient(const stats::MetricsSnapshot& snap, size_t k) {
   const mt::MtStats& mt = snap.mt;
   std::vector<const mt::MtClientStats*> order;
   order.reserve(mt.per_client.size());
@@ -252,7 +253,7 @@ int main(int argc, char** argv) {
   sim::SimEnv* env = env_or->get();
   env->spans()->set_top_n(top_n);
 
-  obs::MetricsSnapshot snap;
+  stats::MetricsSnapshot snap;
   if (mt_mode) {
     mt::MtParams mt_params = mt::MtParams::FromConfig(config);
     mt_params.ops_per_client = mt_ops;
@@ -262,7 +263,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "run: %s\n", s.ToString().c_str());
       return 1;
     }
-    snap = env->Snapshot();
+    snap = stats::Snapshot(*env);
     snap.mt = driver.TakeStats();
     std::printf("%s: %u clients x %llu ops (%s%s), %.3f simulated seconds\n\n",
                 sim::FsKindName(kind).c_str(), mt_params.clients,
@@ -275,7 +276,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "run: %s\n", result.status().ToString().c_str());
       return 1;
     }
-    snap = env->Snapshot();
+    snap = stats::Snapshot(*env);
     std::printf("%s: %u files x %u B in %u dirs, %.3f simulated seconds\n\n",
                 sim::FsKindName(kind).c_str(), params.num_files,
                 params.file_bytes, params.num_dirs, snap.sim_seconds);

@@ -17,6 +17,7 @@
 #include <cstring>
 #include <string>
 
+#include "src/stats/collect.h"
 #include "src/workload/smallfile.h"
 
 using namespace cffs;
@@ -105,7 +106,7 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  const obs::MetricsSnapshot snap = env->Snapshot();
+  const stats::MetricsSnapshot snap = stats::Snapshot(*env);
   const obs::TraceRecorder* trace = env->trace();
   if (!WriteFile(trace_out, trace->ToChromeJson())) {
     std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());

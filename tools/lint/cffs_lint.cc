@@ -1,0 +1,155 @@
+// cffs_lint: repo-specific static analysis over the C-FFS sources.
+//
+// A declaration-level pass (no compiler front end) enforcing the rules in
+// tools/lint/rules.json: ordering-annotation coverage for metadata dirty
+// sites, Status/Result discard discipline, the cross-layer include table,
+// and on-disk struct format pins. See src/lint/rules.h for rule semantics
+// and DESIGN.md §13 for the catalog.
+//
+//   cffs_lint --rules=FILE [--root=DIR] [--json[=FILE]] [paths...]
+//   cffs_lint --rules=FILE --self-test --fixtures=DIR
+//
+// Paths override the catalog's scan roots (they stay relative to --root,
+// default "."). --json writes the findings document to stdout or FILE.
+// --self-test runs the mutation-style fixture check instead of a scan:
+// every rule must convict exactly its seeded fixture, and the clean
+// fixture must produce no findings.
+//
+// Exit status: 0 clean, 1 findings (or failed self-test), 2 usage/IO error.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/lint/rules.h"
+#include "src/util/status.h"
+
+namespace {
+
+using cffs::lint::Finding;
+using cffs::lint::LintConfig;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: cffs_lint --rules=FILE [--root=DIR] [--json[=FILE]] "
+               "[paths...]\n"
+               "       cffs_lint --rules=FILE --self-test --fixtures=DIR\n");
+  return 2;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream f(path);
+  if (!f) return false;
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string rules_path;
+  std::string root = ".";
+  std::string fixtures_dir;
+  std::string json_out;
+  bool want_json = false;
+  bool self_test = false;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto val = [&arg](const char* flag) -> const char* {
+      const size_t len = std::strlen(flag);
+      if (arg.compare(0, len, flag) == 0 && arg.size() > len &&
+          arg[len] == '=') {
+        return arg.c_str() + len + 1;
+      }
+      return nullptr;
+    };
+    const char* v = nullptr;
+    if ((v = val("--rules")) != nullptr) {
+      rules_path = v;
+    } else if ((v = val("--root")) != nullptr) {
+      root = v;
+    } else if ((v = val("--fixtures")) != nullptr) {
+      fixtures_dir = v;
+    } else if (arg == "--self-test") {
+      self_test = true;
+    } else if (arg == "--json") {
+      want_json = true;
+    } else if ((v = val("--json")) != nullptr) {
+      want_json = true;
+      json_out = v;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "cffs_lint: unknown flag %s\n", arg.c_str());
+      return Usage();
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (rules_path.empty()) return Usage();
+
+  std::string rules_text;
+  if (!ReadFile(rules_path, &rules_text)) {
+    std::fprintf(stderr, "cffs_lint: cannot read %s\n", rules_path.c_str());
+    return 2;
+  }
+  cffs::Result<LintConfig> cfg = LintConfig::Load(rules_text);
+  if (!cfg.ok()) {
+    std::fprintf(stderr, "cffs_lint: %s: %s\n", rules_path.c_str(),
+                 cfg.status().ToString().c_str());
+    return 2;
+  }
+
+  if (self_test) {
+    if (fixtures_dir.empty()) return Usage();
+    const cffs::Status st = cffs::lint::SelfTest(fixtures_dir, *cfg);
+    if (!st.ok()) {
+      std::fprintf(stderr, "cffs_lint: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("cffs_lint: self-test OK (%zu rules convicted)\n",
+                cfg->fixtures.count("clean") > 0 ? cfg->fixtures.size() - 1
+                                                 : cfg->fixtures.size());
+    return 0;
+  }
+
+  size_t files_scanned = 0;
+  cffs::Result<std::vector<Finding>> findings =
+      cffs::lint::LintTree(root, *cfg, paths, &files_scanned);
+  if (!findings.ok()) {
+    std::fprintf(stderr, "cffs_lint: %s\n",
+                 findings.status().ToString().c_str());
+    return 2;
+  }
+
+  for (const Finding& f : *findings) {
+    std::fprintf(stderr, "%s:%d: [%s] %s\n", f.file.c_str(), f.line,
+                 f.rule.c_str(), f.message.c_str());
+  }
+  if (want_json) {
+    const std::string doc =
+        cffs::lint::FindingsToJson(root, files_scanned, *findings).Dump(2);
+    if (json_out.empty()) {
+      std::printf("%s\n", doc.c_str());
+    } else {
+      std::ofstream out(json_out);
+      if (!out) {
+        std::fprintf(stderr, "cffs_lint: cannot write %s\n",
+                     json_out.c_str());
+        return 2;
+      }
+      out << doc << "\n";
+    }
+  }
+  if (findings->empty()) {
+    std::fprintf(stderr, "cffs_lint: %zu files clean\n", files_scanned);
+    return 0;
+  }
+  std::fprintf(stderr, "cffs_lint: %zu finding(s) in %zu files\n",
+               findings->size(), files_scanned);
+  return 1;
+}

@@ -1,0 +1,12 @@
+// Seeded violation for rule dirty-no-annotation: a src/fs/ function that
+// dirties a metadata block without emitting any ordering annotation in the
+// same body. Fixture files are linted, never compiled.
+#include "src/cache/buffer_cache.h"
+
+namespace cffs::fsx {
+
+void CommitDirent(cache::BufferCache* cache, uint64_t block) {
+  cache->MarkDirty(block);  // no TraceMeta/TraceMapBit anywhere in this body
+}
+
+}  // namespace cffs::fsx

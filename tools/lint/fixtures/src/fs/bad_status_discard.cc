@@ -1,0 +1,17 @@
+// Seeded violations for rule status-discard: a naked statement-level call
+// of a Status-returning function, and a `(void)` cast with no adjacent
+// justification comment. Fixture files are linted, never compiled.
+#include "src/util/status.h"
+
+namespace cffs::fsx {
+
+Status FlushEpoch(uint64_t epoch);
+Result<uint64_t> ReserveBlock();
+
+void Checkpoint() {
+  FlushEpoch(1);
+
+  (void)ReserveBlock();
+}
+
+}  // namespace cffs::fsx

@@ -1,0 +1,47 @@
+// Clean fixture: exercises every rule's trigger shape in its passing form.
+// The self-test fails if any rule fires here. Fixture files are linted,
+// never compiled.
+#include <cstdint>
+
+#include "src/cache/buffer_cache.h"
+#include "src/obs/trace.h"
+#include "src/util/status.h"
+
+namespace cffs::fsx {
+
+using SlotNum = uint64_t;
+enum class RecFlag : uint16_t { kNone = 0 };
+
+// cffs-lint: ondisk pin=kRecSize
+struct GoodRecord {
+  SlotNum slot;
+  RecFlag flag;
+  uint16_t pad;
+  uint32_t length;
+};
+inline constexpr uint64_t kRecSize = 16;
+static_assert(sizeof(GoodRecord) == kRecSize, "on-disk record layout");
+
+Status FlushEpoch(uint64_t epoch);
+void TraceMeta(uint64_t block);
+
+// Dirty site with its annotation in the same body: passes.
+void CommitDirent(cache::BufferCache* cache, uint64_t block) {
+  cache->MarkDirty(block);
+  TraceMeta(block);
+}
+
+// Data-block dirty with a justified waiver: passes.
+void ZeroTail(cache::BufferCache* cache, uint64_t block) {
+  // cffs-lint: allow(dirty-no-annotation): file data block, not metadata.
+  cache->MarkDirty(block);
+}
+
+Status Checkpoint() {
+  RETURN_IF_ERROR(FlushEpoch(1));
+  // Best-effort flush; failure is retried by the next checkpoint.
+  (void)FlushEpoch(2);
+  return FlushEpoch(3);
+}
+
+}  // namespace cffs::fsx

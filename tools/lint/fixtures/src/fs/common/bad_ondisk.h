@@ -1,0 +1,19 @@
+// Seeded violations for rule ondisk-struct: a marked on-disk struct with a
+// platform-width member and no size static_assert. Fixture files are
+// linted, never compiled.
+#ifndef FIXTURE_BAD_ONDISK_H_
+#define FIXTURE_BAD_ONDISK_H_
+
+#include <cstdint>
+
+namespace cffs::fsx {
+
+// cffs-lint: ondisk
+struct BadExtentRecord {
+  int start_block;  // platform-width: convicted
+  uint32_t length;
+};
+
+}  // namespace cffs::fsx
+
+#endif  // FIXTURE_BAD_ONDISK_H_

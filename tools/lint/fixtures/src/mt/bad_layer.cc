@@ -1,0 +1,11 @@
+// Seeded violation for rule layering: the multi-tenant layer reaching into
+// the buffer cache directly (mt -> cache is not an allowed edge; tenants go
+// through the file system API). Fixture files are linted, never compiled.
+#include "src/cache/buffer_cache.h"
+#include "src/obs/trace.h"
+
+namespace cffs::mt {
+
+void Poke(cache::BufferCache* cache) { cache->FlushAll(); }
+
+}  // namespace cffs::mt
