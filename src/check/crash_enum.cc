@@ -125,7 +125,18 @@ Status CrashStateEnumerator::ExploreState(
     return OkStatus();
   }
   if (!readonly->clean) ++report->unclean_images;
-  if (!options_.repair) return OkStatus();
+
+  auto run_post_check = [&]() -> Status {
+    if (!options_.post_repair_check) return OkStatus();
+    if (Status s = options_.post_repair_check(fs.get()); !s.ok()) {
+      ++report->repair_failures;
+      report->failures.push_back(label + ": post-repair check failed: " +
+                                 s.ToString());
+    }
+    return OkStatus();
+  };
+
+  if (!options_.repair) return run_post_check();
 
   // Repair until the image converges. One round can expose new damage
   // (clearing an orphaned directory orphans its children), so re-run like
@@ -153,7 +164,7 @@ Status CrashStateEnumerator::ExploreState(
                                  verify.status().ToString());
       return OkStatus();
     }
-    if (verify->clean) return OkStatus();
+    if (verify->clean) return run_post_check();
     if (round + 1 == kMaxRepairRounds) {
       ++report->repair_failures;
       report->failures.push_back(

@@ -25,6 +25,7 @@
 #define CFFS_CHECK_CRASH_ENUM_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -54,6 +55,13 @@ struct CrashEnumOptions {
   // syncer-generated write-back queue: a power cut mid-epoch leaves some
   // prefix of exactly this sequence on the platter.
   bool syncer_plan = false;
+  // Extra semantic predicate run on each crash image after fsck's repair
+  // converges (or right after the read-only pass when `repair` is off).
+  // fsck only knows structural invariants; callers with a protocol on top
+  // — e.g. the cross-shard rename journal, which must roll a transaction
+  // forward or back, never both — use this to assert the protocol-level
+  // postcondition. A returned error counts as a repair failure.
+  std::function<Status(fs::FileSystem*)> post_repair_check;
 };
 
 struct CrashEnumReport {

@@ -14,6 +14,10 @@ const char* RuleName(RuleId rule) {
     case RuleId::kGroupOrder: return "R-GROUP";
     case RuleId::kLostUpdate: return "R-LOST";
     case RuleId::kEmbeddedSplit: return "R-EMBED";
+    case RuleId::kXPrepareOrder: return "R-XPREP";
+    case RuleId::kXCommitOrder: return "R-XCOMMIT";
+    case RuleId::kXSrcOrder: return "R-XSRC";
+    case RuleId::kXDangling: return "R-XDANGLE";
   }
   return "R-?";
 }
@@ -84,6 +88,14 @@ void OrderingChecker::Consume(const obs::TraceEvent& e) {
 }
 
 void OrderingChecker::OnMetaUpdate(const obs::TraceEvent& e) {
+  if (e.meta >= obs::MetaUpdateKind::kShardPrepare) {
+    // Cross-shard protocol annotations (shard/router.h) have no home block
+    // and never commit through a kBlockWrite, so every block-homed rule —
+    // R-LOST first among them — would misfire on them. They belong to the
+    // cross-shard checker (check/xshard.h), which joins them across the
+    // per-shard traces.
+    return;
+  }
   ++report_.annotations;
   Ann ann;
   ann.meta = e.meta;

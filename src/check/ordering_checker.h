@@ -57,6 +57,12 @@ enum class RuleId : uint8_t {
   kGroupOrder,    // R-GROUP
   kLostUpdate,    // R-LOST
   kEmbeddedSplit, // R-EMBED
+  // Cross-shard rename protocol rules, checked by check::CrossShardChecker
+  // (check/xshard.h) over the merged per-shard traces.
+  kXPrepareOrder, // R-XPREP
+  kXCommitOrder,  // R-XCOMMIT
+  kXSrcOrder,     // R-XSRC
+  kXDangling,     // R-XDANGLE
 };
 
 // Short stable identifier ("R-CREATE", ...) used in reports and tests.

@@ -12,6 +12,7 @@ Json ToJson(const TimeSample& s) {
   j.Set("busy_permille", static_cast<uint64_t>(s.busy_permille));
   j.Set("mt_ready", s.mt_ready);
   j.Set("mt_suspended", s.mt_suspended);
+  j.Set("shard_id", static_cast<uint64_t>(s.shard_id));
   return j;
 }
 

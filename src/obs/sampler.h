@@ -38,6 +38,11 @@ struct TimeSample {
   // backpressure. Filled by the SimEnv sample hook.
   uint64_t mt_ready = 0;
   uint64_t mt_suspended = 0;
+  // Sharded runs (src/shard): which shard's SimEnv recorded this sample.
+  // Each shard has its own sampler, so its series IS that shard's
+  // dirty/queue-depth gauge track; the id tags rows when tools merge the
+  // per-shard series. 0 (and a 0 tag) outside sharded runs.
+  uint32_t shard_id = 0;
 };
 
 Json ToJson(const TimeSample& s);

@@ -21,6 +21,10 @@ const char* MetaUpdateName(MetaUpdateKind kind) {
     case MetaUpdateKind::kInodeMapUpdate: return "inodemap-update";
     case MetaUpdateKind::kResvUpdate: return "resv-update";
     case MetaUpdateKind::kSuperUpdate: return "super-update";
+    case MetaUpdateKind::kShardPrepare: return "shard-prepare";
+    case MetaUpdateKind::kShardCommit: return "shard-commit";
+    case MetaUpdateKind::kShardClear: return "shard-clear";
+    case MetaUpdateKind::kShardBarrier: return "shard-barrier";
   }
   return "none";
 }

@@ -74,6 +74,15 @@ enum class MetaUpdateKind : uint8_t {
   kInodeMapUpdate,  // inode-allocation bitmap block rewritten (b = inum)
   kResvUpdate,    // allocator reservation state changed (b = start block)
   kSuperUpdate,   // superblock rewritten (a = home block)
+  // Cross-shard rename protocol annotations emitted by shard::ShardRouter
+  // (a = shard id, b = transaction id, aux = protocol role, op_id = a
+  // router-wide step stamp — NOT an fs op sequence number). They have no
+  // home block, so the per-shard OrderingChecker ignores them; the
+  // cross-shard checker (check/xshard.h) joins them across shard traces.
+  kShardPrepare,  // prepare record staged (aux: 0 = src side, 1 = dst side)
+  kShardCommit,   // commit record staged — the transaction's commit point
+  kShardClear,    // records cleared (aux: 3 = src side, 4 = dst side)
+  kShardBarrier,  // the acting shard synced; seals prior shard annotations
 };
 
 const char* MetaUpdateName(MetaUpdateKind kind);

@@ -92,6 +92,15 @@ struct SimConfig {
   std::string mt_scheduler = "drr";
   bool mt_backpressure = true;
 
+  // --- sharded namespace (src/shard) ---
+
+  // Consumed by shard::ShardRouter::Create, not by SimEnv itself: the
+  // number of independent shards (each a full SimEnv with its own disk;
+  // 0 means 1) and the directory-placement policy ("jump" | "mod" — see
+  // shard/placement.h).
+  uint32_t shards = 0;
+  std::string shard_placement = "jump";
+
   // Host CPU model (1996-class machine): fixed per-file-system-call cost
   // plus a per-kilobyte copy cost. These create the inter-request gaps the
   // drive's prefetch sees.

@@ -9,11 +9,12 @@
 // In-process mode (trace a workload and check it in one step):
 //
 //   cffs_ordercheck --run [--fs=KIND] [--policy=sync|delayed]
-//                   [--workload=smallfile|postmark|multitenant]
+//                   [--workload=smallfile|postmark|multitenant|sharded]
 //                   [--files=N] [--dirs=N] [--bytes=N] [--txns=N]
-//                   [--clients=N]
+//                   [--clients=N] [--shards=M]
 //                   [--syncer] [--syncer-interval-ms=N]
-//                   [--mutate=defer-inode-init|syncer-reorder]
+//                   [--mutate=defer-inode-init|syncer-reorder|
+//                            xshard-skip-commit-sync|xshard-early-clear]
 //                   [--report-out=PATH]
 //
 // KIND: ffs | conventional | embedded | grouping | cffs (default cffs).
@@ -37,6 +38,14 @@
 // flush plan as per-block epochs in descending block order instead of one
 // atomic epoch — dirent blocks commit before the inodes they name, so a
 // delayed-policy run must likewise be convicted of R-CREATE.
+// --workload=sharded builds an M-shard router (--shards, default 2), runs
+// --txns cross-shard renames through the two-phase journal protocol, and
+// checks TWO things: each shard's own trace against the standard ordering
+// rules, and the merged per-shard traces against the cross-shard rules
+// (R-XPREP/R-XCOMMIT/R-XSRC/R-XDANGLE, src/check/xshard.h). The
+// xshard-* mutations break the protocol on purpose (commit barrier with no
+// sync behind it; source cleared before the commit step) and the tool is
+// then expected to exit nonzero with an R-XCOMMIT violation.
 //
 // Exit status: 0 when the trace is clean, 1 on violations or errors.
 #include <cstdio>
@@ -45,9 +54,12 @@
 #include <string>
 
 #include "src/check/ordering_checker.h"
+#include "src/check/xshard.h"
 #include "src/fs/common/fs_base.h"
 #include "src/io/syncer.h"
 #include "src/mt/driver.h"
+#include "src/shard/placement.h"
+#include "src/shard/router.h"
 #include "src/workload/smallfile.h"
 #include "src/workload/trace.h"
 
@@ -91,11 +103,12 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --trace=PATH [--report-out=PATH]\n"
                "       %s --run [--fs=KIND] [--policy=sync|delayed]\n"
-               "          [--workload=smallfile|postmark|multitenant]\n"
+               "          [--workload=smallfile|postmark|multitenant|sharded]\n"
                "          [--files=N] [--dirs=N] [--bytes=N] [--txns=N]\n"
-               "          [--clients=N]\n"
+               "          [--clients=N] [--shards=M]\n"
                "          [--syncer] [--syncer-interval-ms=N]\n"
-               "          [--mutate=defer-inode-init|syncer-reorder]\n"
+               "          [--mutate=defer-inode-init|syncer-reorder|\n"
+               "                   xshard-skip-commit-sync|xshard-early-clear]\n"
                "          [--report-out=PATH]\n",
                argv0, argv0);
   return 1;
@@ -124,6 +137,82 @@ int Report(const check::OrderingReport& report,
   return report.clean() ? 0 : 1;
 }
 
+// Sharded mode: drive cross-shard renames through the two-phase protocol
+// and check both the per-shard ordering rules and the cross-shard rules.
+int RunSharded(sim::FsKind kind, fs::MetadataPolicy policy, uint32_t shards,
+               uint32_t txns, const std::string& mutate,
+               const std::string& report_out) {
+  sim::SimConfig config;
+  config.metadata = policy;
+  config.shards = shards;
+  auto router_or = shard::ShardRouter::Create(kind, config);
+  if (!router_or.ok()) {
+    std::fprintf(stderr, "router: %s\n",
+                 router_or.status().ToString().c_str());
+    return 1;
+  }
+  shard::ShardRouter& r = **router_or;
+  r.EnableTrace();
+
+  // One source dir on shard 0, one destination dir on shard 1, so every
+  // rename crosses shards.
+  auto dir_on = [&](uint32_t want) -> std::string {
+    for (int i = 0; i < 1000; ++i) {
+      std::string d = "/x" + std::to_string(i);
+      if (shard::ShardForDir(d, r.shards(), r.placement()) == want) return d;
+    }
+    return "/";
+  };
+  const std::string src_dir = dir_on(0);
+  const std::string dst_dir = dir_on(1 % r.shards());
+  const std::vector<uint8_t> payload(512, 0x5a);
+  auto run = [&]() -> Status {
+    RETURN_IF_ERROR(r.Mkdir(src_dir));
+    RETURN_IF_ERROR(r.Mkdir(dst_dir));
+    for (uint32_t i = 0; i < txns; ++i) {
+      RETURN_IF_ERROR(
+          r.WriteFile(src_dir + "/f" + std::to_string(i), payload));
+    }
+    RETURN_IF_ERROR(r.SyncAll());
+    r.set_mutation(mutate);
+    for (uint32_t i = 0; i < txns; ++i) {
+      const std::string name = "/f" + std::to_string(i);
+      RETURN_IF_ERROR(r.Rename(src_dir + name, dst_dir + name));
+    }
+    r.set_mutation("");
+    return OkStatus();
+  };
+  if (Status s = run(); !s.ok()) {
+    std::fprintf(stderr, "run: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // Each shard's own trace must still satisfy the single-disk rules.
+  int rc = 0;
+  for (uint32_t s = 0; s < r.shards(); ++s) {
+    auto shard_report = check::OrderingChecker::CheckTrace(*r.env(s)->trace());
+    if (!shard_report.clean()) {
+      std::fprintf(stderr, "shard %u: per-shard ordering violations\n", s);
+      for (const check::Violation& v : shard_report.violations) {
+        std::fprintf(stderr, "  %s: %s\n", check::RuleName(v.rule),
+                     v.detail.c_str());
+      }
+      rc = 1;
+    }
+  }
+
+  check::CrossShardChecker checker;
+  for (uint32_t s = 0; s < r.shards(); ++s) {
+    checker.NoteDropped(r.env(s)->trace()->dropped());
+    checker.ConsumeShard(s, r.env(s)->trace()->Events());
+  }
+  std::printf("sharded: %u shards, %u cross-shard renames (%llu completed)\n",
+              r.shards(), txns,
+              static_cast<unsigned long long>(r.stats().renames_cross));
+  const int cross_rc = Report(checker.Finish(), report_out);
+  return rc != 0 ? rc : cross_rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -135,7 +224,9 @@ int main(int argc, char** argv) {
   params.num_dirs = 4;
   bool postmark = false;
   bool multitenant = false;
+  bool sharded = false;
   uint32_t clients = 16;
+  uint32_t shards = 2;
   uint32_t txns = 400;
   bool syncer = false;
   uint32_t syncer_interval_ms = 100;
@@ -170,6 +261,9 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(arg, "--clients=", 10) == 0) {
       clients = static_cast<uint32_t>(std::atoi(arg + 10));
       if (clients == 0) return Usage(argv[0]);
+    } else if (std::strncmp(arg, "--shards=", 9) == 0) {
+      shards = static_cast<uint32_t>(std::atoi(arg + 9));
+      if (shards < 2) return Usage(argv[0]);
     } else if (std::strcmp(arg, "--syncer") == 0) {
       syncer = true;
     } else if (std::strncmp(arg, "--syncer-interval-ms=", 21) == 0) {
@@ -179,9 +273,12 @@ int main(int argc, char** argv) {
         postmark = true;
       } else if (std::strcmp(arg + 11, "multitenant") == 0) {
         multitenant = true;
+      } else if (std::strcmp(arg + 11, "sharded") == 0) {
+        sharded = true;
       } else if (std::strcmp(arg + 11, "smallfile") == 0) {
         postmark = false;
         multitenant = false;
+        sharded = false;
       } else {
         return Usage(argv[0]);
       }
@@ -194,13 +291,30 @@ int main(int argc, char** argv) {
 
   if (!run && trace_path.empty()) return Usage(argv[0]);
   if (run && !trace_path.empty()) return Usage(argv[0]);
+  const bool xshard_mutation = mutate == "xshard-skip-commit-sync" ||
+                               mutate == "xshard-early-clear";
   if (!mutate.empty() && mutate != "defer-inode-init" &&
-      mutate != "syncer-reorder") {
+      mutate != "syncer-reorder" && !xshard_mutation) {
     return Usage(argv[0]);
   }
   if (mutate == "syncer-reorder" && !syncer) {
     std::fprintf(stderr, "--mutate=syncer-reorder requires --syncer\n");
     return 1;
+  }
+  if (xshard_mutation && !sharded) {
+    std::fprintf(stderr, "--mutate=%s requires --workload=sharded\n",
+                 mutate.c_str());
+    return 1;
+  }
+  if (sharded && !mutate.empty() && !xshard_mutation) {
+    std::fprintf(stderr, "--workload=sharded only takes xshard-* mutations\n");
+    return 1;
+  }
+  if (sharded) {
+    // The sharded workload is a handful of two-phase renames, not the full
+    // transaction mix — cap the default so it stays quick.
+    return RunSharded(kind, policy, shards, txns > 64 ? 8 : txns, mutate,
+                      report_out);
   }
 
   if (!trace_path.empty()) {

@@ -4,6 +4,8 @@
 //             [--policy=sync|delayed] [--syncer] [--top=N] [--json=PATH]
 //             [--mt=N] [--mt-ops=N] [--mt-scheduler=fifo|drr]
 //             [--mt-backpressure=0|1] [--antagonist] [--per-client[=K]]
+//             [--shards=M] [--shard-placement=jump|mod] [--per-shard]
+//             [--rename-pct=N]
 //
 // KIND: ffs | conventional | embedded | grouping | cffs (default cffs).
 // Two reports, both built from the cross-layer span attribution
@@ -26,6 +28,15 @@
 // throttle-stall share — "which tenant hurts, and is it paying its own
 // flush debt or queuing behind someone else's".
 //
+// --shards=M swaps in the scale-out namespace (src/shard): the mt client
+// population fans out across M independent shards (M disks, M syncers)
+// through the group-aware router, with --rename-pct of postmark ops renaming
+// files between directories (cross-shard when they hash apart). --per-shard
+// adds the shard axis: one row per shard with ops serviced, inbound
+// cross-shard renames, p99 full latency, the DOMINANT PHASE of that shard's
+// span attribution ("which shard hurts, and in what phase"), and the
+// high-water dirty/queue-depth gauges from that shard's sampler series.
+//
 // --json dumps the same PhaseBreakdown as machine-readable JSON.
 #include <algorithm>
 #include <cstdio>
@@ -35,6 +46,7 @@
 #include <vector>
 
 #include "src/mt/driver.h"
+#include "src/shard/driver.h"
 #include "src/stats/collect.h"
 #include "src/workload/smallfile.h"
 
@@ -69,7 +81,9 @@ int Usage(const char* argv0) {
                "          [--json=PATH]\n"
                "          [--mt=N] [--mt-ops=N] [--mt-scheduler=fifo|drr]\n"
                "          [--mt-backpressure=0|1] [--antagonist]\n"
-               "          [--per-client[=K]]\n",
+               "          [--per-client[=K]]\n"
+               "          [--shards=M] [--shard-placement=jump|mod]\n"
+               "          [--per-shard] [--rename-pct=N]\n",
                argv0);
   return 2;
 }
@@ -177,6 +191,88 @@ void PrintPerClient(const stats::MetricsSnapshot& snap, size_t k) {
   }
 }
 
+// One row per shard: work absorbed, inbound cross-shard renames, full
+// latency, the dominant phase of that shard's span attribution, and the
+// high-water dirty/queue-depth gauges from the shard's sampler series.
+void PrintPerShard(shard::ShardRouter* router,
+                   const shard::ShardDriverStats& st) {
+  std::printf("\nper-shard breakdown (%u shards, placement %s):\n", st.shards,
+              PlacementPolicyName(router->placement()));
+  std::printf("  %-5s %7s %7s %9s %9s %10s %10s  %-14s %8s %8s\n", "shard",
+              "ops", "xren", "p99_ms", "mean_ms", "qwait_ms", "svc_ms",
+              "dominant", "dirty_hw", "qd_hw");
+  for (const shard::ShardOpStats& s : st.per_shard) {
+    sim::SimEnv* env = router->env(s.shard_id);
+    stats::MetricsSnapshot snap = stats::Snapshot(*env);
+    // Dominant phase: largest share of the shard's span-attributed time.
+    int64_t phase_ns[obs::kPhaseCount] = {};
+    for (const obs::OpTypeBreakdown& b : snap.spans.per_op) {
+      for (int p = 0; p < obs::kPhaseCount; ++p) phase_ns[p] += b.totals.ns[p];
+    }
+    int dominant = 0;
+    for (int p = 1; p < obs::kPhaseCount; ++p) {
+      if (static_cast<obs::Phase>(p) == obs::Phase::kCacheHit) continue;
+      if (phase_ns[p] > phase_ns[dominant]) dominant = p;
+    }
+    uint64_t dirty_hw = 0;
+    uint64_t qd_hw = 0;
+    if (env->sampler() != nullptr) {
+      for (const obs::TimeSample& ts : env->sampler()->samples()) {
+        dirty_hw = std::max(dirty_hw, ts.dirty_blocks);
+        qd_hw = std::max(qd_hw, ts.queue_depth);
+      }
+    }
+    std::printf("  %-5u %7llu %7llu %9.3f %9.3f %10.3f %10.3f  %-14s %8llu "
+                "%8llu\n",
+                s.shard_id, static_cast<unsigned long long>(s.ops),
+                static_cast<unsigned long long>(s.renames_in),
+                Ms(s.latency.p99().nanos()), Ms(s.latency.mean().nanos()),
+                Ms(s.queue_wait_ns), Ms(s.service_ns),
+                s.ops > 0 ? obs::PhaseName(static_cast<obs::Phase>(dominant))
+                          : "-",
+                static_cast<unsigned long long>(dirty_hw),
+                static_cast<unsigned long long>(qd_hw));
+  }
+}
+
+int RunSharded(sim::FsKind kind, const sim::SimConfig& config, uint64_t mt_ops,
+               uint32_t rename_pct, bool per_shard) {
+  auto router_or = shard::ShardRouter::Create(kind, config);
+  if (!router_or.ok()) {
+    std::fprintf(stderr, "router: %s\n",
+                 router_or.status().ToString().c_str());
+    return 1;
+  }
+  shard::ShardRouter* router = router_or->get();
+  shard::ShardDriverParams params = shard::ShardDriverParams::FromConfig(config);
+  params.ops_per_client = mt_ops;
+  params.rename_pct = rename_pct;
+  shard::ShardDriver driver(router, params);
+  if (Status s = driver.Run(); !s.ok()) {
+    std::fprintf(stderr, "run: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  const shard::ShardDriverStats& st = driver.stats();
+  std::printf("%s x %u shards: %u clients x %llu ops, %llu cross-shard "
+              "renames, %.3f simulated seconds\n",
+              sim::FsKindName(kind).c_str(), st.shards, params.clients,
+              static_cast<unsigned long long>(mt_ops),
+              static_cast<unsigned long long>(st.renames_cross),
+              static_cast<double>(st.elapsed_ns) / 1e9);
+  if (per_shard) PrintPerShard(router, st);
+
+  uint64_t shard_ops = 0;
+  for (const shard::ShardOpStats& s : st.per_shard) shard_ops += s.ops;
+  if (shard_ops != st.mt.ops_serviced) {
+    std::fprintf(stderr,
+                 "invariant violated: per-shard ops %llu != serviced %llu\n",
+                 static_cast<unsigned long long>(shard_ops),
+                 static_cast<unsigned long long>(st.mt.ops_serviced));
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -191,6 +287,8 @@ int main(int argc, char** argv) {
   bool antagonist = false;
   bool per_client = false;
   size_t per_client_k = 10;
+  bool per_shard = false;
+  uint32_t rename_pct = 0;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -232,6 +330,18 @@ int main(int argc, char** argv) {
       per_client = true;
       per_client_k = static_cast<size_t>(std::atoll(arg + 13));
       if (per_client_k == 0) return Usage(argv[0]);
+    } else if (std::strncmp(arg, "--shards=", 9) == 0) {
+      config.shards = static_cast<uint32_t>(std::atoi(arg + 9));
+      if (config.shards == 0) return Usage(argv[0]);
+    } else if (std::strncmp(arg, "--shard-placement=", 18) == 0) {
+      shard::PlacementPolicy pp;
+      if (!shard::ParsePlacementPolicy(arg + 18, &pp)) return Usage(argv[0]);
+      config.shard_placement = arg + 18;
+    } else if (std::strcmp(arg, "--per-shard") == 0) {
+      per_shard = true;
+    } else if (std::strncmp(arg, "--rename-pct=", 13) == 0) {
+      rename_pct = static_cast<uint32_t>(std::atoi(arg + 13));
+      if (rename_pct > 100) return Usage(argv[0]);
     } else {
       return Usage(argv[0]);
     }
@@ -243,6 +353,21 @@ int main(int argc, char** argv) {
   if (per_client && !mt_mode) {
     std::fprintf(stderr, "--per-client requires --mt=N\n");
     return Usage(argv[0]);
+  }
+  if ((per_shard || rename_pct > 0) && config.shards == 0) {
+    std::fprintf(stderr, "--per-shard/--rename-pct require --shards=M\n");
+    return Usage(argv[0]);
+  }
+  // Shard mode routes every op through M independent SimEnvs, so the global
+  // span attribution / slowest-op / json reports (all single-env views) are
+  // replaced by the per-shard table.
+  if (config.shards > 0) {
+    if (per_client || !json_out.empty()) {
+      std::fprintf(stderr,
+                   "--per-client/--json are not available with --shards\n");
+      return Usage(argv[0]);
+    }
+    return RunSharded(kind, config, mt_ops, rename_pct, per_shard);
   }
 
   auto env_or = sim::SimEnv::Create(kind, config);
