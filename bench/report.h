@@ -112,6 +112,17 @@ inline obs::Json PhaseJson(const workload::PhaseResult& p) {
   t.Set("transfer_s", p.disk_transfer_s);
   t.Set("overhead_s", p.disk_overhead_s);
   j.Set("disk_time", std::move(t));
+  if (p.flash) {
+    obs::Json fl = obs::Json::Object();
+    fl.Set("busy_s", p.flash_busy_s);
+    fl.Set("overhead_s", p.flash_overhead_s);
+    fl.Set("wait_s", p.flash_wait_s);
+    fl.Set("read_s", p.flash_read_s);
+    fl.Set("program_s", p.flash_program_s);
+    fl.Set("erase_s", p.flash_erase_s);
+    fl.Set("erases", p.flash_erases);
+    j.Set("flash_time", std::move(fl));
+  }
   return j;
 }
 

@@ -48,17 +48,22 @@ Status BlockDevice::WriteRun(uint64_t bno, uint32_t count,
   ++stats_.writes;
   stats_.blocks_written += count;
   head_lba_ = lba + count * kSectorsPerBlock;
+  RecordBlockWrite(bno, count, disk_->now().nanos());
+  return OkStatus();
+}
+
+void BlockDevice::RecordBlockWrite(uint64_t bno, uint32_t count,
+                                   int64_t ts_ns) {
   if (!in_batch_) ++epoch_;
   if (trace_) {
     obs::TraceEvent e;
     e.kind = obs::EventKind::kBlockWrite;
-    e.ts_ns = disk_->now().nanos();
+    e.ts_ns = ts_ns;
     e.a = bno;
     e.b = count;
     e.aux = epoch_;
     trace_->Record(e);
   }
-  return OkStatus();
 }
 
 namespace {

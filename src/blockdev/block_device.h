@@ -40,10 +40,16 @@ struct WriteOp {
   uint64_t unit = UINT64_MAX;
 };
 
+// The mechanical (spinning) device is the concrete base; ReadRun /
+// WriteRun / WriteBatch are virtual so an alternative timing model
+// (flash::FlashDevice) can substitute for it behind the same interface —
+// everything above (cache, io engine, file systems) dispatches through
+// the base pointer and never knows which media it is talking to.
 class BlockDevice {
  public:
   BlockDevice(disk::DiskModel* disk,
               disk::SchedulerPolicy policy = disk::SchedulerPolicy::kCLook);
+  virtual ~BlockDevice() = default;
 
   uint64_t block_count() const { return block_count_; }
   disk::DiskModel* disk() { return disk_; }
@@ -61,13 +67,14 @@ class BlockDevice {
 
   // Contiguous run issued as one disk command (scatter/gather read of a
   // group). out must hold count * kBlockSize bytes.
-  Status ReadRun(uint64_t bno, uint32_t count, std::span<uint8_t> out);
-  Status WriteRun(uint64_t bno, uint32_t count, std::span<const uint8_t> in);
+  virtual Status ReadRun(uint64_t bno, uint32_t count, std::span<uint8_t> out);
+  virtual Status WriteRun(uint64_t bno, uint32_t count,
+                          std::span<const uint8_t> in);
 
   // Batched write-back: orders ops with the scheduler, coalesces adjacent
   // block numbers into single disk commands, and issues them. This is how
   // delayed writes (and group writes) reach the disk.
-  Status WriteBatch(const std::vector<WriteOp>& ops);
+  virtual Status WriteBatch(const std::vector<WriteOp>& ops);
 
   BlockIoStats& stats() { return stats_; }
   const BlockIoStats& stats() const { return stats_; }
@@ -82,7 +89,11 @@ class BlockDevice {
   // Commit epoch of the most recent write command (0 = none yet).
   uint64_t commit_epoch() const { return epoch_; }
 
- private:
+ protected:
+  // Emits the per-command kBlockWrite ordering event (shared epoch logic)
+  // so subclasses keep the exact commit-epoch semantics of the base.
+  void RecordBlockWrite(uint64_t bno, uint32_t count, int64_t ts_ns);
+
   disk::DiskModel* disk_;
   disk::SchedulerPolicy policy_;
   uint64_t block_count_;

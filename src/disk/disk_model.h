@@ -102,6 +102,11 @@ class DiskModel {
   // Future reads of this LBA fail with kIoError until cleared.
   void InjectReadError(uint64_t lba) { bad_sectors_.insert(lba); }
   void ClearReadError(uint64_t lba) { bad_sectors_.erase(lba); }
+  // Whether a read of this LBA would fail. Lets alternative device models
+  // (src/flash) that bypass Read's timing path keep fault-injection parity.
+  bool HasReadError(uint64_t lba) const {
+    return bad_sectors_.count(lba) != 0;
+  }
   // Silently flips bits in a stored sector (media corruption).
   void CorruptSector(uint64_t lba);
 

@@ -1,6 +1,11 @@
 #include "src/fs/cffs/cffs.h"
 
+#include <algorithm>
 #include <cstring>
+#include <utility>
+#include <vector>
+
+#include "src/fs/common/extent_map.h"
 
 #include "src/fs/common/bitmap.h"
 #include "src/util/bytes.h"
@@ -71,6 +76,7 @@ Result<std::unique_ptr<CffsFileSystem>> CffsFileSystem::Format(
   InodeData root;
   root.type = FileType::kDirectory;
   root.nlink = 1;
+  if (options.extent_alloc) root.flags |= kInodeFlagExtents;
   root.self = kRootSlot;
   root.parent = kRootSlot;
   root.mtime_ns = clock->now().nanos();
@@ -92,6 +98,7 @@ Result<std::unique_ptr<CffsFileSystem>> CffsFileSystem::Mount(
   options.grouping = sb.data()[13] != 0;
   options.group_blocks = GetU16(sb.data(), 14);
   options.small_file_max_blocks = GetU16(sb.data(), 16);
+  options.extent_alloc = sb.data()[18] != 0;
   InodeData ifile = InodeData::Decode(sb.data(), kSbIfileOffset);
   sb.Release();
 
@@ -113,6 +120,7 @@ Status CffsFileSystem::WriteSuperblock() {
   sb.data()[13] = options_.grouping ? 1 : 0;
   PutU16(sb.data(), 14, options_.group_blocks);
   PutU16(sb.data(), 16, options_.small_file_max_blocks);
+  sb.data()[18] = options_.extent_alloc ? 1 : 0;
   ifile_.Encode(sb.data(), kSbIfileOffset);
   cache_->MarkDirty(sb);
   TraceMeta(obs::MetaUpdateKind::kSuperUpdate, /*home_bno=*/0, /*subject=*/0);
@@ -312,6 +320,46 @@ Result<uint32_t> CffsFileSystem::AllocDataBlock(InodeNum num, InodeData* ino,
   return alloc_->AllocNear(goal);
 }
 
+Result<BlockRun> CffsFileSystem::AllocDataRun(InodeNum num, InodeData* ino,
+                                              uint64_t idx, uint32_t want,
+                                              uint64_t size_hint_blocks) {
+  // Same grouping decision as AllocDataBlock. Grouped blocks are claimed
+  // one slot at a time from the group extent (the extent map still merges
+  // them — AllocInExtent hands out consecutive slots), so runs only come
+  // from conventional storage.
+  if (options_.grouping) {
+    if (ino->is_dir()) {
+      ASSIGN_OR_RETURN(uint32_t bno, AllocGroupedBlock(num, ino));
+      return BlockRun{bno, 1};
+    }
+    const bool known_large = size_hint_blocks > options_.small_file_max_blocks;
+    if (idx < options_.small_file_max_blocks && !known_large &&
+        !(ino->group_start == 0 &&
+          ino->BlockCount() > options_.small_file_max_blocks)) {
+      ASSIGN_OR_RETURN(uint32_t bno, AllocGroupedBlock(num, ino));
+      return BlockRun{bno, 1};
+    }
+    if (ino->group_start != 0) {
+      RETURN_IF_ERROR(MigrateOutOfGroup(num, ino));
+    }
+  }
+  uint32_t goal = alloc_->layout(0).data_start;
+  if (idx > 0) {
+    const BmapOps ops = MakeReadOnlyBmapOps();
+    Result<uint32_t> prev = BmapRead(ops, *ino, idx - 1);
+    if (prev.ok() && *prev != 0) goal = *prev + 1;
+  } else if (ino->is_dir() && ino->active_group != 0) {
+    goal = ino->active_group;
+  }
+  if (size_hint_blocks > idx) {
+    want = static_cast<uint32_t>(
+        std::min<uint64_t>(want, size_hint_blocks - idx));
+  } else {
+    want = 1;  // unknown size: grow block-by-block, goal adjacency merges
+  }
+  return alloc_->AllocRun(goal, want);
+}
+
 Result<uint32_t> CffsFileSystem::AllocGroupedBlock(InodeNum num,
                                                    InodeData* ino) {
   // Try the file's existing group first.
@@ -359,10 +407,16 @@ Result<uint32_t> CffsFileSystem::AllocGroupedBlock(InodeNum num,
   // Allocate a fresh group extent for this directory, preferring the
   // cylinder group that holds the directory's data.
   uint32_t cg = 0;
+  // BmapRead dispatches on the inode encoding (raw direct[0] would read an
+  // extent's `logical` field on flagged inodes).
+  uint32_t dir_first = 0;
+  if (Result<uint32_t> r = BmapRead(MakeReadOnlyBmapOps(), *dir, 0); r.ok()) {
+    dir_first = *r;
+  }
   if (dir->active_group != 0) {
     cg = alloc_->CgOf(dir->active_group);
-  } else if (dir->direct[0] != 0) {
-    cg = alloc_->CgOf(dir->direct[0]);
+  } else if (dir_first != 0) {
+    cg = alloc_->CgOf(dir_first);
   } else {
     cg = dir_rotor_++ % ncg_;
   }
@@ -397,30 +451,78 @@ Result<uint32_t> CffsFileSystem::AllocInExtentChecked(uint32_t start,
 }
 
 Status CffsFileSystem::MigrateOutOfGroup(InodeNum num, InodeData* ino) {
-  (void)num;
   const uint32_t gs = ino->group_start;
   const uint32_t ge = gs + ino->group_len;
-  uint32_t prev_new = 0;
-  for (uint32_t i = 0; i < kDirectBlocks; ++i) {
-    const uint32_t old = ino->direct[i];
-    if (old == 0 || old < gs || old >= ge) {
-      if (old != 0) prev_new = old;
-      continue;
+  if (ino->flags & kInodeFlagExtents) {
+    // Extent encoding: extents can't be edited block-by-block in place, so
+    // collect every mapping, copy the grouped ones to fresh conventional
+    // storage, then rebuild the map around the final placement.
+    struct Mapping {
+      uint64_t idx;
+      uint32_t bno;
+    };
+    std::vector<Mapping> mapped;
+    const BmapOps ro = MakeReadOnlyBmapOps();
+    RETURN_IF_ERROR(
+        BmapForEach(ro, *ino, [&](uint64_t idx, uint32_t bno) -> Status {
+          if (idx != UINT64_MAX) mapped.push_back({idx, bno});
+          return OkStatus();
+        }));
+    uint32_t prev_new = 0;
+    for (Mapping& m : mapped) {
+      if (m.bno < gs || m.bno >= ge) {
+        prev_new = m.bno;
+        continue;
+      }
+      const uint32_t goal = prev_new != 0 ? prev_new + 1 : ge;
+      ASSIGN_OR_RETURN(uint32_t fresh, alloc_->AllocNear(goal));
+      {
+        ASSIGN_OR_RETURN(cache::BufferRef src, cache_->Get(m.bno));
+        ASSIGN_OR_RETURN(cache::BufferRef dst, cache_->GetZero(fresh));
+        std::memcpy(dst.data().data(), src.data().data(), kBlockSize);
+        // cffs-lint: allow(dirty-no-annotation): file-data block copy during
+        // migration; the map rewrite below carries the ordering annotation.
+        cache_->MarkDirty(dst);
+      }
+      cache_->Invalidate(m.bno);
+      RETURN_IF_ERROR(alloc_->Free(m.bno));
+      m.bno = fresh;
+      prev_new = fresh;
     }
-    const uint32_t goal = prev_new != 0 ? prev_new + 1 : ge;
-    ASSIGN_OR_RETURN(uint32_t fresh, alloc_->AllocNear(goal));
-    {
-      ASSIGN_OR_RETURN(cache::BufferRef src, cache_->Get(old));
-      ASSIGN_OR_RETURN(cache::BufferRef dst, cache_->GetZero(fresh));
-      std::memcpy(dst.data().data(), src.data().data(), kBlockSize);
-      // cffs-lint: allow(dirty-no-annotation): file-data block copy during
-      // migration; the map rewrite below carries the ordering annotation.
-      cache_->MarkDirty(dst);
+    if (ino->indirect != 0) {
+      cache_->Invalidate(ino->indirect);
+      RETURN_IF_ERROR(alloc_->Free(ino->indirect));
+      ino->indirect = 0;
     }
-    cache_->Invalidate(old);
-    RETURN_IF_ERROR(alloc_->Free(old));
-    ino->direct[i] = fresh;
-    prev_new = fresh;
+    for (uint32_t i = 0; i < kDirectBlocks; ++i) ino->direct[i] = 0;
+    BmapOps ops = MakeBmapOps(num, ino);
+    bool dirtied = false;
+    for (const Mapping& m : mapped) {
+      RETURN_IF_ERROR(ExtentAppendMapping(ops, ino, m.idx, m.bno, &dirtied));
+    }
+  } else {
+    uint32_t prev_new = 0;
+    for (uint32_t i = 0; i < kDirectBlocks; ++i) {
+      const uint32_t old = ino->direct[i];
+      if (old == 0 || old < gs || old >= ge) {
+        if (old != 0) prev_new = old;
+        continue;
+      }
+      const uint32_t goal = prev_new != 0 ? prev_new + 1 : ge;
+      ASSIGN_OR_RETURN(uint32_t fresh, alloc_->AllocNear(goal));
+      {
+        ASSIGN_OR_RETURN(cache::BufferRef src, cache_->Get(old));
+        ASSIGN_OR_RETURN(cache::BufferRef dst, cache_->GetZero(fresh));
+        std::memcpy(dst.data().data(), src.data().data(), kBlockSize);
+        // cffs-lint: allow(dirty-no-annotation): file-data block copy during
+        // migration; the map rewrite below carries the ordering annotation.
+        cache_->MarkDirty(dst);
+      }
+      cache_->Invalidate(old);
+      RETURN_IF_ERROR(alloc_->Free(old));
+      ino->direct[i] = fresh;
+      prev_new = fresh;
+    }
   }
   RETURN_IF_ERROR(ReleaseGroupIfIdle(gs, ino->group_len));
   ino->group_start = 0;
@@ -444,8 +546,12 @@ Status CffsFileSystem::ReleaseGroupIfIdle(uint32_t group_start,
 Result<uint32_t> CffsFileSystem::AllocMetaBlock(InodeNum num,
                                                 const InodeData& ino) {
   (void)num;
-  const uint32_t goal = ino.direct[0] != 0 ? ino.direct[0]
-                                           : alloc_->layout(0).data_start;
+  // First data block as the goal, read through the encoding-aware map.
+  uint32_t first = 0;
+  if (Result<uint32_t> r = BmapRead(MakeReadOnlyBmapOps(), ino, 0); r.ok()) {
+    first = *r;
+  }
+  const uint32_t goal = first != 0 ? first : alloc_->layout(0).data_start;
   return alloc_->AllocNear(goal);
 }
 
@@ -534,6 +640,7 @@ Result<InodeNum> CffsFileSystem::CreateCommon(InodeNum dir,
   InodeData ino;
   ino.type = type;
   ino.nlink = 1;
+  if (options_.extent_alloc) ino.flags |= kInodeFlagExtents;
   ino.parent = dir;
   ino.mtime_ns = MtimeNs();
 

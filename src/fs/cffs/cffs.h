@@ -59,6 +59,12 @@ struct CffsOptions {
   uint16_t group_blocks = 16;        // 64 KB extents
   uint16_t small_file_max_blocks = 8;  // beyond this, migrate out of group
   uint32_t blocks_per_cg = 2048;
+  // Map new inodes with extents (kInodeFlagExtents) instead of the classic
+  // pointer tree. Grouped small-file blocks still come one at a time from
+  // the group extent; ungrouped files use CgAllocator::AllocRun. Persisted
+  // in the superblock. The IFILE always keeps the classic encoding (its
+  // blocks never move and its map never shrinks).
+  bool extent_alloc = false;
 };
 
 class CffsFileSystem : public FsBase {
@@ -110,6 +116,9 @@ class CffsFileSystem : public FsBase {
   Result<uint32_t> AllocDataBlock(InodeNum num, InodeData* ino,
                                   uint64_t idx,
                                   uint64_t size_hint_blocks) override;
+  Result<BlockRun> AllocDataRun(InodeNum num, InodeData* ino, uint64_t idx,
+                                uint32_t want,
+                                uint64_t size_hint_blocks) override;
   Result<uint32_t> AllocMetaBlock(InodeNum num, const InodeData& ino) override;
   Status FreeBlock(uint32_t bno) override;
   Status PrepareDataRead(const InodeData& ino, uint32_t bno) override;

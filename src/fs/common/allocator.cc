@@ -10,6 +10,7 @@ namespace cffs::fs {
 CgAllocator::CgAllocator(cache::BufferCache* cache, std::vector<CgLayout> groups)
     : cache_(cache), groups_(std::move(groups)) {
   assert(!groups_.empty());
+  free_runs_.resize(groups_.size());
   for (const CgLayout& g : groups_) {
     assert(g.blocks <= kBlockSize * 8);
     assert(g.data_start >= g.first_block &&
@@ -135,6 +136,59 @@ Result<uint32_t> CgAllocator::AllocNear(uint32_t goal) {
     if (r.ok() || r.status().code() != ErrorCode::kNoSpace) return r;
   }
   return AllocNearPass(goal, /*ignore_reservations=*/true);
+}
+
+Result<bool> CgAllocator::TryAllocAt(uint32_t bno) {
+  const uint32_t cg = CgOf(bno);
+  const CgLayout& g = groups_[cg];
+  if (bno < g.data_start || bno >= g.first_block + g.blocks) return false;
+  const uint32_t bit = bno - g.first_block;
+  ASSIGN_OR_RETURN(cache::BufferRef bm, cache_->Get(g.bitmap_block));
+  if (BitGet(bm.data(), bit)) return false;
+  if (g.resv_block != 0) {
+    ASSIGN_OR_RETURN(cache::BufferRef rm, cache_->Get(g.resv_block));
+    if (BitGet(rm.data(), bit)) return false;
+  }
+  BitSet(bm.data(), bit);
+  cache_->MarkDirty(bm);
+  TraceMapBit(obs::MetaUpdateKind::kFreeMapAlloc, g.bitmap_block, bno);
+  assert(free_blocks_ > 0);
+  --free_blocks_;
+  return true;
+}
+
+Result<BlockRun> CgAllocator::AllocRun(uint32_t goal, uint32_t want) {
+  if (want == 0) want = 1;
+  // Pass 1: the free-run hint stack of the goal's cylinder group. Claim a
+  // validated prefix of the most recently freed run.
+  std::vector<BlockRun>& stack = free_runs_[CgOf(goal)];
+  while (!stack.empty()) {
+    const BlockRun hint = stack.back();
+    stack.pop_back();
+    uint32_t got = 0;
+    while (got < hint.count && got < want) {
+      ASSIGN_OR_RETURN(bool ok, TryAllocAt(hint.start + got));
+      if (!ok) break;
+      ++got;
+    }
+    if (got == 0) continue;  // stale hint — drop it, try the next
+    if (got == want && got < hint.count) {
+      stack.push_back({hint.start + got, hint.count - got});
+    }
+    return BlockRun{hint.start, got};
+  }
+  // Pass 2: goal-directed first block, extended greedily in place. The
+  // extension respects reservations and cg bounds (TryAllocAt), so a run
+  // never invades group territory or crosses into another group's
+  // metadata area.
+  ASSIGN_OR_RETURN(uint32_t first, AllocNear(goal));
+  uint32_t got = 1;
+  while (got < want) {
+    ASSIGN_OR_RETURN(bool ok, TryAllocAt(first + got));
+    if (!ok) break;
+    ++got;
+  }
+  return BlockRun{first, got};
 }
 
 Result<uint32_t> CgAllocator::SweepIdleReservations() {
@@ -275,6 +329,18 @@ Status CgAllocator::Free(uint32_t bno) {
   if (!skip_free_write_) cache_->MarkDirty(bm);
   TraceMapBit(obs::MetaUpdateKind::kFreeMapFree, g.bitmap_block, bno);
   ++free_blocks_;
+  // Record a free-run hint for AllocRun, coalescing with the stack top so
+  // a truncated extent comes back as one run.
+  std::vector<BlockRun>& stack = free_runs_[cg];
+  if (!stack.empty() && bno == stack.back().start + stack.back().count) {
+    ++stack.back().count;
+  } else if (!stack.empty() && bno + 1 == stack.back().start) {
+    --stack.back().start;
+    ++stack.back().count;
+  } else {
+    if (stack.size() >= kMaxFreeRunHints) stack.erase(stack.begin());
+    stack.push_back({bno, 1});
+  }
   return OkStatus();
 }
 

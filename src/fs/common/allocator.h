@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/cache/buffer_cache.h"
+#include "src/fs/common/block_map.h"
 #include "src/fs/common/fs_types.h"
 #include "src/obs/trace.h"
 #include "src/util/sim_time.h"
@@ -54,6 +55,13 @@ class CgAllocator {
   // and, as a last resort, the reservation bits are ignored (space held by
   // half-empty groups is better used than returning ENOSPC).
   Result<uint32_t> AllocNear(uint32_t goal);
+
+  // Allocates a run of up to `want` contiguous free, unreserved blocks for
+  // extent-based mapping. Tries the free-run hint stack of goal's cylinder
+  // group first (hints recorded by Free, always re-validated against the
+  // bitmaps), then allocates a first block with AllocNear's placement and
+  // extends it greedily in place. Always returns at least one block.
+  Result<BlockRun> AllocRun(uint32_t goal, uint32_t want);
 
   // Clears reservation windows whose blocks are all free. Returns how many
   // windows were released.
@@ -99,11 +107,19 @@ class CgAllocator {
   Result<uint32_t> AllocInCg(uint32_t cg, uint32_t goal_abs,
                              bool ignore_reservations);
   Result<uint32_t> AllocNearPass(uint32_t goal, bool ignore_reservations);
+  // Claims `bno` if it is allocatable, free and unreserved; false if not.
+  Result<bool> TryAllocAt(uint32_t bno);
   void TraceMapBit(obs::MetaUpdateKind kind, uint32_t bitmap_block,
                    uint32_t bno);
 
+  static constexpr size_t kMaxFreeRunHints = 64;
+
   cache::BufferCache* cache_;
   std::vector<CgLayout> groups_;
+  // Per-cg stacks of recently-freed runs — placement hints for AllocRun.
+  // Purely advisory: every candidate block is re-validated against the
+  // bitmaps, so stale entries cost a probe, never correctness.
+  std::vector<std::vector<BlockRun>> free_runs_;
   uint64_t free_blocks_ = 0;
   uint32_t rotor_ = 0;  // round-robin over cylinder groups
   obs::TraceRecorder* trace_ = nullptr;

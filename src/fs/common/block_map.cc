@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "src/fs/common/extent_map.h"
 #include "src/util/bytes.h"
 
 namespace cffs::fs {
@@ -21,6 +22,7 @@ void SetPtr(std::span<uint8_t> block, uint32_t slot, uint32_t bno) {
 
 Result<uint32_t> BmapRead(const BmapOps& ops, const InodeData& ino,
                           uint64_t idx) {
+  if (ino.flags & kInodeFlagExtents) return ExtentBmapRead(ops, ino, idx);
   if (idx >= kMaxFileBlocks) return OutOfRange("file block index");
   if (idx < kDirectBlocks) return ino.direct[idx];
 
@@ -42,6 +44,9 @@ Result<uint32_t> BmapRead(const BmapOps& ops, const InodeData& ino,
 
 Result<uint32_t> BmapAlloc(const BmapOps& ops, InodeData* ino, uint64_t idx,
                            bool* inode_dirtied) {
+  if (ino->flags & kInodeFlagExtents) {
+    return ExtentBmapAlloc(ops, ino, idx, inode_dirtied);
+  }
   if (idx >= kMaxFileBlocks) return OutOfRange("file block index");
   if (idx < kDirectBlocks) {
     if (ino->direct[idx] == 0) {
@@ -130,6 +135,9 @@ Result<bool> TruncateIndirect(const BmapOps& ops, uint32_t ib_bno,
 }  // namespace
 
 Status BmapTruncate(const BmapOps& ops, InodeData* ino, uint64_t keep_blocks) {
+  if (ino->flags & kInodeFlagExtents) {
+    return ExtentBmapTruncate(ops, ino, keep_blocks);
+  }
   // Direct blocks.
   for (uint64_t i = keep_blocks; i < kDirectBlocks; ++i) {
     if (ino->direct[i] != 0) {
@@ -203,6 +211,7 @@ Status BmapTruncate(const BmapOps& ops, InodeData* ino, uint64_t keep_blocks) {
 Status BmapForEach(
     const BmapOps& ops, const InodeData& ino,
     const std::function<Status(uint64_t idx, uint32_t bno)>& fn) {
+  if (ino.flags & kInodeFlagExtents) return ExtentBmapForEach(ops, ino, fn);
   for (uint32_t i = 0; i < kDirectBlocks; ++i) {
     if (ino.direct[i] != 0) RETURN_IF_ERROR(fn(i, ino.direct[i]));
   }

@@ -20,6 +20,12 @@ inline constexpr uint64_t kMaxFileBlocks =
     kDirectBlocks + kPtrsPerBlock +
     static_cast<uint64_t>(kPtrsPerBlock) * kPtrsPerBlock;
 
+// A contiguous run of physical blocks, as returned by run allocation.
+struct BlockRun {
+  uint32_t start = 0;
+  uint32_t count = 0;
+};
+
 struct BmapOps {
   cache::BufferCache* cache = nullptr;
   // Allocate a block for file block `idx` (or for an indirect block when
@@ -28,7 +34,14 @@ struct BmapOps {
   std::function<Status(uint32_t bno)> free_block;
   // Mark an indirect block dirty under the fs's metadata policy.
   std::function<Status(cache::BufferRef& ref)> meta_dirty;
+  // Allocate up to `want` contiguous blocks for file block `idx` (extent
+  // inodes only; may return fewer). Null falls back to single-block alloc.
+  std::function<Result<BlockRun>(uint64_t idx, uint32_t want)> alloc_run;
 };
+
+// Each entry point below dispatches on kInodeFlagExtents: flagged inodes
+// route to the extent encoding (fs/common/extent_map.h), everything else
+// uses the classic pointer map. Callers never need to know which is which.
 
 // Physical block holding file block `idx`, or 0 for a hole.
 Result<uint32_t> BmapRead(const BmapOps& ops, const InodeData& ino,

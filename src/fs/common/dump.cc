@@ -7,6 +7,7 @@
 #include <functional>
 
 #include "src/fs/common/bitmap.h"
+#include "src/fs/common/extent_map.h"
 
 namespace cffs::fs {
 
@@ -43,6 +44,21 @@ std::string DescribeInode(const InodeData& ino) {
   }
   if (ino.is_dir() && ino.active_group != 0) {
     out += Sprintf(" active_group=%u", ino.active_group);
+  }
+  if (ino.flags & kInodeFlagExtents) {
+    // Extent encoding: the direct words are 4 (logical, start, count)
+    // triples; `indirect` is the spill block of more extents.
+    out += " extents=";
+    bool first = true;
+    for (uint32_t slot = 0; slot < kDirectExtents; ++slot) {
+      const ExtentOnDisk e = DirectExtent(ino, slot);
+      if (e.count == 0) continue;
+      if (!first) out += ",";
+      out += Sprintf("%u:[%u+%u)", e.logical, e.start, e.count);
+      first = false;
+    }
+    if (ino.indirect != 0) out += Sprintf(" extblk=%u", ino.indirect);
+    return out;
   }
   out += " blocks=";
   bool first = true;
@@ -121,6 +137,7 @@ Result<std::string> DumpSuperblock(CffsFileSystem* fs) {
                  " <= %u blocks)\n",
                  o.grouping ? "on" : "off", o.group_blocks,
                  o.small_file_max_blocks);
+  out += Sprintf("  extent allocation   %s\n", o.extent_alloc ? "on" : "off");
   out += Sprintf("  cylinder groups     %u blocks each\n", o.blocks_per_cg);
   out += Sprintf("  IFILE               %" PRIu64 " slots, %s\n",
                  fs->external_slot_count(),

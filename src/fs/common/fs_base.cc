@@ -79,6 +79,10 @@ BmapOps FsBase::MakeBmapOps(InodeNum num, InodeData* ino,
     if (metadata) return AllocMetaBlock(num, *ino);
     return AllocDataBlock(num, ino, idx, size_hint_blocks);
   };
+  ops.alloc_run = [this, num, ino, size_hint_blocks](
+                      uint64_t idx, uint32_t want) -> Result<BlockRun> {
+    return AllocDataRun(num, ino, idx, want, size_hint_blocks);
+  };
   ops.free_block = [this](uint32_t bno) -> Status {
     cache_->Invalidate(bno);
     return FreeBlock(bno);

@@ -12,6 +12,13 @@
 
 namespace cffs::fs {
 
+// Inode flag bits (InodeData.flags). kInodeFlagExtents switches the block
+// map encoding: the 12 direct pointers are reinterpreted as 4 on-disk
+// extents and `indirect` points at an extent block (dindirect unused) —
+// see fs/common/extent_map.h. Encode/Decode are agnostic: they move the
+// same 12 u32 words either way.
+inline constexpr uint32_t kInodeFlagExtents = 1u << 0;
+
 // cffs-lint: ondisk pin=kInodeSize
 struct InodeData {
   FileType type = FileType::kFree;

@@ -1,5 +1,6 @@
 #include "src/fs/ffs/ffs.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "src/fs/common/bitmap.h"
@@ -88,6 +89,7 @@ Result<std::unique_ptr<FfsFileSystem>> FfsFileSystem::Format(
   InodeData root;
   root.type = FileType::kDirectory;
   root.nlink = 1;
+  if (params.extent_alloc) root.flags |= kInodeFlagExtents;
   root.self = kRootInum;
   root.parent = kRootInum;
   root.mtime_ns = clock->now().nanos();
@@ -106,6 +108,7 @@ Result<std::unique_ptr<FfsFileSystem>> FfsFileSystem::Mount(
   params.blocks_per_cg = GetU32(sb.data(), 4);
   params.inodes_per_cg = GetU32(sb.data(), 8);
   const uint32_t ncg = GetU32(sb.data(), 12);
+  params.extent_alloc = GetU32(sb.data(), 24) != 0;
   sb.Release();
   auto fs = std::unique_ptr<FfsFileSystem>(
       new FfsFileSystem(cache, clock, policy, params, ncg));
@@ -121,6 +124,7 @@ Status FfsFileSystem::WriteSuperblock() {
   PutU32(sb.data(), 8, params_.inodes_per_cg);
   PutU32(sb.data(), 12, ncg_);
   PutU64(sb.data(), 16, cache_->device()->block_count());
+  PutU32(sb.data(), 24, params_.extent_alloc ? 1 : 0);
   cache_->MarkDirty(sb);
   TraceMeta(obs::MetaUpdateKind::kSuperUpdate, /*home_bno=*/0, /*subject=*/0);
   return OkStatus();
@@ -237,10 +241,35 @@ Result<uint32_t> FfsFileSystem::AllocDataBlock(InodeNum num, InodeData* ino,
   return alloc_->AllocNear(goal);
 }
 
+Result<BlockRun> FfsFileSystem::AllocDataRun(InodeNum num, InodeData* ino,
+                                             uint64_t idx, uint32_t want,
+                                             uint64_t size_hint_blocks) {
+  // Same goal as AllocDataBlock; the run length is clamped to what the
+  // operation is known to need so extents don't overshoot small files.
+  uint32_t goal = alloc_->layout(CgOfInode(num) % alloc_->cg_count()).data_start;
+  if (idx > 0) {
+    const BmapOps ops = MakeReadOnlyBmapOps();
+    Result<uint32_t> prev = BmapRead(ops, *ino, idx - 1);
+    if (prev.ok() && *prev != 0) goal = *prev + 1;
+  }
+  if (size_hint_blocks > idx) {
+    want = static_cast<uint32_t>(
+        std::min<uint64_t>(want, size_hint_blocks - idx));
+  } else {
+    want = 1;  // unknown size: grow block-by-block, goal adjacency merges
+  }
+  return alloc_->AllocRun(goal, want);
+}
+
 Result<uint32_t> FfsFileSystem::AllocMetaBlock(InodeNum num,
                                                const InodeData& ino) {
-  uint32_t goal = ino.direct[0] != 0
-                      ? ino.direct[0]
+  // First data block as the goal; BmapRead handles both inode encodings
+  // (direct[0] would read an extent's `logical` field on flagged inodes).
+  uint32_t first = 0;
+  Result<uint32_t> r = BmapRead(MakeReadOnlyBmapOps(), ino, 0);
+  if (r.ok()) first = *r;
+  uint32_t goal = first != 0
+                      ? first
                       : alloc_->layout(CgOfInode(num) % alloc_->cg_count()).data_start;
   return alloc_->AllocNear(goal);
 }
@@ -258,6 +287,7 @@ Result<InodeNum> FfsFileSystem::Create(InodeNum dir, std::string_view name) {
   InodeData ino;
   ino.type = FileType::kRegular;
   ino.nlink = 1;
+  if (params_.extent_alloc) ino.flags |= kInodeFlagExtents;
   ino.self = inum;
   ino.parent = dir;
   ino.mtime_ns = MtimeNs();
@@ -305,6 +335,7 @@ Result<InodeNum> FfsFileSystem::Mkdir(InodeNum dir, std::string_view name) {
   InodeData ino;
   ino.type = FileType::kDirectory;
   ino.nlink = 1;
+  if (params_.extent_alloc) ino.flags |= kInodeFlagExtents;
   ino.self = inum;
   ino.parent = dir;
   ino.mtime_ns = MtimeNs();

@@ -25,6 +25,10 @@ namespace cffs::fs {
 struct FfsParams {
   uint32_t blocks_per_cg = 2048;  // 8 MB cylinder groups
   uint32_t inodes_per_cg = 512;   // one inode per 16 KB of disk
+  // Map new inodes with extents (kInodeFlagExtents) instead of the classic
+  // pointer tree; data blocks come from CgAllocator::AllocRun. Persisted in
+  // the superblock so a remount keeps allocating the same way.
+  bool extent_alloc = false;
 };
 
 class FfsFileSystem : public FsBase {
@@ -75,6 +79,9 @@ class FfsFileSystem : public FsBase {
   Result<uint32_t> AllocDataBlock(InodeNum num, InodeData* ino,
                                   uint64_t idx,
                                   uint64_t size_hint_blocks) override;
+  Result<BlockRun> AllocDataRun(InodeNum num, InodeData* ino, uint64_t idx,
+                                uint32_t want,
+                                uint64_t size_hint_blocks) override;
   Result<uint32_t> AllocMetaBlock(InodeNum num, const InodeData& ino) override;
   Status FreeBlock(uint32_t bno) override;
   Result<uint32_t> InodeHomeBlock(InodeNum num) override;

@@ -15,6 +15,9 @@ const char* PhaseName(Phase p) {
     case Phase::kRotation: return "rotation";
     case Phase::kTransfer: return "transfer";
     case Phase::kOverhead: return "overhead";
+    case Phase::kChannelWait: return "channel_wait";
+    case Phase::kProgram: return "program";
+    case Phase::kErase: return "erase";
   }
   return "?";
 }
@@ -276,6 +279,24 @@ void SpanTracker::AttributeDisk(int64_t start_ns, int64_t seek_ns,
   Attribute(Phase::kRotation, rotation_ns, t, lba);
   t += std::max<int64_t>(rotation_ns, 0);
   Attribute(Phase::kTransfer, transfer_ns, t, lba);
+}
+
+void SpanTracker::AttributeFlash(int64_t start_ns, int64_t overhead_ns,
+                                 int64_t wait_ns, int64_t read_ns,
+                                 int64_t program_ns, int64_t erase_ns,
+                                 uint64_t lba) {
+  // Critical-channel order: command overhead, queueing behind earlier work
+  // on that channel, then the chip operations.
+  int64_t t = start_ns;
+  Attribute(Phase::kOverhead, overhead_ns, t, lba);
+  t += std::max<int64_t>(overhead_ns, 0);
+  Attribute(Phase::kChannelWait, wait_ns, t, lba);
+  t += std::max<int64_t>(wait_ns, 0);
+  Attribute(Phase::kTransfer, read_ns, t, lba);
+  t += std::max<int64_t>(read_ns, 0);
+  Attribute(Phase::kProgram, program_ns, t, lba);
+  t += std::max<int64_t>(program_ns, 0);
+  Attribute(Phase::kErase, erase_ns, t, lba);
 }
 
 void SpanTracker::CountHit() {

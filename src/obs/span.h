@@ -22,6 +22,15 @@
 //   rotation       rotational positioning      |  per-command breakdown
 //   transfer       media/bus transfer          |  mirrored from DiskStats
 //   overhead       command overhead            +
+//   channel_wait   flash: command queued behind the critical channel's
+//                  earlier work (queue-depth / channel-skew overlap time)
+//   program        flash: page programs on the critical channel
+//   erase          flash: erase-block reclaims on the critical channel
+//
+// The flash phases mirror FlashStats the same way the mechanical phases
+// mirror DiskStats: FlashDevice decomposes each command window along the
+// critical (last-finishing) channel, so overhead + channel_wait + transfer
+// (flash reads) + program + erase == the clock advance, exactly.
 //
 // The SpanTracker is wired by sim::SimEnv the same way TraceRecorder is
 // (set_spans on each layer); all emit sites are `if (spans_)`-guarded, so
@@ -56,9 +65,12 @@ enum class Phase : uint8_t {
   kRotation,
   kTransfer,
   kOverhead,
+  kChannelWait,  // flash: issued behind earlier work on the critical channel
+  kProgram,      // flash: page program time
+  kErase,        // flash: erase-block reclaim time
 };
 
-inline constexpr int kPhaseCount = 8;
+inline constexpr int kPhaseCount = 11;
 
 const char* PhaseName(Phase p);
 
@@ -181,6 +193,13 @@ class SpanTracker {
   // command; they sum to the clock advance by construction).
   void AttributeDisk(int64_t start_ns, int64_t seek_ns, int64_t rotation_ns,
                      int64_t transfer_ns, int64_t overhead_ns, uint64_t lba);
+  // One flash command window's exact breakdown along the critical channel
+  // (see FlashDevice): overhead + wait + read + program + erase == the
+  // clock advance. Reads land in kTransfer (they are data transfer); the
+  // flash-only phases get their own buckets.
+  void AttributeFlash(int64_t start_ns, int64_t overhead_ns, int64_t wait_ns,
+                      int64_t read_ns, int64_t program_ns, int64_t erase_ns,
+                      uint64_t lba);
   // Counts a zero-duration cache hit on the current sink.
   void CountHit();
 

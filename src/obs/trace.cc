@@ -162,6 +162,12 @@ void AppendEvent(std::string* out, const TraceEvent& e) {
       tid = kDiskLane;
       complete = true;
       break;
+    case EventKind::kFlashIo:
+      name = e.flag ? "flash-write" : "flash-read";
+      cat = "disk";
+      tid = kDiskLane;
+      complete = true;
+      break;
     case EventKind::kWriteBatch:
       name = "write-batch";
       cat = "disk";
@@ -261,6 +267,21 @@ void AppendEvent(std::string* out, const TraceEvent& e) {
       AppendUs(out, "rotation_us", e.rotation_ns);
       *out += ',';
       AppendUs(out, "transfer_us", e.transfer_ns);
+      *out += ',';
+      AppendUs(out, "overhead_us", e.overhead_ns);
+      break;
+    case EventKind::kFlashIo:
+      std::snprintf(args, sizeof args, "\"bno\":%llu,\"blocks\":%llu,",
+                    static_cast<unsigned long long>(e.a),
+                    static_cast<unsigned long long>(e.b));
+      *out += args;
+      AppendUs(out, "wait_us", e.wait_ns);
+      *out += ',';
+      AppendUs(out, "read_us", e.transfer_ns);
+      *out += ',';
+      AppendUs(out, "program_us", e.program_ns);
+      *out += ',';
+      AppendUs(out, "erase_us", e.erase_ns);
       *out += ',';
       AppendUs(out, "overhead_us", e.overhead_ns);
       break;
@@ -378,6 +399,9 @@ Json EventToRecord(const TraceEvent& e) {
   rec.Set("rotation_ns", e.rotation_ns);
   rec.Set("transfer_ns", e.transfer_ns);
   rec.Set("overhead_ns", e.overhead_ns);
+  rec.Set("wait_ns", e.wait_ns);
+  rec.Set("program_ns", e.program_ns);
+  rec.Set("erase_ns", e.erase_ns);
   return rec;
 }
 
@@ -395,7 +419,7 @@ Result<TraceEvent> EventFromRecord(const Json& rec) {
   if (!rec.is_object()) return InvalidArgument("trace record is not an object");
   TraceEvent e;
   const int64_t kind = IntField(rec, "kind");
-  if (kind < 0 || kind > static_cast<int64_t>(EventKind::kCounterSample)) {
+  if (kind < 0 || kind > static_cast<int64_t>(EventKind::kFlashIo)) {
     return InvalidArgument("trace record has unknown event kind " +
                            std::to_string(kind));
   }
@@ -413,7 +437,7 @@ Result<TraceEvent> EventFromRecord(const Json& rec) {
   e.a = static_cast<uint64_t>(IntField(rec, "a"));
   e.b = static_cast<uint64_t>(IntField(rec, "b"));
   const int64_t meta = IntField(rec, "meta");
-  if (meta < 0 || meta > static_cast<int64_t>(MetaUpdateKind::kMapUpdate)) {
+  if (meta < 0 || meta > static_cast<int64_t>(MetaUpdateKind::kShardBarrier)) {
     return InvalidArgument("trace record has unknown meta kind " +
                            std::to_string(meta));
   }
@@ -424,6 +448,9 @@ Result<TraceEvent> EventFromRecord(const Json& rec) {
   e.rotation_ns = IntField(rec, "rotation_ns");
   e.transfer_ns = IntField(rec, "transfer_ns");
   e.overhead_ns = IntField(rec, "overhead_ns");
+  e.wait_ns = IntField(rec, "wait_ns");
+  e.program_ns = IntField(rec, "program_ns");
+  e.erase_ns = IntField(rec, "erase_ns");
   return e;
 }
 

@@ -54,6 +54,11 @@ enum class EventKind : uint8_t {
                    // blocks, op_id = throttle flushes since last sample,
                    // seek_ns = disk busy permille over the interval.
                    // Rendered as Chrome counter tracks (ph "C").
+  kFlashIo,        // one flash command window (flag = write; a = first
+                   // block, b = block count, aux = commit epoch for
+                   // writes). Critical-channel time breakdown in wait_ns /
+                   // transfer_ns (reads) / program_ns / erase_ns /
+                   // overhead_ns; they sum to dur_ns exactly.
 };
 
 // What a kMetaUpdate event dirtied. Together with the home block number
@@ -124,11 +129,16 @@ struct TraceEvent {
   uint64_t aux = 0;    // kMetaUpdate: kind-specific extra subject
                        // (dir inum / attached bno); kBlockWrite: commit
                        // epoch — commands in one scheduler batch share it
-  // Per-command disk time breakdown (kDiskIo only).
+  // Per-command disk time breakdown (kDiskIo only; transfer_ns and
+  // overhead_ns are shared with kFlashIo).
   int64_t seek_ns = 0;
   int64_t rotation_ns = 0;
   int64_t transfer_ns = 0;
   int64_t overhead_ns = 0;
+  // Per-command flash time breakdown (kFlashIo only; see src/flash).
+  int64_t wait_ns = 0;
+  int64_t program_ns = 0;
+  int64_t erase_ns = 0;
 };
 
 class TraceRecorder {

@@ -20,7 +20,16 @@ SimEnv::SimEnv(FsKind kind, const SimConfig& config)
       config.sampler_interval, config.sampler_max_samples);
   disk_ = std::make_unique<disk::DiskModel>(config.disk_spec, &clock_);
   disk_->set_spans(spans_.get());
-  device_ = std::make_unique<blk::BlockDevice>(disk_.get(), config.scheduler);
+  if (config.device == "flash") {
+    auto flash = std::make_unique<flash::FlashDevice>(
+        disk_.get(), &clock_, config.flash_spec);
+    flash->set_spans(spans_.get());
+    flash_ = flash.get();
+    device_ = std::move(flash);
+  } else {
+    device_ = std::make_unique<blk::BlockDevice>(disk_.get(),
+                                                 config.scheduler);
+  }
   cache_ = std::make_unique<cache::BufferCache>(device_.get(),
                                                 config.cache_blocks);
   cache_->set_spans(spans_.get());
@@ -58,6 +67,7 @@ Result<std::unique_ptr<SimEnv>> SimEnv::Create(FsKind kind,
   if (kind == FsKind::kFfs) {
     fs::FfsParams params;
     params.blocks_per_cg = config.blocks_per_cg;
+    params.extent_alloc = config.extent_alloc;
     ASSIGN_OR_RETURN(auto fs, fs::FfsFileSystem::Format(
                                   env->cache_.get(), &env->clock_, params,
                                   config.metadata));
@@ -67,6 +77,7 @@ Result<std::unique_ptr<SimEnv>> SimEnv::Create(FsKind kind,
     fs::CffsOptions options;
     options.blocks_per_cg = config.blocks_per_cg;
     options.group_blocks = config.group_blocks;
+    options.extent_alloc = config.extent_alloc;
     options.embed_inodes =
         kind == FsKind::kEmbedOnly || kind == FsKind::kCffs;
     options.grouping = kind == FsKind::kGroupOnly || kind == FsKind::kCffs;
@@ -127,7 +138,8 @@ void SimEnv::ChargeCpu(uint64_t bytes) {
     s.resident_blocks = cache_->size();
     const uint64_t flushes = syncer_ ? syncer_->stats().throttle_flushes : 0;
     s.throttle_flushes = flushes - sampled_throttle_flushes_;
-    const int64_t busy = disk_->stats().busy_time.nanos();
+    const int64_t busy = flash_ ? flash_->flash_stats().busy_time.nanos()
+                                : disk_->stats().busy_time.nanos();
     const int64_t wall = now - sampled_wall_ns_;
     if (wall > 0) {
       const int64_t permille = (busy - sampled_busy_ns_) * 1000 / wall;
@@ -152,6 +164,7 @@ Status SimEnv::ColdCache() {
 void SimEnv::ResetStats() {
   disk_->stats().Reset();
   device_->stats().Reset();
+  if (flash_) flash_->flash_stats().Reset();
   cache_->stats().Reset();
   fs_->op_stats().Reset();
   fs_->op_latencies().Reset();
@@ -161,7 +174,7 @@ void SimEnv::ResetStats() {
   spans_->Reset();
   const int64_t now = clock_.now().nanos();
   sampler_->Reset(now);
-  sampled_busy_ns_ = disk_->stats().busy_time.nanos();  // zero after Reset
+  sampled_busy_ns_ = 0;  // both device backends' busy stats zero after Reset
   sampled_wall_ns_ = now;
   sampled_throttle_flushes_ = 0;
 }

@@ -12,6 +12,7 @@
 #include "src/blockdev/block_device.h"
 #include "src/cache/buffer_cache.h"
 #include "src/disk/disk_model.h"
+#include "src/flash/flash_device.h"
 #include "src/fs/cffs/cffs.h"
 #include "src/fs/common/path.h"
 #include "src/fs/ffs/ffs.h"
@@ -40,11 +41,21 @@ std::string FsKindName(FsKind kind);
 
 struct SimConfig {
   disk::DiskSpec disk_spec = disk::SeagateSt31200();
+  // Device backend: "spinning" (the mechanical model above, the paper's
+  // 1996 hardware) or "flash" (src/flash channel/queue-depth model, the
+  // ablation hardware). Both back their sectors with disk_spec's geometry,
+  // so capacity and images are identical across backends.
+  std::string device = "spinning";
+  flash::FlashSpec flash_spec = flash::DefaultFlash();
   size_t cache_blocks = 2048;  // 8 MB file cache
   disk::SchedulerPolicy scheduler = disk::SchedulerPolicy::kCLook;
   fs::MetadataPolicy metadata = fs::MetadataPolicy::kSynchronous;
   uint16_t group_blocks = 16;
   uint32_t blocks_per_cg = 2048;
+  // Extent-based allocation (direct extents + one indirect extent block
+  // per inode, free-extent stacks in the allocator). Honored by both FFS
+  // and C-FFS; persisted in the superblock so remount keeps it.
+  bool extent_alloc = false;
   // Name-resolution acceleration (dentry/inode caches + directory indexes).
   // On by default; benchmarks flip it off to measure the ablation.
   bool name_caches = true;
@@ -122,6 +133,9 @@ class SimEnv {
   SimClock& clock() { return clock_; }
   disk::DiskModel& disk() { return *disk_; }
   blk::BlockDevice& device() { return *device_; }
+  // The flash view of device(), or nullptr when config.device=="spinning".
+  flash::FlashDevice* flash() { return flash_; }
+  const flash::FlashDevice* flash() const { return flash_; }
   cache::BufferCache& cache() { return *cache_; }
   fs::FileSystem* fs() { return fs_.get(); }
   // The concrete implementation core, for layers above sim that need the
@@ -202,6 +216,7 @@ class SimEnv {
   SimClock clock_;
   std::unique_ptr<disk::DiskModel> disk_;
   std::unique_ptr<blk::BlockDevice> device_;
+  flash::FlashDevice* flash_ = nullptr;  // aliases device_ when flash
   std::unique_ptr<cache::BufferCache> cache_;
   std::unique_ptr<io::IoEngine> engine_;
   std::unique_ptr<io::Syncer> syncer_;

@@ -14,6 +14,10 @@ MetricsSnapshot Snapshot(sim::SimEnv& env) {
   snap.cache = env.cache().stats();
   snap.block_io = env.device().stats();
   snap.disk = env.disk().stats();
+  if (env.flash()) {
+    snap.flash = env.flash()->flash_stats();
+    snap.flash_enabled = true;
+  }
   snap.io_engine = env.engine().stats();
   if (env.syncer()) snap.syncer = env.syncer()->stats();
   if (env.readahead()) snap.readahead = env.readahead()->stats();

@@ -137,6 +137,22 @@ Json ToJson(const disk::DiskStats& s) {
   return j;
 }
 
+Json ToJson(const flash::FlashStats& s) {
+  Json j = Json::Object();
+  j.Set("read_requests", s.read_requests);
+  j.Set("write_requests", s.write_requests);
+  j.Set("sectors_read", s.sectors_read);
+  j.Set("sectors_written", s.sectors_written);
+  j.Set("erases", s.erases);
+  j.Set("overhead_s", TimeJson(s.overhead_time));
+  j.Set("wait_s", TimeJson(s.wait_time));
+  j.Set("read_s", TimeJson(s.read_time));
+  j.Set("program_s", TimeJson(s.program_time));
+  j.Set("erase_s", TimeJson(s.erase_time));
+  j.Set("busy_s", TimeJson(s.busy_time));
+  return j;
+}
+
 Json MetricsSnapshot::ToJson() const {
   Json j = Json::Object();
   j.Set("fs", fs_name);
@@ -146,6 +162,9 @@ Json MetricsSnapshot::ToJson() const {
   j.Set("cache", stats::ToJson(cache));
   j.Set("block_io", stats::ToJson(block_io));
   j.Set("disk", stats::ToJson(disk));
+  Json fl = stats::ToJson(flash);
+  fl.Set("enabled", flash_enabled);
+  j.Set("flash", std::move(fl));
   j.Set("io_engine", stats::ToJson(io_engine));
   j.Set("syncer", stats::ToJson(syncer));
   j.Set("readahead", stats::ToJson(readahead));
@@ -191,15 +210,46 @@ std::vector<std::string> MetricsSnapshot::CheckInvariants() const {
          disk.busy_time.seconds(), full.seconds());
   }
 
-  if (block_io.reads != disk.read_requests) {
-    fail("block io: %llu read commands vs %llu disk read requests",
-         static_cast<unsigned long long>(block_io.reads),
-         static_cast<unsigned long long>(disk.read_requests));
-  }
-  if (block_io.writes != disk.write_requests) {
-    fail("block io: %llu write commands vs %llu disk write requests",
-         static_cast<unsigned long long>(block_io.writes),
-         static_cast<unsigned long long>(disk.write_requests));
+  if (flash_enabled) {
+    // Flash runs: the device commands are flash commands (the wrapped disk
+    // model only stores data and records no requests of its own).
+    if (block_io.reads != flash.read_requests) {
+      fail("block io: %llu read commands vs %llu flash read requests",
+           static_cast<unsigned long long>(block_io.reads),
+           static_cast<unsigned long long>(flash.read_requests));
+    }
+    if (block_io.writes != flash.write_requests) {
+      fail("block io: %llu write commands vs %llu flash write requests",
+           static_cast<unsigned long long>(block_io.writes),
+           static_cast<unsigned long long>(flash.write_requests));
+    }
+    // The critical-channel decomposition is exact by construction: every
+    // window's wait is computed as elapsed minus the other four phases, so
+    // the books must balance to the nanosecond.
+    const SimTime flash_sum = flash.overhead_time + flash.wait_time +
+                              flash.read_time + flash.program_time +
+                              flash.erase_time;
+    if (flash.busy_time.nanos() != flash_sum.nanos()) {
+      fail("flash: busy (%lld ns) != overhead+wait+read+program+erase "
+           "(%lld ns)",
+           static_cast<long long>(flash.busy_time.nanos()),
+           static_cast<long long>(flash_sum.nanos()));
+    }
+    if (disk.total_requests() != 0) {
+      fail("flash: wrapped disk model recorded %llu timed requests",
+           static_cast<unsigned long long>(disk.total_requests()));
+    }
+  } else {
+    if (block_io.reads != disk.read_requests) {
+      fail("block io: %llu read commands vs %llu disk read requests",
+           static_cast<unsigned long long>(block_io.reads),
+           static_cast<unsigned long long>(disk.read_requests));
+    }
+    if (block_io.writes != disk.write_requests) {
+      fail("block io: %llu write commands vs %llu disk write requests",
+           static_cast<unsigned long long>(block_io.writes),
+           static_cast<unsigned long long>(disk.write_requests));
+    }
   }
 
   // Every Lookup is answered exactly once: by a positive dentry hit, a

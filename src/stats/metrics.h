@@ -24,6 +24,7 @@
 #include "src/blockdev/block_device.h"
 #include "src/cache/buffer_cache.h"
 #include "src/disk/disk_model.h"
+#include "src/flash/flash_device.h"
 #include "src/fs/common/fs_types.h"
 #include "src/io/io_stats.h"
 #include "src/mt/mt_stats.h"
@@ -47,6 +48,11 @@ struct MetricsSnapshot {
   cache::CacheStats cache;
   blk::BlockIoStats block_io;
   disk::DiskStats disk;
+  // Flash backend counters (src/flash). flash_enabled == false when the run
+  // drove the mechanical model (device=spinning), in which case `flash` is
+  // all zeros and `disk` carries the timing; when true the roles reverse.
+  flash::FlashStats flash;
+  bool flash_enabled = false;
   io::IoEngineStats io_engine;
   io::SyncerStats syncer;
   io::ReadaheadStats readahead;
@@ -72,7 +78,10 @@ struct MetricsSnapshot {
   //   - cache hits + misses == cache lookups
   //   - disk busy_time >= seek + rotation + transfer (and equals the full
   //     breakdown including overhead, within per-request rounding)
-  //   - one disk command per block-device command (reads and writes)
+  //   - one disk command per block-device command (reads and writes); on a
+  //     flash run the comparison targets the flash command counters, and
+  //     flash busy time must equal overhead + wait + read + program + erase
+  //     exactly (integer nanoseconds, no tolerance)
   //   - latency histogram sample counts match the op counters
   //   - io engine: completed + inflight == submitted (reads + writes)
   //   - readahead: staged blocks resolve to at most one of hit / wasted,
@@ -93,6 +102,7 @@ Json ToJson(const fs::FsOpStats& s);
 Json ToJson(const cache::CacheStats& s);
 Json ToJson(const blk::BlockIoStats& s);
 Json ToJson(const disk::DiskStats& s);
+Json ToJson(const flash::FlashStats& s);
 Json ToJson(const io::IoEngineStats& s);
 Json ToJson(const io::SyncerStats& s);
 Json ToJson(const io::ReadaheadStats& s);

@@ -35,6 +35,7 @@ class PhaseRecorder {
     syncs0_ = env->fs()->op_stats().sync_metadata_writes;
     groups0_ = env->fs()->op_stats().group_reads;
     disk0_ = env->disk().stats();
+    if (env->flash()) flash0_ = env->flash()->flash_stats();
   }
 
   PhaseResult Finish(uint32_t files) const {
@@ -53,6 +54,17 @@ class PhaseRecorder {
     r.disk_rotation_s = (d.rotation_time - disk0_.rotation_time).seconds();
     r.disk_transfer_s = (d.transfer_time - disk0_.transfer_time).seconds();
     r.disk_overhead_s = (d.overhead_time - disk0_.overhead_time).seconds();
+    if (env_->flash()) {
+      const flash::FlashStats& f = env_->flash()->flash_stats();
+      r.flash = true;
+      r.flash_busy_s = (f.busy_time - flash0_.busy_time).seconds();
+      r.flash_overhead_s = (f.overhead_time - flash0_.overhead_time).seconds();
+      r.flash_wait_s = (f.wait_time - flash0_.wait_time).seconds();
+      r.flash_read_s = (f.read_time - flash0_.read_time).seconds();
+      r.flash_program_s = (f.program_time - flash0_.program_time).seconds();
+      r.flash_erase_s = (f.erase_time - flash0_.erase_time).seconds();
+      r.flash_erases = f.erases - flash0_.erases;
+    }
     return r;
   }
 
@@ -62,6 +74,7 @@ class PhaseRecorder {
   SimTime start_;
   uint64_t reads0_, writes0_, syncs0_, groups0_;
   disk::DiskStats disk0_;
+  flash::FlashStats flash0_;
 };
 
 }  // namespace

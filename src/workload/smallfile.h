@@ -41,6 +41,18 @@ struct PhaseResult {
   double disk_rotation_s = 0;
   double disk_transfer_s = 0;
   double disk_overhead_s = 0;
+  // Flash-backend phase breakdown (all zero on spinning runs; busy =
+  // overhead + wait + read + program + erase). `flash` is true when the
+  // environment drove the flash model, so reports know which breakdown
+  // to print.
+  bool flash = false;
+  double flash_busy_s = 0;
+  double flash_overhead_s = 0;
+  double flash_wait_s = 0;
+  double flash_read_s = 0;
+  double flash_program_s = 0;
+  double flash_erase_s = 0;
+  uint64_t flash_erases = 0;
 };
 
 struct SmallFileResult {

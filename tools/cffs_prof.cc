@@ -2,6 +2,7 @@
 //
 //   cffs_prof [--fs=KIND] [--files=N] [--dirs=N] [--bytes=N]
 //             [--policy=sync|delayed] [--syncer] [--top=N] [--json=PATH]
+//             [--device=spinning|flash] [--extents]
 //             [--mt=N] [--mt-ops=N] [--mt-scheduler=fifo|drr]
 //             [--mt-backpressure=0|1] [--antagonist] [--per-client[=K]]
 //             [--shards=M] [--shard-placement=jump|mod] [--per-shard]
@@ -15,7 +16,8 @@
 //   1. per-op-type attribution: count, mean/p50/p99/p999 end-to-end
 //      latency, and the share of total time spent in each phase
 //      (cpu / queue_wait / throttle_stall / seek / rotation / transfer /
-//      overhead) plus cache hits avoided per op;
+//      overhead — or, with --device=flash, overhead / channel_wait /
+//      transfer / program / erase) plus cache hits avoided per op;
 //   2. the top-N slowest individual operations, each with its span
 //      segments (phase, offset into the op, duration, LBA for disk
 //      phases) — a flame-graph footprint in text form.
@@ -78,7 +80,7 @@ int Usage(const char* argv0) {
                "usage: %s [--fs=ffs|conventional|embedded|grouping|cffs]\n"
                "          [--files=N] [--dirs=N] [--bytes=N]\n"
                "          [--policy=sync|delayed] [--syncer] [--top=N]\n"
-               "          [--json=PATH]\n"
+               "          [--json=PATH] [--device=spinning|flash] [--extents]\n"
                "          [--mt=N] [--mt-ops=N] [--mt-scheduler=fifo|drr]\n"
                "          [--mt-backpressure=0|1] [--antagonist]\n"
                "          [--per-client[=K]]\n"
@@ -310,6 +312,11 @@ int main(int argc, char** argv) {
       top_n = static_cast<size_t>(std::atoll(arg + 6));
     } else if (std::strncmp(arg, "--json=", 7) == 0) {
       json_out = arg + 7;
+    } else if (std::strcmp(arg, "--device=spinning") == 0 ||
+               std::strcmp(arg, "--device=flash") == 0) {
+      config.device = arg + 9;
+    } else if (std::strcmp(arg, "--extents") == 0) {
+      config.extent_alloc = true;
     } else if (std::strncmp(arg, "--mt=", 5) == 0) {
       config.mt_clients = static_cast<uint32_t>(std::atoi(arg + 5));
       if (config.mt_clients == 0) return Usage(argv[0]);

@@ -3,9 +3,12 @@
 //
 //   cffs_trace [--fs=KIND] [--files=N] [--dirs=N] [--bytes=N]
 //              [--trace-out=PATH] [--snapshot-out=PATH] [--capacity=N]
-//              [--record-out=PATH]
+//              [--record-out=PATH] [--device=spinning|flash] [--extents]
 //
 // KIND: ffs | conventional | embedded | grouping | cffs (default cffs).
+// --device=flash swaps the mechanical disk for the channel/queue-depth
+// flash model (trace events then carry kFlashIo records with per-command
+// wait/program/erase splits); --extents turns on extent-based allocation.
 // Writes a Chrome trace-event JSON (open in perfetto / chrome://tracing)
 // and a MetricsSnapshot JSON with every counter and latency histogram.
 // --record-out additionally dumps the lossless record-format trace
@@ -47,7 +50,8 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--fs=ffs|conventional|embedded|grouping|cffs]\n"
                "          [--files=N] [--dirs=N] [--bytes=N] [--capacity=N]\n"
-               "          [--trace-out=PATH] [--snapshot-out=PATH]\n",
+               "          [--trace-out=PATH] [--snapshot-out=PATH]\n"
+               "          [--device=spinning|flash] [--extents]\n",
                argv0);
   return 2;
 }
@@ -61,6 +65,7 @@ int main(int argc, char** argv) {
   params.num_dirs = 4;
   size_t capacity = obs::TraceRecorder::kDefaultCapacity;
   std::string trace_out, snapshot_out, record_out;
+  sim::SimConfig config;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -80,6 +85,11 @@ int main(int argc, char** argv) {
       snapshot_out = arg + 15;
     } else if (std::strncmp(arg, "--record-out=", 13) == 0) {
       record_out = arg + 13;
+    } else if (std::strcmp(arg, "--device=spinning") == 0 ||
+               std::strcmp(arg, "--device=flash") == 0) {
+      config.device = arg + 9;
+    } else if (std::strcmp(arg, "--extents") == 0) {
+      config.extent_alloc = true;
     } else {
       return Usage(argv[0]);
     }
@@ -91,7 +101,6 @@ int main(int argc, char** argv) {
   if (trace_out.empty()) trace_out = kind_name + ".trace.json";
   if (snapshot_out.empty()) snapshot_out = kind_name + ".snapshot.json";
 
-  sim::SimConfig config;
   auto env_or = sim::SimEnv::Create(kind, config);
   if (!env_or.ok()) {
     std::fprintf(stderr, "env: %s\n", env_or.status().ToString().c_str());
